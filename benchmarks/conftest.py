@@ -1,0 +1,42 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every figure/table benchmark both *times* its harness (pytest-benchmark)
+and *materialises* the paper-style series into ``benchmarks/results/`` so
+the numbers behind EXPERIMENTS.md can be regenerated with one command:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper's evaluation grid.
+PRIMES = (5, 7, 11, 13)
+CODES = ("rdp", "hcode", "hdp", "xcode", "dcode")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def format_series_table(title, primes, series, fmt="{:>12.2f}"):
+    """Render {code: [value per prime]} as the paper's figure rows."""
+    lines = [title, f"{'code':<8}" + "".join(f"{f'p={p}':>12}" for p in primes)]
+    for code, values in series.items():
+        cells = "".join(
+            fmt.format(v) if isinstance(v, float) else f"{v:>12}"
+            for v in values
+        )
+        lines.append(f"{code:<8}{cells}")
+    return "\n".join(lines)
+
+
+def write_result(results_dir, name, text):
+    path = results_dir / name
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,54 @@
+"""Ablation — I/O loads while running degraded.
+
+The paper's Figures 4/5 measure a healthy array.  Running the same
+workloads with one failed disk shows how reconstruction traffic reshapes
+the load picture: every code's cost rises, but D-Code's recovery sets
+overlap its reads, so its degraded cost inflation stays the smallest among
+the well-balanced codes.
+"""
+
+import numpy as np
+
+from repro.codes import make_code
+from repro.iosim.metrics import io_cost, run_workload
+from repro.iosim.workloads import read_only_workload
+
+from .conftest import CODES, format_series_table, write_result
+
+PRIMES = (7, 13)
+
+
+def harness():
+    inflation = {code: [] for code in CODES}
+    for code in CODES:
+        for p in PRIMES:
+            layout = make_code(code, p)
+            rng = np.random.default_rng(2015)
+            wl = read_only_workload(layout.num_data_cells * 64, rng,
+                                    num_ops=1000)
+            healthy = io_cost(run_workload(layout, wl, num_stripes=64))
+            data_cols = sorted({c.col for c in layout.data_cells})
+            degraded = np.mean([
+                io_cost(run_workload(layout, wl, num_stripes=64,
+                                     failed_disk=f))
+                for f in data_cols[:3]  # sample of failure cases
+            ])
+            inflation[code].append(float(degraded / healthy))
+    return inflation
+
+
+def test_degraded_load_inflation(benchmark, results_dir):
+    inflation = benchmark.pedantic(harness, rounds=1, iterations=1)
+    table = format_series_table(
+        "Ablation: degraded-read cost inflation (degraded / healthy)",
+        PRIMES,
+        inflation,
+    )
+    write_result(results_dir, "ablation_degraded_loads.txt", table)
+    print("\n" + table)
+
+    for i in range(len(PRIMES)):
+        # reconstruction always costs something...
+        assert all(inflation[c][i] > 1.0 for c in CODES)
+        # ...and D-Code inflates less than X-Code (shared horizontal groups)
+        assert inflation["dcode"][i] < inflation["xcode"][i]

@@ -1,0 +1,60 @@
+"""Extension — read speed under TWO concurrent failures.
+
+The paper's Figure 7 measures single-failure degraded reads; RAID-6's
+whole reason to exist is surviving the second failure, where every read
+crossing either dead disk pays chain reconstruction.  This bench prices
+that worst case on the timing model, averaging over sampled failure
+pairs.
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.codes import make_code
+from repro.iosim.engine import AccessEngine
+from repro.perf.timing import ArrayTimingModel
+
+from .conftest import CODES, write_result
+
+P = 7
+REQUESTS_PER_PAIR = 60
+
+
+def harness():
+    speeds = {}
+    rng_master = np.random.default_rng(2015)
+    for code in CODES:
+        layout = make_code(code, P)
+        data_cols = sorted({c.col for c in layout.data_cells})
+        pair_means = []
+        for pair in itertools.combinations(data_cols[:4], 2):
+            engine = AccessEngine(layout, num_stripes=32,
+                                  failed_disks=pair)
+            model = ArrayTimingModel(engine)
+            rng = np.random.default_rng(rng_master.integers(2**32))
+            starts = rng.integers(0, engine.address_space,
+                                  REQUESTS_PER_PAIR)
+            lengths = rng.integers(1, 21, REQUESTS_PER_PAIR)
+            pair_means.append(np.mean([
+                model.read_speed_mb_per_s(int(s), int(length))
+                for s, length in zip(starts, lengths)
+            ]))
+        speeds[code] = float(np.mean(pair_means))
+    return speeds
+
+
+def test_double_degraded_read(benchmark, results_dir):
+    speeds = benchmark.pedantic(harness, rounds=1, iterations=1)
+    lines = [
+        f"Extension: doubly-degraded read speed (model MB/s, p={P})",
+        f"{'code':<8}{'MB/s':>10}",
+    ]
+    for code, v in speeds.items():
+        lines.append(f"{code:<8}{v:>10.1f}")
+    table = "\n".join(lines)
+    write_result(results_dir, "double_degraded_read.txt", table)
+    print("\n" + table)
+
+    # the Figure-7 ordering must survive the second failure
+    assert speeds["dcode"] > speeds["xcode"]

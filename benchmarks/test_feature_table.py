@@ -1,0 +1,40 @@
+"""§III-D feature table — storage efficiency, XOR counts, update complexity.
+
+The paper presents these as closed-form analysis; this bench computes them
+from the implemented layouts and asserts D-Code attains every optimum.
+"""
+
+import pytest
+
+from repro.analysis.features import feature_table, format_feature_table
+
+from .conftest import PRIMES, write_result
+
+CODES = ("rdp", "hcode", "hdp", "xcode", "dcode", "evenodd")
+
+
+def test_feature_table(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        feature_table,
+        args=(CODES, PRIMES),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_feature_table(rows)
+    write_result(results_dir, "feature_table.txt", table)
+    print("\n" + table)
+
+    for row in rows:
+        if row.code == "dcode":
+            # §III-D: optimal storage rate, encode/decode XORs, update = 2
+            assert row.storage_efficiency == pytest.approx(
+                (row.p - 2) / row.p
+            )
+            assert row.encode_xors_per_element == pytest.approx(
+                row.optimal_encode_xors
+            )
+            assert row.decode_xors_per_lost == pytest.approx(
+                row.optimal_decode_xors
+            )
+            assert row.avg_update_complexity == pytest.approx(2.0)
+            assert row.max_update_complexity == 2

@@ -1,0 +1,37 @@
+"""Figure 1 — degraded-read / partial-stripe-write element footprints.
+
+The paper's Figure 1 motivates D-Code with hand-drawn examples of how many
+extra elements RDP and X-Code touch for a 4-element degraded read and a
+4-element partial stripe write at p = 7.  This bench quantifies the same
+contrast exhaustively (every start position, every failure case).
+"""
+
+from repro.analysis.figures import fig1_footprints
+
+from .conftest import write_result
+
+
+def test_fig1(benchmark, results_dir):
+    out = benchmark.pedantic(
+        fig1_footprints,
+        kwargs=dict(p=7, codes=("rdp", "xcode", "dcode"), length=4),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Figure 1: element footprints at p=7, 4-element operations",
+        f"{'code':<8}{'degraded read':>16}{'partial write':>16}",
+    ]
+    for code, entry in out.items():
+        lines.append(
+            f"{code:<8}{entry['degraded_read_elements']:>16.2f}"
+            f"{entry['partial_write_accesses']:>16.2f}"
+        )
+    table = "\n".join(lines)
+    write_result(results_dir, "fig1_footprints.txt", table)
+    print("\n" + table)
+
+    assert out["dcode"]["degraded_read_elements"] < \
+        out["xcode"]["degraded_read_elements"]
+    assert out["dcode"]["partial_write_accesses"] < \
+        out["xcode"]["partial_write_accesses"]

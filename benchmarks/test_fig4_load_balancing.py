@@ -1,0 +1,41 @@
+"""Figure 4 — load-balancing factor under the paper's three workloads.
+
+Regenerates Figure 4(a) (read-only), 4(b) (read-intensive, 7:3) and 4(c)
+(read-write evenly mixed, 1:1) for RDP, H-Code, HDP, X-Code and D-Code at
+p ∈ {5, 7, 11, 13}: 2000 random ``<S, L, T>`` operations per run, LF
+plotted with infinity clipped to 30 exactly as the paper does.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig4_load_balancing
+
+from .conftest import CODES, PRIMES, format_series_table, write_result
+
+WORKLOADS = ("read-only", "read-intensive", "read-write-mixed")
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig4(benchmark, workload, results_dir):
+    series = benchmark.pedantic(
+        fig4_load_balancing,
+        args=(workload,),
+        kwargs=dict(primes=PRIMES, codes=CODES, num_ops=2000,
+                    num_stripes=64, clip=True),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_series_table(
+        f"Figure 4 ({workload}): load balancing factor "
+        "(30 = infinity, as in the paper)",
+        PRIMES,
+        series,
+    )
+    write_result(results_dir, f"fig4_{workload}.txt", table)
+    print("\n" + table)
+
+    # shape assertions mirroring the paper's summary paragraph
+    dcode = series["dcode"]
+    assert all(v < 1.3 for v in dcode), "D-Code must stay well balanced"
+    if workload == "read-only":
+        assert all(v == 30.0 for v in series["rdp"])

@@ -1,0 +1,43 @@
+"""Figure 5 — total I/O cost under the paper's three workloads.
+
+Regenerates Figure 5(a)-(c): total element accesses over all disks for the
+five codes at p ∈ {5, 7, 11, 13} under 2000 random operations, including
+partial-stripe-write parity RMW and cascade accounting.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig5_io_cost
+
+from .conftest import CODES, PRIMES, format_series_table, write_result
+
+WORKLOADS = ("read-only", "read-intensive", "read-write-mixed")
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig5(benchmark, workload, results_dir):
+    series = benchmark.pedantic(
+        fig5_io_cost,
+        args=(workload,),
+        kwargs=dict(primes=PRIMES, codes=CODES, num_ops=2000,
+                    num_stripes=64),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_series_table(
+        f"Figure 5 ({workload}): total I/O cost (element accesses)",
+        PRIMES,
+        series,
+        fmt="{:>12}",
+    )
+    write_result(results_dir, f"fig5_{workload}.txt", table)
+    print("\n" + table)
+
+    if workload == "read-only":
+        # reads bring no extra accesses: every code costs the same
+        assert len({tuple(v) for v in series.values()}) == 1
+    else:
+        # D-Code clearly cheaper than the well-balanced rivals at p=13
+        i = PRIMES.index(13)
+        assert series["dcode"][i] < series["hdp"][i]
+        assert series["dcode"][i] < series["xcode"][i]

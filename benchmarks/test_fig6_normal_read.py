@@ -1,0 +1,37 @@
+"""Figure 6 — normal-mode read speed and per-disk average speed.
+
+Regenerates Figure 6(a) (read speed, MB/s) and 6(b) (average read speed per
+disk) on the substituted Savvio-10K.3 timing model: 2000 random requests of
+1–20 elements per code per prime.
+"""
+
+from repro.analysis.figures import fig6_normal_read
+
+from .conftest import CODES, PRIMES, format_series_table, write_result
+
+
+def test_fig6(benchmark, results_dir):
+    out = benchmark.pedantic(
+        fig6_normal_read,
+        kwargs=dict(primes=PRIMES, codes=CODES, num_requests=2000,
+                    num_stripes=64),
+        rounds=1,
+        iterations=1,
+    )
+    table_a = format_series_table(
+        "Figure 6(a): normal read speed (model MB/s)", PRIMES, out["speed"]
+    )
+    table_b = format_series_table(
+        "Figure 6(b): average read speed per disk (model MB/s)",
+        PRIMES,
+        out["average"],
+    )
+    write_result(results_dir, "fig6_normal_read.txt",
+                 table_a + "\n\n" + table_b)
+    print("\n" + table_a + "\n\n" + table_b)
+
+    # the paper's headline orderings
+    for i in range(len(PRIMES)):
+        assert out["speed"]["dcode"][i] == out["speed"]["xcode"][i]
+        assert out["speed"]["dcode"][i] > out["speed"]["rdp"][i]
+        assert out["speed"]["dcode"][i] > out["speed"]["hcode"][i]

@@ -1,0 +1,39 @@
+"""Figure 7 — degraded-mode read speed and per-disk average speed.
+
+Regenerates Figure 7(a)/(b): 200 requests per data-disk failure case per
+code per prime on the timing model, with reconstruction reads priced in.
+"""
+
+from repro.analysis.figures import fig7_degraded_read
+
+from .conftest import CODES, PRIMES, format_series_table, write_result
+
+
+def test_fig7(benchmark, results_dir):
+    out = benchmark.pedantic(
+        fig7_degraded_read,
+        kwargs=dict(primes=PRIMES, codes=CODES, num_requests_per_case=200,
+                    num_stripes=64),
+        rounds=1,
+        iterations=1,
+    )
+    table_a = format_series_table(
+        "Figure 7(a): degraded read speed (model MB/s)",
+        PRIMES,
+        out["speed"],
+    )
+    table_b = format_series_table(
+        "Figure 7(b): average degraded read speed per disk (model MB/s)",
+        PRIMES,
+        out["average"],
+    )
+    write_result(results_dir, "fig7_degraded_read.txt",
+                 table_a + "\n\n" + table_b)
+    print("\n" + table_a + "\n\n" + table_b)
+
+    for i in range(len(PRIMES)):
+        # paper: D-Code 11.6–26.0 % over X-Code; slightly below RDP/H-Code
+        assert out["speed"]["dcode"][i] > out["speed"]["xcode"][i]
+        assert out["speed"]["dcode"][i] < out["speed"]["rdp"][i]
+        # paper Fig 7(b): D-Code's per-disk average beats RDP and H-Code
+        assert out["average"]["dcode"][i] > out["average"]["rdp"][i]

@@ -1,0 +1,50 @@
+"""Extension — degraded latency under concurrent load.
+
+Beyond the paper: the Figures 6/7 experiments time isolated requests.  A
+degraded code's reconstruction reads also queue *behind* other requests,
+so the gap between D-Code and X-Code widens under load.  This bench runs a
+Poisson stream against one failed disk and reports latency percentiles.
+"""
+
+from repro.codes import make_code
+from repro.iosim.engine import AccessEngine
+from repro.perf.queueing import latency_under_load
+
+from .conftest import write_result
+
+CODES = ("rdp", "hcode", "hdp", "xcode", "dcode")
+RATE = 25.0  # requests per second
+REQUESTS = 1000
+
+
+def harness():
+    out = {}
+    for code in CODES:
+        layout = make_code(code, 7)
+        engine = AccessEngine(layout, num_stripes=32, failed_disk=0)
+        out[code] = latency_under_load(
+            engine, rate_per_s=RATE, num_requests=REQUESTS, seed=99
+        )
+    return out
+
+
+def test_latency_under_load(benchmark, results_dir):
+    stats = benchmark.pedantic(harness, rounds=1, iterations=1)
+    lines = [
+        f"Degraded latency under load (p=7, {RATE:.0f} req/s, "
+        f"{REQUESTS} requests, disk 0 failed)",
+        f"{'code':<8}{'mean ms':>10}{'p50 ms':>10}{'p95 ms':>10}"
+        f"{'p99 ms':>10}",
+    ]
+    for code, s in stats.items():
+        lines.append(
+            f"{code:<8}{s.mean_latency_ms:>10.1f}"
+            f"{s.percentile_ms(50):>10.1f}{s.percentile_ms(95):>10.1f}"
+            f"{s.percentile_ms(99):>10.1f}"
+        )
+    table = "\n".join(lines)
+    write_result(results_dir, "latency_under_load.txt", table)
+    print("\n" + table)
+
+    assert stats["dcode"].mean_latency_ms < stats["xcode"].mean_latency_ms
+    assert stats["dcode"].percentile_ms(95) < stats["xcode"].percentile_ms(95)

@@ -1,0 +1,42 @@
+"""Extension — partial-stripe-write speed on the timing model.
+
+The paper argues (Figure 5) that D-Code's consecutive-run horizontal
+parities cut partial-stripe-write I/O; this bench prices that argument in
+time: random 1–20-element writes through the RMW data path on the
+Savvio-10K.3 model.  Expected shape: H-Code fastest (its design goal),
+D-Code ahead of X-Code/HDP, RDP last (two dedicated parity disks serialise
+every parity update).
+"""
+
+import numpy as np
+
+from repro.codes import make_code
+from repro.perf.experiments import partial_write_experiment
+
+from .conftest import CODES, PRIMES, format_series_table, write_result
+
+
+def harness():
+    speed = {code: [] for code in CODES}
+    for code in CODES:
+        for p in PRIMES:
+            r = partial_write_experiment(
+                make_code(code, p), np.random.default_rng(2015),
+                num_requests=2000, num_stripes=64,
+            )
+            speed[code].append(r.speed_mb_per_s)
+    return speed
+
+
+def test_partial_write_speed(benchmark, results_dir):
+    speed = benchmark.pedantic(harness, rounds=1, iterations=1)
+    table = format_series_table(
+        "Extension: partial-stripe write speed (model MB/s)", PRIMES, speed
+    )
+    write_result(results_dir, "partial_write_speed.txt", table)
+    print("\n" + table)
+
+    for i in range(len(PRIMES)):
+        assert speed["dcode"][i] > speed["xcode"][i]
+        assert speed["dcode"][i] > speed["rdp"][i]
+        assert speed["hcode"][i] > speed["dcode"][i]

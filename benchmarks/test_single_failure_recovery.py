@@ -1,0 +1,37 @@
+"""§III-D — single-disk-failure recovery I/O (hybrid vs conventional).
+
+The paper carries over Xu et al.'s X-Code result ("reduce about 25 % disk
+reads") to D-Code.  This bench computes exact optimal hybrid plans for
+every failure case and reports the measured savings.
+"""
+
+from repro.analysis.figures import single_failure_recovery_series
+
+from .conftest import PRIMES, write_result
+
+
+def test_single_failure_recovery(benchmark, results_dir):
+    series = benchmark.pedantic(
+        single_failure_recovery_series,
+        kwargs=dict(primes=PRIMES, codes=("xcode", "dcode")),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Single-failure recovery reads per stripe (avg over failure cases)",
+        f"{'code':<8}{'p':>4}{'conventional':>14}{'hybrid':>10}{'saved':>8}",
+    ]
+    for code, rows in series.items():
+        for row in rows:
+            lines.append(
+                f"{code:<8}{row['p']:>4}{row['conventional_reads']:>14.1f}"
+                f"{row['hybrid_reads']:>10.1f}{row['savings']:>8.1%}"
+            )
+    table = "\n".join(lines)
+    write_result(results_dir, "single_failure_recovery.txt", table)
+    print("\n" + table)
+
+    # the paper's ~25 % claim (asymptotic; ≥18 % by p=13) and the
+    # Theorem-1 consequence that D-Code inherits X-Code's recovery cost
+    assert series["dcode"] == series["xcode"]
+    assert series["dcode"][-1]["savings"] >= 0.18

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Arbitrary array widths: shortening and generalization.
+
+Prime-tied geometry is the classic objection to array codes.  Two answers
+live in this library:
+
+* horizontal codes **shorten** — build at a bigger prime and zero surplus
+  all-data columns (no overhead);
+* vertical codes **generalize** — zero virtual columns and replicate their
+  parities across the physical disks (a few extra cells, verified
+  double-fault tolerant at construction).
+
+This script builds a RAID-6 array at every width from 4 to 14 disks using
+the best available construction and proves each one survives a double
+failure.
+
+Run:  python examples/arbitrary_widths.py
+"""
+
+import numpy as np
+
+from repro import RAID6Volume, make_code, make_shortened
+from repro.codes.generalized import make_generalized, relocation_overhead
+from repro.util.primes import is_prime
+
+
+def build(width: int):
+    """Pick a construction for this disk count."""
+    if is_prime(width) and width >= 5:
+        return make_code("dcode", width), "dcode (prime)"
+    vertical = make_generalized("dcode", width)
+    return vertical, "dcode generalized"
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    print(f"{'disks':>6}  {'construction':<20}{'data cells':>11}"
+          f"{'parity':>8}{'efficiency':>11}  survives 2 failures?")
+    for width in range(4, 15):
+        layout, label = build(width)
+        volume = RAID6Volume(layout, num_stripes=2, element_size=16)
+        data = rng.integers(
+            0, 256, (volume.num_elements, 16), dtype=np.uint8
+        )
+        volume.write(0, data)
+        volume.fail_disk(0)
+        volume.fail_disk(width - 1)
+        ok = np.array_equal(volume.read(0, volume.num_elements), data)
+        print(f"{width:>6}  {label:<20}{layout.num_data_cells:>11}"
+              f"{layout.num_parity_cells:>8}"
+              f"{layout.storage_efficiency:>11.3f}  {'yes' if ok else 'NO'}")
+        assert ok
+
+    print("\nshortened RDP as the horizontal alternative:")
+    for width in (9, 10):
+        layout = make_shortened("rdp", width)
+        print(f"  {width} disks -> {layout.name} "
+              f"(eff {layout.storage_efficiency:.3f})")
+
+    lay6 = make_generalized("dcode", 6)
+    print(f"\ngeneralization overhead at 6 disks: "
+          f"{relocation_overhead(lay6)}")
+
+
+if __name__ == "__main__":
+    main()

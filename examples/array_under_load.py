@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Latency under concurrent load, healthy vs degraded.
+
+The paper's read-speed experiments time isolated requests.  Under real
+concurrency, a degraded code's reconstruction reads also queue behind
+other requests, so the D-Code-vs-X-Code gap widens.  This example sweeps
+the arrival rate and prints mean / p95 latency from the FIFO queueing
+simulator.
+
+Run:  python examples/array_under_load.py
+"""
+
+from repro import make_code
+from repro.iosim.engine import AccessEngine
+from repro.perf.queueing import latency_under_load
+
+RATES = (5.0, 15.0, 30.0)
+CODES = ("rdp", "xcode", "dcode")
+
+
+def sweep(failed_disk):
+    header = f"{'rate(req/s)':>12}"
+    for code in CODES:
+        header += f"{code + ' mean':>12}{code + ' p95':>12}"
+    print(header)
+    for rate in RATES:
+        row = f"{rate:>12.0f}"
+        for code in CODES:
+            engine = AccessEngine(
+                make_code(code, 7), num_stripes=32, failed_disk=failed_disk
+            )
+            stats = latency_under_load(
+                engine, rate_per_s=rate, num_requests=600, seed=7
+            )
+            row += (f"{stats.mean_latency_ms:>12.1f}"
+                    f"{stats.percentile_ms(95):>12.1f}")
+        print(row)
+
+
+def main() -> None:
+    print("=== healthy array (p=7, latency in ms) ===")
+    sweep(failed_disk=None)
+    print("\n=== degraded array (disk 0 failed) ===")
+    sweep(failed_disk=0)
+    print("\nunder degraded load, X-Code's scattered recovery reads "
+          "inflate queues; D-Code's horizontal groups keep latency close "
+          "to the healthy case.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Beyond RAID-6: triple parity and locality.
+
+D-Code optimises *within* the two-parity MDS design point.  The paper's
+related work gestures at the neighbours: general Reed–Solomon for more
+parities, and Azure's LRC for cheaper repairs.  This example puts the
+three side by side on the axes that matter — fault tolerance, storage
+efficiency, and the cost of repairing one lost block.
+
+Run:  python examples/beyond_raid6.py
+"""
+
+import numpy as np
+
+from repro import DCode, GeneralReedSolomon, LocalReconstructionCode
+from repro.recovery import hybrid_plan
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+
+    print(f"{'code':<22}{'disks':>6}{'tolerance':>10}{'efficiency':>11}"
+          f"{'1-block repair reads':>22}")
+
+    # D-Code at p=13: the paper's design point
+    dcode = DCode(13)
+    repair = min(
+        len(g.members)
+        for g in dcode.groups_covering(dcode.data_cells[0])
+    )
+    print(f"{'dcode p=13':<22}{13:>6}{2:>10}"
+          f"{dcode.storage_efficiency:>11.3f}{repair:>22}")
+
+    # triple-parity RS: more tolerance, same repair pain
+    rs3 = GeneralReedSolomon(k=11, m=3, element_size=64)
+    print(f"{'rs k=11 m=3':<22}{rs3.num_disks:>6}{rs3.fault_tolerance:>10}"
+          f"{11 / rs3.num_disks:>11.3f}{11:>22}")
+
+    # Azure LRC: cheap repairs, bounded tolerance
+    lrc = LocalReconstructionCode(k=12, l=2, r=2, element_size=64)
+    print(f"{'lrc k=12 l=2 r=2':<22}{lrc.num_disks:>6}{'2..3':>10}"
+          f"{lrc.storage_efficiency:>11.3f}"
+          f"{lrc.repair_cost_single_data_failure():>22}")
+
+    # prove each one survives its advertised worst case
+    print("\nworst-case recoveries, verified bit-exact:")
+
+    data = rng.integers(0, 256, (11, 64), dtype=np.uint8)
+    stripe = rs3.encode(data)
+    damaged = stripe.copy()
+    for d in (0, 5, 10):
+        damaged[d] = 0
+    rs3.decode(damaged, [0, 5, 10])
+    assert np.array_equal(damaged, stripe)
+    print("  rs m=3: three concurrent data failures recovered")
+
+    payload = rng.integers(0, 256, (12, 64), dtype=np.uint8)
+    lstripe = lrc.encode(payload)
+    ldamaged = lstripe.copy()
+    for d in (0, 1, 2):  # three losses inside ONE local group
+        ldamaged[d] = 0
+    lrc.decode(ldamaged, [0, 1, 2])
+    assert np.array_equal(ldamaged, lstripe)
+    print("  lrc: three losses in one local group recovered "
+          "(local parity + both globals, jointly)")
+
+    plan = hybrid_plan(dcode, 0)
+    print(f"  dcode: whole-disk rebuild plan reads {plan.num_reads} "
+          f"elements per stripe (hybrid-optimal)")
+
+    print("\ntakeaway: D-Code buys its degraded-read and balance wins "
+          "inside the RAID-6 envelope; stepping outside costs either "
+          "capacity (LRC, WEAVER) or repair locality (RS m=3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Cloud-storage scenario: degraded read performance, D-Code vs X-Code.
+
+The paper's motivating read-only workload (cloud storage systems, §IV-A)
+hits a degraded array: one disk is down and every read crossing it pays
+reconstruction I/O.  D-Code's horizontal parities are XORs of *consecutive*
+logical elements, so a contiguous degraded read usually already holds most
+of the recovery set; X-Code's diagonal parities almost never overlap the
+read.  This example measures both the extra elements fetched and the
+modelled read speed.
+
+Run:  python examples/cloud_degraded_reads.py
+"""
+
+import numpy as np
+
+from repro import AccessEngine, make_code
+from repro.perf import degraded_read_experiment, normal_read_experiment
+
+
+def extra_read_ratio(code: str, p: int, length: int) -> float:
+    """Average fetched-to-requested ratio over all starts/failure cases."""
+    layout = make_code(code, p)
+    total_fetched = 0
+    total_requested = 0
+    for failed in sorted({c.col for c in layout.data_cells}):
+        engine = AccessEngine(layout, num_stripes=8, failed_disk=failed)
+        for start in range(layout.num_data_cells):
+            total_fetched += engine.read_accesses(start, length).cost
+            total_requested += length
+    return total_fetched / total_requested
+
+
+def main() -> None:
+    p = 7
+    print(f"=== degraded reads at p={p}, request size 4 elements ===\n")
+
+    print("extra I/O (elements fetched per element requested):")
+    for code in ("rdp", "hcode", "xcode", "dcode"):
+        ratio = extra_read_ratio(code, p, length=4)
+        print(f"  {code:<7} {ratio:5.2f}x")
+
+    print("\nmodelled read speed (Savvio 10K.3 timing model, MB/s):")
+    header = f"  {'code':<7}{'normal':>10}{'degraded':>10}{'penalty':>10}"
+    print(header)
+    for code in ("rdp", "hcode", "xcode", "dcode"):
+        layout = make_code(code, p)
+        normal = normal_read_experiment(
+            layout, np.random.default_rng(1), num_requests=500
+        )
+        degraded = degraded_read_experiment(
+            layout, np.random.default_rng(1), num_requests_per_case=100
+        )
+        penalty = 1 - degraded.speed_mb_per_s / normal.speed_mb_per_s
+        print(
+            f"  {code:<7}{normal.speed_mb_per_s:>10.1f}"
+            f"{degraded.speed_mb_per_s:>10.1f}{penalty:>9.1%}"
+        )
+
+    d = degraded_read_experiment(
+        make_code("dcode", p), np.random.default_rng(1),
+        num_requests_per_case=100,
+    )
+    x = degraded_read_experiment(
+        make_code("xcode", p), np.random.default_rng(1),
+        num_requests_per_case=100,
+    )
+    gain = d.speed_mb_per_s / x.speed_mb_per_s - 1
+    print(f"\nD-Code over X-Code in degraded mode: +{gain:.1%} "
+          "(paper reports 11.6%-26.0%)")
+
+
+if __name__ == "__main__":
+    main()

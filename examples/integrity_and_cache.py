@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Integrity scrubbing and write-back caching on one volume.
+
+Two operational features a production array layers over the erasure code:
+
+* a **write-back stripe cache** coalescing small writes — several small
+  RMWs become one batch (or a read-free full-stripe destage);
+* a **checksum integrity layer** that locates silently corrupted blocks
+  (which parity alone can only *detect*) and heals them through the
+  ordinary erasure decoder.
+
+Run:  python examples/integrity_and_cache.py
+"""
+
+import numpy as np
+
+from repro import DCode, RAID6Volume
+from repro.array.cache import StripeCache
+from repro.array.integrity import IntegrityChecker
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+
+    # --- caching: count the element I/Os saved by coalescing ------------
+    def io_total(volume):
+        return sum(r + w for r, w in volume.io_counters().values())
+
+    direct = RAID6Volume(DCode(7), num_stripes=8, element_size=1024)
+    data = rng.integers(0, 256, (20, 1024), dtype=np.uint8)
+    for k in range(20):
+        direct.write(k, data[k:k + 1])          # 20 separate 1-element RMWs
+    print(f"direct 1-element writes:   {io_total(direct):4d} element I/Os")
+
+    cached_vol = RAID6Volume(DCode(7), num_stripes=8, element_size=1024)
+    cache = StripeCache(cached_vol, max_dirty_stripes=4)
+    for k in range(20):
+        cache.write(k, data[k:k + 1])
+    assert np.array_equal(cache.read(0, 20), data)  # read-your-writes
+    cache.flush()
+    print(f"cached + coalesced:        {io_total(cached_vol):4d} element I/Os")
+    assert np.array_equal(cached_vol.read(0, 20), data)
+    assert cached_vol.scrub() == []
+
+    # --- integrity: locate and heal silent corruption --------------------
+    checker = IntegrityChecker(cached_vol)
+    assert checker.find_corruption() == {}
+
+    # rot two blocks behind the controller's back
+    victims = [cached_vol.layout.data_cells[3],
+               cached_vol.layout.parity_cells[0]]
+    for cell in victims:
+        loc = cached_vol.mapper.locate_cell(0, cell)
+        cached_vol.disks[loc.disk]._store[loc.offset] ^= 0x5A
+
+    found = checker.find_corruption()
+    print(f"\nchecksum scrub located: "
+          f"{[(s, [str(c) for c in cells]) for s, cells in found.items()]}")
+    repaired = checker.verify_and_repair()
+    assert repaired and checker.find_corruption() == {}
+    assert np.array_equal(cached_vol.read(0, 20), data)
+    print("corruption healed through the erasure decoder; "
+          "data verified bit-exact")
+
+
+if __name__ == "__main__":
+    main()

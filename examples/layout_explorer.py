@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Layout explorer: the paper's Figures 2 and 3 in ASCII.
+
+Prints a D-Code stripe's cell roles, the horizontal/deployment group labels
+(reproducing Figure 2's number/letter flags) and the recovery chains for
+the paper's worked double failure (disks 2 and 3 at n=7 — Figure 3).
+
+Run:  python examples/layout_explorer.py [n]
+"""
+
+import string
+import sys
+
+from repro import Cell, DCode, StripeCodec
+from repro.codec.decoder import ChainDecoder
+
+
+def print_layout(layout: DCode) -> None:
+    n = layout.n
+    print(f"D-Code stripe, n={n}: {n}x{n}, data rows 0..{n - 3}, "
+          f"parity rows {n - 2} (horizontal) and {n - 1} (deployment)")
+    grid = layout.layout_grid()
+    for row in grid:
+        print("  " + " ".join(row))
+
+
+def print_group_flags(layout: DCode) -> None:
+    """Figure 2: label each data cell with its group number and letter."""
+    n = layout.n
+    horizontal = {}
+    deployment = {}
+    for gi, group in enumerate(layout.groups):
+        for m in group.members:
+            if group.family == "horizontal":
+                horizontal[m] = str(gi % n)
+            else:
+                deployment[m] = string.ascii_uppercase[gi % n]
+
+    print("\nFigure 2(a): horizontal group numbers")
+    for r in range(n - 2):
+        print("  " + " ".join(horizontal[Cell(r, c)] for c in range(n)))
+    print("\nFigure 2(b): deployment group letters")
+    for r in range(n - 2):
+        print("  " + " ".join(deployment[Cell(r, c)] for c in range(n)))
+
+
+def print_recovery_chains(layout: DCode, f1: int, f2: int) -> None:
+    """Figure 3: the zig-zag chains rebuilding two failed disks."""
+    codec = StripeCodec(layout, element_size=8)
+    plan = ChainDecoder(codec).plan_for_columns([f1, f2])
+    print(f"\nFigure 3: recovery schedule for failed disks {f1} and {f2}")
+    for i, step in enumerate(plan):
+        kind = "D" if layout.is_data(step.cell) else "P"
+        if step.cell == step.group.parity:
+            source = f"its own {step.group.family} group members"
+        else:
+            source = (
+                f"{step.group.family} parity "
+                f"P{step.group.parity.row},{step.group.parity.col}"
+            )
+        print(
+            f"  step {i + 1:>2}: rebuild {kind}{step.cell.row},"
+            f"{step.cell.col} from {source}"
+        )
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    layout = DCode(n)
+    print_layout(layout)
+    print_group_flags(layout)
+    print_recovery_chains(layout, 2, 3)
+
+
+if __name__ == "__main__":
+    main()

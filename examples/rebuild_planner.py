@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Rebuild planner: hybrid single-failure recovery on real disk counters.
+
+§III-D of the paper carries Xu et al.'s X-Code result over to D-Code:
+mixing the two parity families per lost element cuts rebuild reads by
+about 25 % versus the conventional single-family scheme.  This example
+computes both plans and then performs an actual volume rebuild, showing
+the saving on the simulated disks' read counters.
+
+Run:  python examples/rebuild_planner.py
+"""
+
+import numpy as np
+
+from repro import DCode, RAID6Volume, conventional_plan, hybrid_plan
+
+
+def main() -> None:
+    layout = DCode(13)
+    print(f"layout: {layout}\n")
+
+    print("per-failure-case rebuild reads (one stripe):")
+    print(f"{'disk':>5}{'conventional':>14}{'hybrid':>9}{'saved':>8}")
+    total_conv = total_hyb = 0
+    for failed in range(layout.cols):
+        conv = conventional_plan(layout, failed)
+        hyb = hybrid_plan(layout, failed)
+        total_conv += conv.num_reads
+        total_hyb += hyb.num_reads
+        saved = 1 - hyb.num_reads / conv.num_reads
+        print(f"{failed:>5}{conv.num_reads:>14}{hyb.num_reads:>9}"
+              f"{saved:>8.1%}")
+    print(f"{'all':>5}{total_conv:>14}{total_hyb:>9}"
+          f"{1 - total_hyb / total_conv:>8.1%}")
+
+    # Show the family mix the optimal plan chose for one case.
+    plan = hybrid_plan(layout, 0)
+    families = {}
+    for cell, group in plan.choices:
+        if layout.is_data(cell):
+            families[group.family] = families.get(group.family, 0) + 1
+    print(f"\nhybrid plan for disk 0 mixes families: {families}")
+
+    # Rebuild a real volume and check the counters agree with the plan.
+    rng = np.random.default_rng(0)
+    volume = RAID6Volume(layout, num_stripes=4, element_size=1024)
+    payload = rng.integers(
+        0, 256, (volume.num_elements, 1024), dtype=np.uint8
+    )
+    volume.write(0, payload)
+    volume.fail_disk(0)
+    reads = volume.replace_and_rebuild(0)
+    expected = 4 * hybrid_plan(layout, 0).num_reads
+    print(f"\nvolume rebuild of disk 0 over 4 stripes: {reads} reads "
+          f"(planned {expected})")
+    assert reads == expected
+    assert volume.scrub() == []
+    assert np.array_equal(volume.read(0, volume.num_elements), payload)
+    print("rebuild verified bit-exact")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Analysis: the paper's §III-D feature claims and §IV/§V figure series.
+
+:mod:`repro.analysis.features` computes storage efficiency, XOR counts and
+update complexity straight from layouts; :mod:`repro.analysis.figures`
+regenerates the data series behind every figure in the paper's evaluation
+(the benchmark suite prints them, ``EXPERIMENTS.md`` records them).
+"""
+
+from repro.analysis.features import (
+    CodeFeatures,
+    code_features,
+    decode_xors_per_lost_element,
+    encode_xors_per_data_element,
+    feature_table,
+)
+from repro.analysis.ascii_chart import hbar_chart, sparkline
+from repro.analysis.figures import (
+    fig1_footprints,
+    fig4_load_balancing,
+    fig5_io_cost,
+    fig6_normal_read,
+    fig7_degraded_read,
+    single_failure_recovery_series,
+)
+from repro.analysis.reliability import estimate_reliability, mttdl_hours
+from repro.analysis.report import generate_report
+from repro.analysis.verification import verify_reproduction
+
+__all__ = [
+    "CodeFeatures",
+    "code_features",
+    "decode_xors_per_lost_element",
+    "encode_xors_per_data_element",
+    "estimate_reliability",
+    "feature_table",
+    "fig1_footprints",
+    "fig4_load_balancing",
+    "fig5_io_cost",
+    "fig6_normal_read",
+    "fig7_degraded_read",
+    "generate_report",
+    "hbar_chart",
+    "mttdl_hours",
+    "single_failure_recovery_series",
+    "sparkline",
+    "verify_reproduction",
+]

@@ -1,0 +1,65 @@
+"""Terminal-friendly chart rendering for the figure series.
+
+The paper's figures are grouped bar charts; for a text-only reproduction
+the closest faithful form is a horizontal bar chart per prime, one bar per
+code, scaled to a fixed width.  Used by the CLI (``--chart``) and the
+report generator; pure string manipulation, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.util.validation import require, require_positive
+
+BAR_CHAR = "█"
+
+
+def hbar_chart(
+    title: str,
+    series: Dict[str, Sequence[float]],
+    primes: Sequence[int],
+    width: int = 48,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render ``{code: [value per prime]}`` as grouped horizontal bars.
+
+    Bars share one scale across the whole chart so groups are visually
+    comparable — exactly like the paper's shared y-axes.
+    """
+    require_positive(width, "width")
+    require(len(series) > 0, "series must not be empty")
+    for code, values in series.items():
+        require(len(values) == len(primes),
+                f"series {code!r} length != number of primes")
+    peak = max(max(values) for values in series.values())
+    require(peak >= 0, "values must be non-negative")
+    label_w = max(len(code) for code in series)
+
+    lines: List[str] = [title]
+    for i, p in enumerate(primes):
+        lines.append(f"p={p}")
+        for code, values in series.items():
+            value = values[i]
+            filled = 0 if peak == 0 else round(width * value / peak)
+            bar = BAR_CHAR * filled
+            lines.append(
+                f"  {code:<{label_w}} |{bar:<{width}}| "
+                + value_format.format(value)
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend: the classic eight-level block sparkline."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(blocks) - 1))
+        out.append(blocks[idx])
+    return "".join(out)

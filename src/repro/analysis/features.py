@@ -1,0 +1,122 @@
+"""The paper's §III-D representative features, computed from layouts.
+
+For each code: storage efficiency, encoding XORs per data element (the MDS
+optimum is ``2 - 2/(n-2)`` in the paper's notation), decoding XORs per lost
+element under double failure (optimum ``n - 3``), and update complexity
+(optimum exactly 2 parity updates per data write).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.codes.base import CodeLayout, column_failure_cells
+from repro.codes.registry import make_code
+from repro.codec.decoder import plan_chain_recovery
+from repro.codec.update import average_update_complexity, update_footprint
+
+
+def encode_xors_per_data_element(layout: CodeLayout) -> float:
+    """XOR operations to encode a stripe, per data element.
+
+    A parity over ``m`` members costs ``m - 1`` XORs.
+    """
+    total = sum(len(g.members) - 1 for g in layout.groups)
+    return total / layout.num_data_cells
+
+
+def decode_xors_per_lost_element(layout: CodeLayout) -> float:
+    """Average XORs per lost element over all double-disk failures.
+
+    Each chain step rebuilding a cell from a group of ``m`` cells costs
+    ``m - 2`` XORs (XOR of ``m - 1`` known cells).  Codes that are not
+    chain decodable (EVENODD) are skipped by returning ``nan``.
+    """
+    if not layout.chain_decodable:
+        return float("nan")
+    total_xors = 0
+    total_lost = 0
+    for f1 in range(layout.cols):
+        for f2 in range(f1 + 1, layout.cols):
+            lost = column_failure_cells(layout, (f1, f2))
+            plan = plan_chain_recovery(layout, lost)
+            assert plan is not None, (layout.name, f1, f2)
+            total_xors += sum(len(s.group.cells) - 2 for s in plan)
+            total_lost += len(lost)
+    return total_xors / total_lost
+
+
+def max_update_complexity(layout: CodeLayout) -> int:
+    """Worst-case parity writes for a single data-element update."""
+    return max(len(update_footprint(layout, c)) for c in layout.data_cells)
+
+
+@dataclass(frozen=True)
+class CodeFeatures:
+    """One row of the feature table."""
+
+    code: str
+    p: int
+    num_disks: int
+    data_elements: int
+    parity_elements: int
+    storage_efficiency: float
+    encode_xors_per_element: float
+    optimal_encode_xors: float
+    decode_xors_per_lost: float
+    optimal_decode_xors: float
+    avg_update_complexity: float
+    max_update_complexity: int
+
+
+def code_features(layout: CodeLayout) -> CodeFeatures:
+    """Compute every §III-D feature for one layout.
+
+    The optimal encode/decode columns use the paper's formulas with the
+    layout's own defining prime: ``2 - 2/(p-2)`` XORs per data element and
+    ``p - 3`` XORs per lost element (these are the RAID-6 MDS lower bounds
+    for a p-column vertical stripe; horizontal codes have their own
+    constants but the same columns let the table be compared at a glance).
+    """
+    p = layout.p
+    return CodeFeatures(
+        code=layout.name,
+        p=p,
+        num_disks=layout.num_disks,
+        data_elements=layout.num_data_cells,
+        parity_elements=layout.num_parity_cells,
+        storage_efficiency=layout.storage_efficiency,
+        encode_xors_per_element=encode_xors_per_data_element(layout),
+        optimal_encode_xors=2.0 - 2.0 / (p - 2),
+        decode_xors_per_lost=decode_xors_per_lost_element(layout),
+        optimal_decode_xors=float(p - 3),
+        avg_update_complexity=average_update_complexity(layout),
+        max_update_complexity=max_update_complexity(layout),
+    )
+
+
+def feature_table(
+    codes: Sequence[str], primes: Iterable[int]
+) -> List[CodeFeatures]:
+    """Feature rows for every (code, prime) combination."""
+    return [code_features(make_code(c, p)) for c in codes for p in primes]
+
+
+def format_feature_table(rows: Sequence[CodeFeatures]) -> str:
+    """Plain-text rendering used by the bench harness and examples."""
+    header = (
+        f"{'code':<8}{'p':>4}{'disks':>7}{'data':>7}{'parity':>8}"
+        f"{'eff':>8}{'enc/el':>9}{'enc*':>8}{'dec/el':>9}{'dec*':>7}"
+        f"{'upd':>7}{'updmax':>8}"
+    )
+    lines = [header]
+    for r in rows:
+        lines.append(
+            f"{r.code:<8}{r.p:>4}{r.num_disks:>7}{r.data_elements:>7}"
+            f"{r.parity_elements:>8}{r.storage_efficiency:>8.4f}"
+            f"{r.encode_xors_per_element:>9.4f}{r.optimal_encode_xors:>8.4f}"
+            f"{r.decode_xors_per_lost:>9.4f}{r.optimal_decode_xors:>7.1f}"
+            f"{r.avg_update_complexity:>7.3f}{r.max_update_complexity:>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""MTTDL estimation — what the rebuild window buys in reliability.
+
+The standard Markov model for RAID-6 reliability: with ``n`` disks of
+exponential failure rate ``λ = 1/MTBF`` and repair rate ``μ = 1/MTTR``,
+the array walks states 0 → 1 → 2 failed disks (repairs pull back toward
+0) and dies on a third concurrent failure.  The well-known closed form
+(for ``μ ≫ λ``, the operating regime) is
+
+.. math::
+
+    MTTDL \\approx \\frac{\\mu^2}{n (n-1) (n-2)\\, \\lambda^3}
+
+so halving the rebuild window quadruples survival — which is how the
+hybrid recovery planner's ~20 % read saving (§III-D) compounds into a
+~50 % MTTDL gain.  This module evaluates the exact 3-state Markov chain
+(no large-``μ`` approximation) with per-code rebuild windows from
+:mod:`repro.perf.rebuild`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.base import CodeLayout
+from repro.perf.diskmodel import DiskParameters, SAVVIO_10K3
+from repro.perf.rebuild import rebuild_window
+from repro.util.validation import require
+
+#: Manufacturer-style MTBF for the paper's drive class (hours).
+DEFAULT_MTBF_HOURS = 1.4e6
+
+
+@dataclass(frozen=True)
+class ReliabilityEstimate:
+    """MTTDL of one code under one repair strategy."""
+
+    code: str
+    p: int
+    num_disks: int
+    strategy: str
+    rebuild_hours: float
+    mttdl_hours: float
+
+    @property
+    def mttdl_years(self) -> float:
+        return self.mttdl_hours / (24 * 365)
+
+
+def mttdl_hours(n: int, mtbf_hours: float, mttr_hours: float) -> float:
+    """Exact mean time to data loss of the 3-state RAID-6 Markov chain.
+
+    States: 0, 1, 2 concurrent failures; absorbing at 3.  Transition
+    rates: ``i`` failed → ``i+1`` failed at ``(n - i) λ``; repair returns
+    ``i → i-1`` at ``μ`` (one rebuild at a time).  The expected absorption
+    time from state 0 solves the linear system of hitting times.
+    """
+    require(n >= 3, f"need at least 3 disks for a third failure, got {n}")
+    require(mtbf_hours > 0 and mttr_hours > 0, "rates must be positive")
+    lam = 1.0 / mtbf_hours
+    mu = 1.0 / mttr_hours
+    f0 = n * lam
+    f1 = (n - 1) * lam
+    f2 = (n - 2) * lam
+    # hitting times t_i from state i to absorption satisfy
+    #   t2 = 1/(f2+mu) + mu/(f2+mu) t1
+    #   t1 = 1/(f1+mu) + f1/(f1+mu) t2 + mu/(f1+mu) t0
+    #   t0 = 1/f0 + t1
+    # solved symbolically (stable for mu >> lambda, where the matrix form
+    # is hopelessly ill-conditioned):
+    t2 = (1.0 + mu * (f0 + mu) / (f0 * f1)) / f2
+    t1 = (f0 + mu) / (f0 * f1) + t2
+    t0 = 1.0 / f0 + t1
+    return float(t0)
+
+
+def estimate_reliability(
+    layout: CodeLayout,
+    strategy: str = "hybrid",
+    mtbf_hours: float = DEFAULT_MTBF_HOURS,
+    num_stripes: int = 4096,
+    params: DiskParameters = SAVVIO_10K3,
+    bottleneck: str = "reads",
+) -> ReliabilityEstimate:
+    """MTTDL for a layout, using its worst-case rebuild window as MTTR.
+
+    ``bottleneck`` selects the repair-time model: ``"reads"`` (default)
+    takes the read-side window — the quantity recovery *planning* can
+    shrink, and the binding constraint on declustered/spare-space layouts
+    where reconstruction writes spread over many disks; ``"array"`` takes
+    the full window including the single dedicated spare's write stream,
+    which is strategy-independent (every byte of the dead disk must be
+    rewritten) and dominates on a classic one-spare rebuild.
+    """
+    require(bottleneck in ("reads", "array"),
+            f"bottleneck must be 'reads' or 'array', got {bottleneck!r}")
+    windows = []
+    for col in range(layout.cols):
+        est = rebuild_window(layout, col, num_stripes=num_stripes,
+                             params=params, strategy=strategy)
+        windows.append(
+            est.read_window_ms if bottleneck == "reads" else est.window_ms
+        )
+    mttr_hours = max(windows) / 1e3 / 3600.0
+    return ReliabilityEstimate(
+        code=layout.name,
+        p=layout.p,
+        num_disks=layout.num_disks,
+        strategy=strategy,
+        rebuild_hours=mttr_hours,
+        mttdl_hours=mttdl_hours(layout.num_disks, mtbf_hours, mttr_hours),
+    )

@@ -1,0 +1,125 @@
+"""One-shot reproduction report.
+
+``generate_report`` runs every experiment harness (at configurable sizes)
+and renders a single markdown document with all the paper-style tables —
+the programmatic counterpart of ``EXPERIMENTS.md``.  The CLI exposes it as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.features import feature_table, format_feature_table
+from repro.analysis.figures import (
+    WORKLOAD_NAMES,
+    fig1_footprints,
+    fig4_load_balancing,
+    fig5_io_cost,
+    fig6_normal_read,
+    fig7_degraded_read,
+    single_failure_recovery_series,
+)
+from repro.codes.registry import EVALUATION_CODES, EVALUATION_PRIMES
+
+
+def _md_series(primes: Sequence[int], series: Dict[str, list],
+               fmt: str = "{:.2f}") -> List[str]:
+    header = "| code | " + " | ".join(f"p={p}" for p in primes) + " |"
+    rule = "|---" * (len(primes) + 1) + "|"
+    lines = [header, rule]
+    for code, values in series.items():
+        cells = " | ".join(
+            fmt.format(v) if isinstance(v, float) else str(v)
+            for v in values
+        )
+        lines.append(f"| {code} | {cells} |")
+    return lines
+
+
+def generate_report(
+    primes: Sequence[int] = EVALUATION_PRIMES,
+    codes: Sequence[str] = EVALUATION_CODES,
+    num_ops: int = 2000,
+    num_requests: int = 2000,
+    num_requests_per_case: int = 200,
+    seed: int = 2015,
+) -> str:
+    """Run every harness and return the markdown report."""
+    out: List[str] = [
+        "# D-Code reproduction report",
+        "",
+        f"codes: {', '.join(codes)} — primes: "
+        f"{', '.join(str(p) for p in primes)} — seed {seed}",
+        "",
+        "## §III-D feature table",
+        "",
+        "```",
+        format_feature_table(feature_table(list(codes) + ["evenodd"],
+                                           primes)),
+        "```",
+        "",
+    ]
+
+    for workload in WORKLOAD_NAMES:
+        lf = fig4_load_balancing(workload, primes=primes, codes=codes,
+                                 seed=seed, num_ops=num_ops)
+        out += [f"## Figure 4 ({workload}): load balancing factor", ""]
+        out += _md_series(primes, lf)
+        out.append("")
+
+    for workload in WORKLOAD_NAMES:
+        cost = fig5_io_cost(workload, primes=primes, codes=codes,
+                            seed=seed, num_ops=num_ops)
+        out += [f"## Figure 5 ({workload}): total I/O cost", ""]
+        out += _md_series(primes, cost, fmt="{:d}")
+        out.append("")
+
+    fig6 = fig6_normal_read(primes=primes, codes=codes, seed=seed,
+                            num_requests=num_requests)
+    out += ["## Figure 6(a): normal read speed (model MB/s)", ""]
+    out += _md_series(primes, fig6["speed"])
+    out += ["", "## Figure 6(b): average per disk (model MB/s)", ""]
+    out += _md_series(primes, fig6["average"])
+    out.append("")
+
+    fig7 = fig7_degraded_read(
+        primes=primes, codes=codes, seed=seed,
+        num_requests_per_case=num_requests_per_case,
+    )
+    out += ["## Figure 7(a): degraded read speed (model MB/s)", ""]
+    out += _md_series(primes, fig7["speed"])
+    out += ["", "## Figure 7(b): average per disk (model MB/s)", ""]
+    out += _md_series(primes, fig7["average"])
+    out.append("")
+
+    foot = fig1_footprints(p=7, length=4)
+    out += [
+        "## Figure 1 footprints (p=7, 4-element ops)",
+        "",
+        "| code | degraded-read elements | partial-write accesses |",
+        "|---|---|---|",
+    ]
+    for code, entry in foot.items():
+        out.append(
+            f"| {code} | {entry['degraded_read_elements']:.2f} | "
+            f"{entry['partial_write_accesses']:.2f} |"
+        )
+    out.append("")
+
+    recovery = single_failure_recovery_series(primes=primes)
+    out += [
+        "## Single-failure recovery (hybrid vs conventional reads)",
+        "",
+        "| code | p | conventional | hybrid | saved |",
+        "|---|---|---|---|---|",
+    ]
+    for code, rows in recovery.items():
+        for row in rows:
+            out.append(
+                f"| {code} | {row['p']} | "
+                f"{row['conventional_reads']:.1f} | "
+                f"{row['hybrid_reads']:.1f} | {row['savings']:.1%} |"
+            )
+    out.append("")
+    return "\n".join(out)

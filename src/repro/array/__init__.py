@@ -1,0 +1,29 @@
+"""Simulated disk-array substrate: the layer a downstream user adopts.
+
+* :class:`~repro.array.disk.SimDisk` — an element-addressed in-memory disk
+  with failure injection and access counters.
+* :class:`~repro.array.mapping.AddressMapper` — logical element ↔
+  (stripe, cell, disk, offset) translation, with optional stripe rotation.
+* :class:`~repro.array.volume.RAID6Volume` — a full RAID-6 volume over any
+  registered layout: normal/degraded reads, partial-stripe writes with
+  parity RMW, failure injection, rebuild, scrubbing.
+"""
+
+from repro.array.cache import StripeCache
+from repro.array.disk import DiskState, SimDisk
+from repro.array.integrity import ChecksumStore, IntegrityChecker
+from repro.array.mapping import AddressMapper
+from repro.array.persistence import load_volume, save_volume
+from repro.array.volume import RAID6Volume
+
+__all__ = [
+    "AddressMapper",
+    "ChecksumStore",
+    "DiskState",
+    "IntegrityChecker",
+    "RAID6Volume",
+    "SimDisk",
+    "StripeCache",
+    "load_volume",
+    "save_volume",
+]

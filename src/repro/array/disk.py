@@ -1,0 +1,115 @@
+"""Element-addressed simulated disk.
+
+Backing store is one contiguous uint8 numpy array (``capacity`` elements of
+``element_size`` bytes).  The disk counts every element read and write —
+the integration tests and the ablation benchmarks assert against those
+counters — and refuses I/O once failed, the way a dead spindle would.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Set
+
+import numpy as np
+
+from repro.exceptions import DiskFailedError, GeometryError, LatentSectorError
+from repro.util.validation import require_index, require_positive
+
+
+class DiskState(enum.Enum):
+    """Lifecycle state of a simulated disk."""
+
+    OK = "ok"
+    FAILED = "failed"
+
+
+class SimDisk:
+    """An in-memory disk of ``capacity`` elements."""
+
+    def __init__(self, disk_id: int, capacity: int, element_size: int) -> None:
+        require_positive(capacity, "capacity")
+        require_positive(element_size, "element_size")
+        self.disk_id = disk_id
+        self.capacity = capacity
+        self.element_size = element_size
+        self.state = DiskState.OK
+        self._store = np.zeros((capacity, element_size), dtype=np.uint8)
+        self._bad_sectors: Set[int] = set()
+        self.read_count = 0
+        self.write_count = 0
+
+    # -- I/O --------------------------------------------------------------
+
+    def read(self, offset: int) -> np.ndarray:
+        """Read one element (copy).
+
+        Raises :class:`LatentSectorError` when the sector was marked bad —
+        the medium-error path RAID scrubbing exists to catch.
+        """
+        self._check_live(offset)
+        self.read_count += 1
+        if offset in self._bad_sectors:
+            raise LatentSectorError(self.disk_id, offset)
+        return self._store[offset].copy()
+
+    def write(self, offset: int, data: np.ndarray) -> None:
+        """Write one element.
+
+        A write to a bad sector remaps it (real drives reallocate on
+        write), clearing the latent error.
+        """
+        self._check_live(offset)
+        if data.shape != (self.element_size,) or data.dtype != np.uint8:
+            raise GeometryError(
+                f"disk {self.disk_id}: write must be uint8 of shape "
+                f"({self.element_size},), got {data.dtype} {data.shape}"
+            )
+        self.write_count += 1
+        self._store[offset] = data
+        self._bad_sectors.discard(offset)
+
+    # -- latent sector errors ---------------------------------------------
+
+    def mark_bad(self, offset: int) -> None:
+        """Inject a medium error: future reads of ``offset`` fail."""
+        require_index(offset, self.capacity, f"disk {self.disk_id} offset")
+        self._bad_sectors.add(offset)
+
+    @property
+    def bad_sectors(self) -> frozenset:
+        return frozenset(self._bad_sectors)
+
+    # -- failure lifecycle --------------------------------------------------
+
+    @property
+    def failed(self) -> bool:
+        return self.state is DiskState.FAILED
+
+    def fail(self) -> None:
+        """Mark the disk dead; its contents become unreachable."""
+        self.state = DiskState.FAILED
+
+    def replace(self) -> None:
+        """Swap in a blank replacement (zeroed store, counters kept)."""
+        self.state = DiskState.OK
+        self._store[:] = 0
+        self._bad_sectors.clear()
+
+    def reset_counters(self) -> None:
+        self.read_count = 0
+        self.write_count = 0
+
+    # -- internals ------------------------------------------------------------
+
+    def _check_live(self, offset: int) -> None:
+        if self.failed:
+            raise DiskFailedError(f"disk {self.disk_id} is failed")
+        require_index(offset, self.capacity, f"disk {self.disk_id} offset")
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimDisk {self.disk_id} {self.state.value} "
+            f"{self.capacity}x{self.element_size}B r={self.read_count} "
+            f"w={self.write_count}>"
+        )

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the reproduction a shell-friendly surface:
+
+* ``layout``   — print a code's stripe geometry and per-disk roles;
+* ``features`` — the §III-D feature table;
+* ``fig4`` / ``fig5`` — the I/O-load series for one workload class;
+* ``fig6`` / ``fig7`` — the read-speed series on the disk timing model;
+* ``recovery`` — single-failure hybrid-vs-conventional read counts.
+
+Every command prints the same tables the benchmark suite writes to
+``benchmarks/results/``; sizes are configurable so quick looks stay quick.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.features import feature_table, format_feature_table
+from repro.analysis.figures import (
+    WORKLOAD_NAMES,
+    fig4_load_balancing,
+    fig5_io_cost,
+    fig6_normal_read,
+    fig7_degraded_read,
+    single_failure_recovery_series,
+)
+from repro.codes.base import describe_families
+from repro.codes.registry import (
+    EVALUATION_CODES,
+    EVALUATION_PRIMES,
+    available_codes,
+    make_code,
+)
+
+
+def _series_table(title, primes, series, integer=False):
+    lines = [title,
+             f"{'code':<8}" + "".join(f"{f'p={p}':>12}" for p in primes)]
+    for code, values in series.items():
+        row = f"{code:<8}"
+        for v in values:
+            row += f"{v:>12}" if integer else f"{v:>12.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def _add_grid_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--codes", nargs="+", default=list(EVALUATION_CODES),
+        choices=sorted(available_codes()),
+        help="codes to include (default: the paper's five)",
+    )
+    parser.add_argument(
+        "--primes", nargs="+", type=int, default=list(EVALUATION_PRIMES),
+        help="primes to sweep (default: 5 7 11 13)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=2000,
+        help="operations/requests per run (default: paper's 2000)",
+    )
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also render the series as ASCII bar charts",
+    )
+
+
+def _maybe_chart(args, title, primes, series) -> None:
+    if getattr(args, "chart", False):
+        from repro.analysis.ascii_chart import hbar_chart
+
+        print()
+        print(hbar_chart(title, series, primes))
+
+
+def cmd_layout(args) -> int:
+    layout = make_code(args.code, args.p)
+    print(repr(layout))
+    print(f"families: {dict(describe_families(layout))}")
+    print(f"storage efficiency: {layout.storage_efficiency:.4f}")
+    legend = ", ".join(
+        f"{letter}={family}" for family, letter in
+        layout.family_letters().items()
+    )
+    print(f"grid (D=data, {legend}):")
+    for row in layout.layout_grid():
+        print("  " + " ".join(row))
+    return 0
+
+
+def cmd_features(args) -> int:
+    rows = feature_table(args.codes, args.primes)
+    print(format_feature_table(rows))
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    series = fig4_load_balancing(
+        args.workload, primes=args.primes, codes=args.codes,
+        seed=args.seed, num_ops=args.ops,
+    )
+    print(_series_table(
+        f"Figure 4 ({args.workload}): load balancing factor",
+        args.primes, series,
+    ))
+    _maybe_chart(args, "LF (lower = better balanced)", args.primes, series)
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    series = fig5_io_cost(
+        args.workload, primes=args.primes, codes=args.codes,
+        seed=args.seed, num_ops=args.ops,
+    )
+    print(_series_table(
+        f"Figure 5 ({args.workload}): total I/O cost",
+        args.primes, series, integer=True,
+    ))
+    _maybe_chart(args, "I/O cost (lower = cheaper)", args.primes,
+                 {c: [float(v) for v in vs] for c, vs in series.items()})
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    out = fig6_normal_read(
+        primes=args.primes, codes=args.codes, seed=args.seed,
+        num_requests=args.ops,
+    )
+    print(_series_table("Figure 6(a): normal read speed (MB/s)",
+                        args.primes, out["speed"]))
+    print()
+    print(_series_table("Figure 6(b): average per disk (MB/s)",
+                        args.primes, out["average"]))
+    _maybe_chart(args, "normal read speed (MB/s)", args.primes,
+                 out["speed"])
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    out = fig7_degraded_read(
+        primes=args.primes, codes=args.codes, seed=args.seed,
+        num_requests_per_case=max(1, args.ops // 10),
+    )
+    print(_series_table("Figure 7(a): degraded read speed (MB/s)",
+                        args.primes, out["speed"]))
+    print()
+    print(_series_table("Figure 7(b): average per disk (MB/s)",
+                        args.primes, out["average"]))
+    _maybe_chart(args, "degraded read speed (MB/s)", args.primes,
+                 out["speed"])
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.analysis.verification import verify_reproduction
+
+    primes = tuple(args.primes)
+    report = verify_reproduction(primes=primes)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(
+        primes=args.primes, codes=args.codes,
+        num_ops=args.ops, num_requests=args.ops,
+        num_requests_per_case=max(1, args.ops // 10), seed=args.seed,
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_recovery(args) -> int:
+    series = single_failure_recovery_series(
+        primes=args.primes, codes=args.codes
+    )
+    print(f"{'code':<8}{'p':>4}{'conventional':>14}{'hybrid':>10}"
+          f"{'saved':>8}")
+    for code, rows in series.items():
+        for row in rows:
+            print(
+                f"{code:<8}{row['p']:>4}"
+                f"{row['conventional_reads']:>14.1f}"
+                f"{row['hybrid_reads']:>10.1f}{row['savings']:>8.1%}"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="D-Code RAID-6 reproduction (Fu & Shu, IPDPS 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_layout = sub.add_parser("layout", help="print a stripe layout")
+    p_layout.add_argument("code", choices=sorted(available_codes()))
+    p_layout.add_argument("p", type=int)
+    p_layout.set_defaults(func=cmd_layout)
+
+    p_feat = sub.add_parser("features", help="§III-D feature table")
+    _add_grid_options(p_feat)
+    p_feat.set_defaults(func=cmd_features)
+
+    for name, func, needs_workload in (
+        ("fig4", cmd_fig4, True),
+        ("fig5", cmd_fig5, True),
+        ("fig6", cmd_fig6, False),
+        ("fig7", cmd_fig7, False),
+    ):
+        p_fig = sub.add_parser(name, help=f"regenerate {name} series")
+        if needs_workload:
+            p_fig.add_argument("workload", choices=WORKLOAD_NAMES)
+        _add_grid_options(p_fig)
+        p_fig.set_defaults(func=func)
+
+    p_ver = sub.add_parser("verify",
+                           help="run the full correctness audit")
+    p_ver.add_argument("--primes", nargs="+", type=int,
+                       default=list(EVALUATION_PRIMES))
+    p_ver.set_defaults(func=cmd_verify)
+
+    p_rep = sub.add_parser("report",
+                           help="full reproduction report (markdown)")
+    _add_grid_options(p_rep)
+    p_rep.add_argument("--output", "-o", default=None,
+                       help="write to a file instead of stdout")
+    p_rep.set_defaults(func=cmd_report)
+
+    p_rec = sub.add_parser("recovery",
+                           help="single-failure recovery read counts")
+    p_rec.add_argument("--codes", nargs="+", default=["xcode", "dcode"],
+                       choices=sorted(available_codes()))
+    p_rec.add_argument("--primes", nargs="+", type=int,
+                       default=list(EVALUATION_PRIMES))
+    p_rec.set_defaults(func=cmd_recovery)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

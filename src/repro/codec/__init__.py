@@ -1,0 +1,27 @@
+"""Block codec: turn a :class:`~repro.codes.base.CodeLayout` into bytes-level
+encode / decode / update operations on numpy stripe buffers.
+
+* :class:`~repro.codec.encoder.StripeCodec` — encode, verify, erase.
+* :mod:`~repro.codec.decoder` — iterative chain decoding with recovery
+  schedules (the paper's §III-C reconstruction).
+* :mod:`~repro.codec.gauss` — Gaussian-elimination decoding oracle that
+  works for every XOR code, including EVENODD's adjuster coupling.
+* :mod:`~repro.codec.update` — read-modify-write delta updates of single
+  data elements (the paper's update-complexity path).
+"""
+
+from repro.codec.decoder import ChainDecoder, RecoveryStep, can_chain_recover
+from repro.codec.encoder import StripeCodec
+from repro.codec.gauss import GaussianDecoder, can_recover
+from repro.codec.update import apply_update, update_footprint
+
+__all__ = [
+    "ChainDecoder",
+    "GaussianDecoder",
+    "RecoveryStep",
+    "StripeCodec",
+    "apply_update",
+    "can_chain_recover",
+    "can_recover",
+    "update_footprint",
+]

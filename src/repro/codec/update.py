@@ -1,0 +1,94 @@
+"""Single-element read-modify-write updates.
+
+Overwriting one data element must refresh every parity that (transitively)
+covers it: directly covering groups, plus — in codes whose parity groups
+cover other parity cells, like RDP and HDP — the groups covering those
+parities, and so on.  Deltas compose by XOR, so the update is computed by
+pushing ``old ^ new`` through the groups in encode (dependency) order.
+
+:func:`update_footprint` runs the same propagation symbolically over GF(2)
+and returns exactly which parity cells change — the layout's *update
+complexity* for that cell, the metric the paper's §III-D proves is the
+optimal 2 for every D-Code data element.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.codes.base import Cell, CodeLayout
+from repro.codec.encoder import StripeCodec, _toposort_groups
+from repro.exceptions import GeometryError
+from repro.util.xor import xor_into
+
+
+def apply_update(
+    codec: StripeCodec,
+    stripe: np.ndarray,
+    cell: Cell,
+    new_value: np.ndarray,
+) -> Tuple[Cell, ...]:
+    """Overwrite ``cell`` with ``new_value`` and patch parity, in place.
+
+    Returns the parity cells that were modified.  Equivalent to re-encoding
+    the stripe but touches only the RMW footprint, which is what a real
+    array controller would do for a small write.
+    """
+    layout = codec.layout
+    if not layout.is_data(cell):
+        raise GeometryError(f"{cell} is not a data cell of {layout.name}")
+    if new_value.shape != (codec.element_size,) or new_value.dtype != np.uint8:
+        raise GeometryError(
+            f"new_value must be uint8 of shape ({codec.element_size},)"
+        )
+    delta = np.bitwise_xor(stripe[cell.row, cell.col], new_value)
+    if not delta.any():
+        return ()  # no-op write: nothing to patch
+    stripe[cell.row, cell.col] = new_value
+
+    deltas: Dict[Cell, np.ndarray] = {cell: delta}
+    touched = []
+    for group in _toposort_groups(layout):
+        gdelta = None
+        for member in group.members:
+            d = deltas.get(member)
+            if d is None:
+                continue
+            if gdelta is None:
+                gdelta = d.copy()
+            else:
+                xor_into(gdelta, d)
+        if gdelta is not None and gdelta.any():
+            xor_into(stripe[group.parity.row, group.parity.col], gdelta)
+            deltas[group.parity] = gdelta
+            touched.append(group.parity)
+    return tuple(touched)
+
+
+def update_footprint(layout: CodeLayout, cell: Cell) -> Tuple[Cell, ...]:
+    """Parity cells a write to ``cell`` modifies (symbolic GF(2) propagation).
+
+    ``len(update_footprint(layout, cell))`` is the update complexity of the
+    cell; an update-optimal RAID-6 code yields exactly 2 everywhere.
+    """
+    if not layout.is_data(cell):
+        raise GeometryError(f"{cell} is not a data cell of {layout.name}")
+    flips: Dict[Cell, bool] = {cell: True}
+    touched = []
+    for group in _toposort_groups(layout):
+        flip = False
+        for member in group.members:
+            if flips.get(member, False):
+                flip = not flip
+        if flip:
+            flips[group.parity] = True
+            touched.append(group.parity)
+    return tuple(touched)
+
+
+def average_update_complexity(layout: CodeLayout) -> float:
+    """Mean number of parity cells updated per data-cell write."""
+    total = sum(len(update_footprint(layout, c)) for c in layout.data_cells)
+    return total / layout.num_data_cells

@@ -1,0 +1,45 @@
+"""RAID-6 array-code layouts.
+
+The paper's contribution (:class:`~repro.codes.dcode.DCode`) plus every
+baseline its evaluation compares against (:class:`~repro.codes.rdp.RDP`,
+:class:`~repro.codes.hcode.HCode`, :class:`~repro.codes.hdp.HDPCode`,
+:class:`~repro.codes.xcode.XCode`) and the related-work extras
+(:class:`~repro.codes.evenodd.EvenOdd`, Reed–Solomon and Cauchy-RS codecs).
+
+Use :func:`make_code` to build a layout by registry name.
+"""
+
+from repro.codes.base import Cell, CodeLayout, ParityGroup
+from repro.codes.dcode import DCode
+from repro.codes.evenodd import EvenOdd
+from repro.codes.generalized import generalize_vertical, make_generalized
+from repro.codes.hcode import HCode
+from repro.codes.hdp import HDPCode
+from repro.codes.pcode import PCode
+from repro.codes.rdp import RDP
+from repro.codes.registry import (
+    EVALUATION_CODES,
+    available_codes,
+    disks_for,
+    make_code,
+)
+from repro.codes.xcode import XCode
+
+__all__ = [
+    "Cell",
+    "CodeLayout",
+    "DCode",
+    "EVALUATION_CODES",
+    "EvenOdd",
+    "HCode",
+    "HDPCode",
+    "PCode",
+    "ParityGroup",
+    "RDP",
+    "XCode",
+    "available_codes",
+    "disks_for",
+    "generalize_vertical",
+    "make_code",
+    "make_generalized",
+]

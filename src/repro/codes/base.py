@@ -1,0 +1,328 @@
+"""Uniform description of XOR-based RAID-6 array codes.
+
+Every code in this library — D-Code (the paper's contribution) and the
+baselines it is evaluated against — is an *array code*: a stripe is a small
+``rows x cols`` matrix of equal-size elements, one column per disk, and each
+parity element is the XOR of a fixed set of other elements.  This module
+defines the geometry/equation vocabulary shared by the encoder, the
+decoders, the I/O-load simulator and the analysis code:
+
+* :class:`Cell` — a (row, column) coordinate inside one stripe.
+* :class:`ParityGroup` — one parity cell plus the cells whose XOR it stores.
+* :class:`CodeLayout` — a concrete code: geometry, cell roles, parity
+  groups, plus derived indexes (logical data ordering, per-cell group
+  membership) that the rest of the library consumes.
+
+Layouts are immutable value objects; building one computes and caches all
+derived indexes eagerly so hot paths do dictionary lookups only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Tuple
+
+from repro.util.validation import require, require_index
+
+
+@dataclass(frozen=True, order=True)
+class Cell:
+    """Coordinate of one element within a stripe: ``row`` across, ``col`` = disk."""
+
+    row: int
+    col: int
+
+    def __repr__(self) -> str:  # compact — these appear in test diffs a lot
+        return f"C({self.row},{self.col})"
+
+
+@dataclass(frozen=True)
+class ParityGroup:
+    """One parity equation: ``parity = XOR(members)``.
+
+    ``family`` names the parity family for reporting ("horizontal",
+    "deployment", "diagonal", "anti-diagonal", "row", ...).  ``members``
+    never contains ``parity`` itself; for most codes members are data cells,
+    but HDP's horizontal-diagonal parities legitimately cover another parity
+    cell, and EVENODD's diagonal parities fold in the adjuster diagonal.
+    """
+
+    parity: Cell
+    members: Tuple[Cell, ...]
+    family: str
+
+    def __post_init__(self) -> None:
+        require(self.parity not in self.members,
+                f"parity {self.parity} must not be a member of its own group")
+        require(len(set(self.members)) == len(self.members),
+                f"group of {self.parity} has duplicate members")
+
+    @property
+    def cells(self) -> Tuple[Cell, ...]:
+        """Parity cell followed by members — the full equation support."""
+        return (self.parity,) + self.members
+
+
+class CodeLayout:
+    """A concrete XOR array code over one stripe.
+
+    Subclasses populate geometry and groups by calling ``__init__`` with:
+
+    ``name``
+        registry identifier, e.g. ``"dcode"``.
+    ``p``
+        the defining prime of the construction.
+    ``rows``, ``cols``
+        stripe geometry; ``cols`` is the number of disks.
+    ``data_cells``
+        all data cells in *logical order* — index ``k`` of this sequence is
+        logical element ``k``, which is what workload tuples ``<S, L, T>``
+        address.  Contiguity in this sequence is the paper's notion of
+        "continuous data elements".
+    ``groups``
+        every parity equation of the code.
+    ``chain_decodable``
+        whether double failures decode by iteratively completing equations
+        with a single unknown (true for all codes here except EVENODD,
+        whose adjuster syndrome needs the Gaussian decoder).
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        p: int,
+        rows: int,
+        cols: int,
+        data_cells: Sequence[Cell],
+        groups: Sequence[ParityGroup],
+        chain_decodable: bool = True,
+        description: str = "",
+    ) -> None:
+        require(rows >= 1 and cols >= 1, "stripe must be non-empty")
+        self.name = name
+        self.p = p
+        self.rows = rows
+        self.cols = cols
+        self.description = description
+        self.chain_decodable = chain_decodable
+        self.data_cells: Tuple[Cell, ...] = tuple(data_cells)
+        self.groups: Tuple[ParityGroup, ...] = tuple(groups)
+        self.parity_cells: Tuple[Cell, ...] = tuple(
+            sorted(g.parity for g in self.groups)
+        )
+
+        self._validate_geometry()
+
+        self._data_index: Dict[Cell, int] = {
+            cell: k for k, cell in enumerate(self.data_cells)
+        }
+        self._group_of_parity: Dict[Cell, ParityGroup] = {
+            g.parity: g for g in self.groups
+        }
+        covering: Dict[Cell, List[ParityGroup]] = {}
+        for g in self.groups:
+            for m in g.members:
+                covering.setdefault(m, []).append(g)
+        self._covering: Dict[Cell, Tuple[ParityGroup, ...]] = {
+            c: tuple(gs) for c, gs in covering.items()
+        }
+        self._data_set: FrozenSet[Cell] = frozenset(self.data_cells)
+        self._parity_set: FrozenSet[Cell] = frozenset(self.parity_cells)
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def num_disks(self) -> int:
+        """Number of disks (columns) in the stripe."""
+        return self.cols
+
+    @property
+    def num_data_cells(self) -> int:
+        return len(self.data_cells)
+
+    @property
+    def num_parity_cells(self) -> int:
+        return len(self.parity_cells)
+
+    @property
+    def num_cells(self) -> int:
+        """All laid-out cells (some geometries leave matrix positions unused)."""
+        return self.num_data_cells + self.num_parity_cells
+
+    @property
+    def storage_efficiency(self) -> float:
+        """Fraction of laid-out cells that hold user data.
+
+        For an MDS RAID-6 code this equals ``(disks - 2) / disks`` worth of
+        capacity (the optimum) expressed over the cells actually used.
+        """
+        return self.num_data_cells / self.num_cells
+
+    def cells_in_column(self, col: int) -> Tuple[Cell, ...]:
+        """All cells (data + parity) stored on disk ``col``, top to bottom."""
+        require_index(col, self.cols, "col")
+        cells = [c for c in self.data_cells if c.col == col]
+        cells.extend(c for c in self.parity_cells if c.col == col)
+        return tuple(sorted(cells))
+
+    # -- roles ------------------------------------------------------------
+
+    def is_data(self, cell: Cell) -> bool:
+        """Whether ``cell`` is one of this layout's data cells."""
+        return cell in self._data_set
+
+    def is_parity(self, cell: Cell) -> bool:
+        """Whether ``cell`` stores a parity value."""
+        return cell in self._parity_set
+
+    # -- logical addressing -----------------------------------------------
+
+    def data_index(self, cell: Cell) -> int:
+        """Logical index of a data cell (inverse of :meth:`data_cell`)."""
+        try:
+            return self._data_index[cell]
+        except KeyError:
+            raise KeyError(f"{cell} is not a data cell of {self.name}") from None
+
+    def data_cell(self, index: int) -> Cell:
+        """Data cell at logical index ``index`` (row-major / paper order)."""
+        require_index(index, self.num_data_cells, "index")
+        return self.data_cells[index]
+
+    # -- equations ----------------------------------------------------------
+
+    def group_of_parity(self, parity: Cell) -> ParityGroup:
+        """The equation whose result is stored at ``parity``."""
+        try:
+            return self._group_of_parity[parity]
+        except KeyError:
+            raise KeyError(f"{parity} is not a parity cell of {self.name}") from None
+
+    def groups_covering(self, cell: Cell) -> Tuple[ParityGroup, ...]:
+        """Parity groups whose member set includes ``cell``.
+
+        For an update-optimal RAID-6 code every data cell is covered by
+        exactly two groups; the length of this tuple is therefore the
+        update complexity contribution of ``cell``.
+        """
+        return self._covering.get(cell, ())
+
+    def families(self) -> Tuple[str, ...]:
+        """The distinct parity family names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for g in self.groups:
+            seen.setdefault(g.family, None)
+        return tuple(seen)
+
+    def groups_in_family(self, family: str) -> Tuple[ParityGroup, ...]:
+        """All parity groups belonging to one family, in layout order."""
+        return tuple(g for g in self.groups if g.family == family)
+
+    # -- sanity -------------------------------------------------------------
+
+    def _validate_geometry(self) -> None:
+        seen: Dict[Cell, str] = {}
+        for cell in self.data_cells:
+            require_index(cell.row, self.rows, f"data cell {cell} row")
+            require_index(cell.col, self.cols, f"data cell {cell} col")
+            require(cell not in seen, f"duplicate data cell {cell}")
+            seen[cell] = "data"
+        for g in self.groups:
+            cell = g.parity
+            require_index(cell.row, self.rows, f"parity cell {cell} row")
+            require_index(cell.col, self.cols, f"parity cell {cell} col")
+            require(seen.get(cell) != "data",
+                    f"cell {cell} is both data and parity")
+            require(seen.get(cell) != "parity",
+                    f"two groups store their parity at {cell}")
+            seen[cell] = "parity"
+        laid_out = set(seen)
+        for g in self.groups:
+            for m in g.members:
+                require(m in laid_out,
+                        f"group of {g.parity} references unlaid cell {m}")
+
+    def check_invariants(self) -> None:
+        """Structural self-check used by the test-suite.
+
+        Verifies the RAID-6 basics that hold for every code in this library:
+        each data cell is covered by at least one group, each disk holds at
+        least one cell, and logical indexing is a bijection.
+        """
+        for cell in self.data_cells:
+            require(len(self.groups_covering(cell)) >= 1,
+                    f"data cell {cell} is unprotected")
+        for col in range(self.cols):
+            require(len(self.cells_in_column(col)) >= 1,
+                    f"disk {col} holds no cells")
+        for k in range(self.num_data_cells):
+            require(self.data_index(self.data_cell(k)) == k,
+                    "data_cell/data_index is not a bijection")
+
+    # -- misc ---------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name} p={self.p} "
+            f"{self.rows}x{self.cols} data={self.num_data_cells} "
+            f"parity={self.num_parity_cells}>"
+        )
+
+    def family_letters(self) -> Dict[str, str]:
+        """One distinct grid letter per parity family: P, Q, R, ..."""
+        letters = "PQRSTUVWXYZ"
+        return {
+            family: letters[i % len(letters)]
+            for i, family in enumerate(self.families())
+        }
+
+    def layout_grid(self) -> List[List[str]]:
+        """Render the stripe as a grid of role strings (for examples/docs).
+
+        ``"D"`` data, one letter per parity family (see
+        :meth:`family_letters`), ``"."`` for unused positions.
+        """
+        letters = self.family_letters()
+        grid = [["." for _ in range(self.cols)] for _ in range(self.rows)]
+        for cell in self.data_cells:
+            grid[cell.row][cell.col] = "D"
+        for g in self.groups:
+            grid[g.parity.row][g.parity.col] = letters[g.family]
+        return grid
+
+
+def equations_as_cellsets(layout: CodeLayout) -> List[FrozenSet[Cell]]:
+    """Every parity equation as the frozenset of cells XOR-ing to zero.
+
+    This is the representation the Gaussian decoder and several tests use:
+    for each group, ``parity ^ XOR(members) == 0``.
+    """
+    return [frozenset(g.cells) for g in layout.groups]
+
+
+def cell_to_flat(layout: CodeLayout, cell: Cell) -> int:
+    """Flatten a cell to ``row * cols + col`` (dense stripe indexing)."""
+    return cell.row * layout.cols + cell.col
+
+
+def flat_to_cell(layout: CodeLayout, flat: int) -> Cell:
+    """Inverse of :func:`cell_to_flat`."""
+    require_index(flat, layout.rows * layout.cols, "flat")
+    return Cell(flat // layout.cols, flat % layout.cols)
+
+
+def column_failure_cells(layout: CodeLayout, cols: Sequence[int]) -> FrozenSet[Cell]:
+    """All laid-out cells lost when the disks in ``cols`` fail."""
+    lost: List[Cell] = []
+    for col in cols:
+        lost.extend(layout.cells_in_column(col))
+    return frozenset(lost)
+
+
+def describe_families(layout: CodeLayout) -> Mapping[str, int]:
+    """Family name -> number of parity groups, for reporting."""
+    out: Dict[str, int] = {}
+    for g in layout.groups:
+        out[g.family] = out.get(g.family, 0) + 1
+    return out

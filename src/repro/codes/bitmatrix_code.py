@@ -1,0 +1,206 @@
+"""Generic bitmatrix RAID-6 codec — the Jerasure ``w``-packet machinery.
+
+A *bitmatrix code* splits every element into ``w`` packets and describes
+its two parity disks as GF(2) linear maps on packets: disk P stores the
+plain XOR of the data elements, disk Q stores
+``XOR_i X_i · data_i`` where each ``X_i`` is a ``w x w`` bit-matrix and
+``·`` applies a matrix to an element's packet vector (packet ``r`` of the
+product is the XOR of the data packets whose matrix entry ``(r, c)`` is
+set).  Minimum-density codes (Liberation, Blaum-Roth, Liber8tion) and
+Cauchy-RS all live in this representation; :mod:`repro.codes.liberation`
+instantiates it with the Liberation matrices.
+
+Encoding compiles the matrices into XOR schedules once; decoding solves
+the packet-level GF(2) system with :func:`repro.gf.bitmatrix.gf2_solve`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DecodeError, FaultToleranceExceeded, GeometryError
+from repro.gf.bitmatrix import gf2_rank, gf2_solve
+from repro.util.validation import require, require_positive
+
+
+class BitmatrixRAID6:
+    """RAID-6 codec from per-disk Q bit-matrices.
+
+    ``matrices[i]`` is the ``w x w`` bool array ``X_i`` for data disk
+    ``i``; ``element_size`` must be divisible by ``w``.  Disk layout:
+    data disks ``0..k-1``, P at ``k``, Q at ``k+1``.
+    """
+
+    def __init__(
+        self, matrices: Sequence[np.ndarray], element_size: int
+    ) -> None:
+        require(len(matrices) >= 2, "need at least 2 data disks")
+        self.k = len(matrices)
+        self.w = matrices[0].shape[0]
+        for i, m in enumerate(matrices):
+            if m.shape != (self.w, self.w):
+                raise GeometryError(
+                    f"matrix {i} has shape {m.shape}, expected "
+                    f"({self.w}, {self.w})"
+                )
+        require_positive(element_size, "element_size")
+        require(element_size % self.w == 0,
+                f"element_size must be divisible by w={self.w}")
+        self.element_size = element_size
+        self.packet_size = element_size // self.w
+        self.matrices: Tuple[np.ndarray, ...] = tuple(
+            np.asarray(m, dtype=bool) for m in matrices
+        )
+        # Q schedule: per Q packet r, list of (disk, packet) sources
+        self._q_schedule: List[List[Tuple[int, int]]] = []
+        for r in range(self.w):
+            sources = [
+                (i, c)
+                for i in range(self.k)
+                for c in range(self.w)
+                if self.matrices[i][r, c]
+            ]
+            self._q_schedule.append(sources)
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def num_disks(self) -> int:
+        return self.k + 2
+
+    def density(self) -> int:
+        """Total ones across the Q matrices (lower = cheaper updates)."""
+        return int(sum(m.sum() for m in self.matrices))
+
+    def is_mds(self) -> bool:
+        """Exhaustively check every double erasure is solvable."""
+        eye = np.eye(self.w, dtype=bool)
+        for a, b in combinations(range(self.k), 2):
+            m = np.vstack([
+                np.hstack([eye, eye]),
+                np.hstack([self.matrices[a], self.matrices[b]]),
+            ])
+            if gf2_rank(m) != 2 * self.w:
+                return False
+        return True
+
+    # -- encode ----------------------------------------------------------------
+
+    def _packets(self, block: np.ndarray) -> np.ndarray:
+        return block.reshape(self.w, self.packet_size)
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``(k, element_size)`` data into a ``(k+2, es)`` stripe."""
+        self._check_data(data)
+        stripe = np.empty((self.k + 2, self.element_size), dtype=np.uint8)
+        stripe[: self.k] = data
+        stripe[self.k] = np.bitwise_xor.reduce(data, axis=0)
+        views = [self._packets(data[i]) for i in range(self.k)]
+        q = self._packets(stripe[self.k + 1])
+        for r, sources in enumerate(self._q_schedule):
+            acc = np.zeros(self.packet_size, dtype=np.uint8)
+            for (i, c) in sources:
+                np.bitwise_xor(acc, views[i][c], out=acc)
+            q[r] = acc
+        return stripe
+
+    def parity_ok(self, stripe: np.ndarray) -> bool:
+        self._check_stripe(stripe)
+        fresh = self.encode(np.ascontiguousarray(stripe[: self.k]))
+        return bool(np.array_equal(fresh[self.k:], stripe[self.k:]))
+
+    # -- decode ----------------------------------------------------------------
+
+    def decode(self, stripe: np.ndarray, erased: Sequence[int]) -> np.ndarray:
+        """Rebuild erased disks in place."""
+        self._check_stripe(stripe)
+        lost = sorted(set(erased))
+        for d in lost:
+            if not 0 <= d < self.num_disks:
+                raise GeometryError(f"disk index {d} out of range")
+        if len(lost) > 2:
+            raise FaultToleranceExceeded(
+                f"bitmatrix RAID-6 tolerates 2 erasures, got {len(lost)}"
+            )
+        lost_data = [d for d in lost if d < self.k]
+        if lost_data:
+            self._solve(stripe, set(lost))
+        if any(d >= self.k for d in lost):
+            fresh = self.encode(np.ascontiguousarray(stripe[: self.k]))
+            for d in lost:
+                if d >= self.k:
+                    stripe[d] = fresh[d]
+        return stripe
+
+    def _solve(self, stripe: np.ndarray, lost: set) -> None:
+        unknowns = [(d, c) for d in sorted(lost) if d < self.k
+                    for c in range(self.w)]
+        index = {u: i for i, u in enumerate(unknowns)}
+        rows: List[np.ndarray] = []
+        rhs: List[np.ndarray] = []
+        # P equations (one per packet) if P survives
+        if self.k not in lost:
+            p_view = self._packets(stripe[self.k])
+            for c in range(self.w):
+                coeffs = np.zeros(len(unknowns), dtype=bool)
+                syn = p_view[c].copy()
+                for i in range(self.k):
+                    key = index.get((i, c))
+                    if key is not None:
+                        coeffs[key] = True
+                    else:
+                        np.bitwise_xor(
+                            syn, self._packets(stripe[i])[c], out=syn
+                        )
+                rows.append(coeffs)
+                rhs.append(syn)
+        # Q equations if Q survives
+        if self.k + 1 not in lost:
+            q_view = self._packets(stripe[self.k + 1])
+            for r, sources in enumerate(self._q_schedule):
+                coeffs = np.zeros(len(unknowns), dtype=bool)
+                syn = q_view[r].copy()
+                for (i, c) in sources:
+                    key = index.get((i, c))
+                    if key is not None:
+                        coeffs[key] = True
+                    else:
+                        np.bitwise_xor(
+                            syn, self._packets(stripe[i])[c], out=syn
+                        )
+                rows.append(coeffs)
+                rhs.append(syn)
+        solution = gf2_solve(np.array(rows, dtype=bool), rhs)
+        if solution is None:
+            raise DecodeError(
+                f"bitmatrix decode failed for erasures {sorted(lost)}"
+            )
+        for (d, c), buf in zip(unknowns, solution):
+            self._packets(stripe[d])[c] = buf
+
+    # -- validation ----------------------------------------------------------------
+
+    def _check_data(self, data: np.ndarray) -> None:
+        expected = (self.k, self.element_size)
+        if data.shape != expected or data.dtype != np.uint8:
+            raise GeometryError(
+                f"data must be uint8 {expected}, got {data.dtype} "
+                f"{data.shape}"
+            )
+
+    def _check_stripe(self, stripe: np.ndarray) -> None:
+        expected = (self.k + 2, self.element_size)
+        if stripe.shape != expected or stripe.dtype != np.uint8:
+            raise GeometryError(
+                f"stripe must be uint8 {expected}, got {stripe.dtype} "
+                f"{stripe.shape}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} k={self.k} w={self.w} "
+            f"element_size={self.element_size}>"
+        )

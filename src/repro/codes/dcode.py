@@ -1,0 +1,203 @@
+"""D-Code — the paper's contribution (Fu & Shu, IPDPS 2015).
+
+A stripe is an ``n x n`` matrix over ``n`` disks (``n`` prime).  Data
+elements fill rows ``0..n-3`` and all parities live in the last two rows, so
+every disk carries exactly two parity elements (load balance) and every disk
+serves normal reads.  The two parity families are:
+
+**Horizontal parities** (row ``n-2``, paper equation (1)):
+
+.. math::
+
+    P_{n-2,i} = \\bigoplus_{j=0}^{n-3}
+        D_{\\langle\\frac{n-3}{2}(\\langle i+j+2\\rangle_n - j)\\rangle_{n-2},
+          \\;\\langle i+j+2\\rangle_n}
+
+Procedurally (the paper's 4 steps): number the data cells in row-major
+order; every run of ``n-2`` consecutive cells forms one group; the group
+whose last cell sits at column ``y`` stores its parity at
+``P(n-2, <y+1>_n)``.  Because groups are *runs of consecutive logical
+elements*, a contiguous partial-stripe write or degraded read touches very
+few horizontal groups — the property the paper's I/O results rest on.
+
+**Deployment parities** (row ``n-1``, paper equation (2)):
+
+.. math::
+
+    P_{n-1,i} = \\bigoplus_{j=0}^{n-3}
+        D_{\\langle\\frac{n-3}{2}(\\langle i-j-2\\rangle_n - j)\\rangle_{n-2},
+          \\;\\langle i-j-2\\rangle_n}
+
+Procedurally: walk the data cells in *deployment order* (start at
+``D(0,0)``; from ``D(i,j)`` step to the below-left cell
+``D(<i+1>_{n-2}, j-1)`` unless ``j = 0``, in which case step to the last
+cell of the current row ``D(i, n-1)``); every run of ``n-2`` consecutive
+cells in that order forms group ``g`` with parity ``P(n-1, <2(g+1)>_n)``.
+
+Theorem 1 of the paper shows D-Code is X-Code with each column's data
+reordered by ``row -> <(n-3)/2 * (col - row)>_{n-2}``; :func:`dcode_from_xcode`
+implements that construction and the test-suite confirms all three
+constructions coincide, which also transfers X-Code's MDS property
+(Theorem 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.codes.base import Cell, CodeLayout, ParityGroup
+from repro.codes.xcode import XCode
+from repro.util.validation import require, require_prime
+
+#: Parity family names used by this layout.
+HORIZONTAL = "horizontal"
+DEPLOYMENT = "deployment"
+
+
+def _closed_form_groups(n: int) -> List[ParityGroup]:
+    """Parity groups straight from the paper's equations (1) and (2)."""
+    half = (n - 3) // 2  # (n-3)/2 is integral because n is an odd prime
+    groups: List[ParityGroup] = []
+    for i in range(n):
+        members = []
+        for j in range(n - 2):
+            col = (i + j + 2) % n
+            row = (half * (col - j)) % (n - 2)
+            members.append(Cell(row, col))
+        groups.append(ParityGroup(Cell(n - 2, i), tuple(members), HORIZONTAL))
+    for i in range(n):
+        members = []
+        for j in range(n - 2):
+            col = (i - j - 2) % n
+            row = (half * (col - j)) % (n - 2)
+            members.append(Cell(row, col))
+        groups.append(ParityGroup(Cell(n - 1, i), tuple(members), DEPLOYMENT))
+    return groups
+
+
+def horizontal_order(n: int) -> List[Cell]:
+    """Data cells in the paper's *horizontal* (row-major) numbering."""
+    return [Cell(k // n, k % n) for k in range(n * (n - 2))]
+
+
+def deployment_order(n: int) -> List[Cell]:
+    """Data cells in the paper's *deployment* numbering.
+
+    Start at ``D(0,0)``; the successor of ``D(i,j)`` is the below-left cell
+    ``D(<i+1>_{n-2}, j-1)`` when ``j > 0``, otherwise the last cell of the
+    current row, ``D(i, n-1)``.
+    """
+    cells = [Cell(0, 0)]
+    for _ in range(n * (n - 2) - 1):
+        cur = cells[-1]
+        if cur.col == 0:
+            nxt = Cell(cur.row, n - 1)
+        else:
+            nxt = Cell((cur.row + 1) % (n - 2), cur.col - 1)
+        cells.append(nxt)
+    require(len(set(cells)) == len(cells),
+            f"deployment order is not a permutation for n={n}")
+    return cells
+
+
+def _procedural_groups(n: int) -> List[ParityGroup]:
+    """Parity groups from the paper's 4-step procedural descriptions."""
+    groups: List[ParityGroup] = []
+    horiz = horizontal_order(n)
+    for k in range(n):
+        run = horiz[k * (n - 2): (k + 1) * (n - 2)]
+        last = run[-1]
+        parity = Cell(n - 2, (last.col + 1) % n)
+        groups.append(ParityGroup(parity, tuple(run), HORIZONTAL))
+    deploy = deployment_order(n)
+    for g in range(n):
+        run = deploy[g * (n - 2): (g + 1) * (n - 2)]
+        parity = Cell(n - 1, (2 * (g + 1)) % n)
+        groups.append(ParityGroup(parity, tuple(run), DEPLOYMENT))
+    return groups
+
+
+def xcode_reorder_row(n: int, row: int, col: int) -> int:
+    """Theorem-1 row remapping: X-Code data cell ``(row, col)`` moves to this row."""
+    half = (n - 3) // 2
+    return (half * (col - row)) % (n - 2)
+
+
+def dcode_groups_from_xcode(n: int) -> List[ParityGroup]:
+    """Parity groups obtained by reordering X-Code columns (Theorem 1)."""
+    xcode = XCode(n)
+    family_map = {"diagonal": HORIZONTAL, "anti-diagonal": DEPLOYMENT}
+    groups: List[ParityGroup] = []
+    for g in xcode.groups:
+        members = tuple(
+            Cell(xcode_reorder_row(n, m.row, m.col), m.col) for m in g.members
+        )
+        groups.append(ParityGroup(g.parity, members, family_map[g.family]))
+    return groups
+
+
+class DCode(CodeLayout):
+    """D-Code layout over ``n`` disks (``n`` prime, ``n >= 5``).
+
+    ``construction`` selects which of the paper's three equivalent
+    definitions builds the parity groups — ``"closed-form"`` (equations
+    (1)/(2), the default), ``"procedural"`` (the 4-step description), or
+    ``"xcode-reorder"`` (Theorem 1).  All three produce identical layouts;
+    the option exists so the test-suite can cross-validate them.
+    """
+
+    CONSTRUCTIONS = ("closed-form", "procedural", "xcode-reorder")
+
+    def __init__(self, n: int, construction: str = "closed-form") -> None:
+        require_prime(n, "n", minimum=5)
+        require(construction in self.CONSTRUCTIONS,
+                f"construction must be one of {self.CONSTRUCTIONS}, "
+                f"got {construction!r}")
+        if construction == "closed-form":
+            groups = _closed_form_groups(n)
+        elif construction == "procedural":
+            groups = _procedural_groups(n)
+        else:
+            groups = dcode_groups_from_xcode(n)
+        data = horizontal_order(n)
+        super().__init__(
+            name="dcode",
+            p=n,
+            rows=n,
+            cols=n,
+            data_cells=data,
+            groups=groups,
+            description=(
+                "D-Code: horizontal parities over consecutive data runs plus "
+                "deployment parities, all parities in the last two rows"
+            ),
+        )
+        self.construction = construction
+        self._horizontal_group_of: Dict[Cell, int] = {}
+        self._deployment_group_of: Dict[Cell, int] = {}
+        for idx, g in enumerate(self.groups):
+            for m in g.members:
+                if g.family == HORIZONTAL:
+                    self._horizontal_group_of[m] = idx
+                else:
+                    self._deployment_group_of[m] = idx
+
+    # -- paper-specific accessors ------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """The defining prime (alias of ``p`` using the paper's letter)."""
+        return self.p
+
+    def horizontal_group_index(self, cell: Cell) -> int:
+        """Index into :attr:`groups` of the horizontal group covering ``cell``."""
+        return self._horizontal_group_of[cell]
+
+    def deployment_group_index(self, cell: Cell) -> int:
+        """Index into :attr:`groups` of the deployment group covering ``cell``."""
+        return self._deployment_group_of[cell]
+
+    def horizontal_run(self, group_number: int) -> Tuple[Cell, ...]:
+        """The ``group_number``-th run of consecutive logical data cells."""
+        require(0 <= group_number < self.n, "group_number out of range")
+        return self.groups[group_number].members

@@ -1,0 +1,279 @@
+"""Local Reconstruction Codes (Huang et al., USENIX ATC 2012).
+
+The Windows-Azure code from the paper's related work ([31]): ``k`` data
+blocks split into ``l`` local groups, each with one XOR **local parity**,
+plus ``r`` **global parities** computed as Cauchy-RS sums over all data.
+LRC is deliberately *not* MDS — it trades a little capacity for cheap
+single-failure repair: a lost data block needs only its local group
+(``k/l`` reads) instead of ``k`` reads.
+
+Fault tolerance: any ``r + 1`` failures are recoverable, plus many (not
+all) larger patterns — the famous "information-theoretically decodable"
+set.  The decoder here mirrors the production strategy: satisfy what it
+can with local XOR repairs first, then solve the residue through the
+global parities; it reports unrecoverable patterns loudly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+import numpy as np
+
+from repro.exceptions import DecodeError, GeometryError
+from repro.gf.gf256 import GF256
+from repro.gf.matrix import cauchy
+from repro.util.validation import require, require_positive
+
+
+def _gf256_solve(
+    coeff_rows: List[List[int]],
+    syndromes: List[np.ndarray],
+    element_size: int,
+) -> "List[np.ndarray] | None":
+    """Solve a GF(2^8) linear system with buffer-valued right-hand sides.
+
+    Returns one buffer per unknown, or ``None`` when rank deficient.
+    Gaussian elimination with the same row operations applied to the
+    syndrome buffers (XOR plus table-multiplies).
+    """
+    if not coeff_rows:
+        return None
+    rows = len(coeff_rows)
+    cols = len(coeff_rows[0])
+    a = [list(map(int, row)) for row in coeff_rows]
+    b = [s.copy() for s in syndromes]
+    pivot_of_col: List[int] = []
+    rank = 0
+    for col in range(cols):
+        pivot = next((r for r in range(rank, rows) if a[r][col]), None)
+        if pivot is None:
+            return None
+        a[rank], a[pivot] = a[pivot], a[rank]
+        b[rank], b[pivot] = b[pivot], b[rank]
+        inv = GF256.inv(a[rank][col])
+        if inv != 1:
+            a[rank] = [GF256.mul(inv, v) for v in a[rank]]
+            b[rank] = GF256.mul_block(inv, b[rank])
+        for r in range(rows):
+            if r != rank and a[r][col]:
+                factor = a[r][col]
+                a[r] = [
+                    v ^ GF256.mul(factor, w) for v, w in zip(a[r], a[rank])
+                ]
+                np.bitwise_xor(
+                    b[r], GF256.mul_block(factor, b[rank]), out=b[r]
+                )
+        pivot_of_col.append(rank)
+        rank += 1
+    return [b[pivot_of_col[c]] for c in range(cols)]
+
+
+class LocalReconstructionCode:
+    """LRC(k, l, r): ``k`` data + ``l`` local + ``r`` global parities.
+
+    Disk layout: data ``0..k-1`` (group ``g`` owns the contiguous slice of
+    size ``k/l``), local parities ``k..k+l-1``, global parities
+    ``k+l..k+l+r-1``.  Azure's production code is LRC(12, 2, 2).
+    """
+
+    def __init__(self, k: int, l: int, r: int,
+                 element_size: int = 4096) -> None:
+        require_positive(k, "k")
+        require_positive(l, "l")
+        require_positive(r, "r")
+        require(k % l == 0, f"l={l} must divide k={k}")
+        require(k + r <= 255, "k + r must fit GF(256) Cauchy points")
+        require_positive(element_size, "element_size")
+        self.k = k
+        self.l = l
+        self.r = r
+        self.element_size = element_size
+        self.group_size = k // l
+        self.coefficients = cauchy(list(range(r)),
+                                   list(range(r, r + k)))
+        self._rows = [
+            [GF256.mul_row_table(int(c)) for c in self.coefficients[row]]
+            for row in range(r)
+        ]
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def num_disks(self) -> int:
+        return self.k + self.l + self.r
+
+    def group_of(self, data_disk: int) -> int:
+        """Local group of a data disk."""
+        require(0 <= data_disk < self.k, f"no data disk {data_disk}")
+        return data_disk // self.group_size
+
+    def group_members(self, group: int) -> List[int]:
+        require(0 <= group < self.l, f"no group {group}")
+        lo = group * self.group_size
+        return list(range(lo, lo + self.group_size))
+
+    def local_parity_disk(self, group: int) -> int:
+        require(0 <= group < self.l, f"no group {group}")
+        return self.k + group
+
+    @property
+    def storage_efficiency(self) -> float:
+        return self.k / self.num_disks
+
+    def repair_cost_single_data_failure(self) -> int:
+        """Reads to repair one lost data block — LRC's selling point."""
+        return self.group_size  # group-mates + local parity, minus itself
+
+    # -- encode -----------------------------------------------------------------
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        self._check_data(data)
+        stripe = np.empty((self.num_disks, self.element_size),
+                          dtype=np.uint8)
+        stripe[: self.k] = data
+        for g in range(self.l):
+            members = self.group_members(g)
+            acc = data[members[0]].copy()
+            for d in members[1:]:
+                np.bitwise_xor(acc, data[d], out=acc)
+            stripe[self.local_parity_disk(g)] = acc
+        for row in range(self.r):
+            acc = self._rows[row][0][data[0]]
+            for j in range(1, self.k):
+                np.bitwise_xor(acc, self._rows[row][j][data[j]], out=acc)
+            stripe[self.k + self.l + row] = acc
+        return stripe
+
+    def parity_ok(self, stripe: np.ndarray) -> bool:
+        self._check_stripe(stripe)
+        fresh = self.encode(np.ascontiguousarray(stripe[: self.k]))
+        return bool(np.array_equal(fresh[self.k:], stripe[self.k:]))
+
+    # -- decode -----------------------------------------------------------------
+
+    def decode(self, stripe: np.ndarray, erased: Sequence[int]) -> List[int]:
+        """Rebuild erased disks in place.
+
+        Returns the order in which disks were repaired (local repairs
+        first).  Raises :class:`DecodeError` for patterns outside the
+        code's decodable set.
+        """
+        self._check_stripe(stripe)
+        lost: Set[int] = set(erased)
+        for d in lost:
+            if not 0 <= d < self.num_disks:
+                raise GeometryError(f"disk index {d} out of range")
+        repaired: List[int] = []
+
+        # phase 1: local XOR repairs, repeated to a fixpoint
+        progress = True
+        while progress:
+            progress = False
+            for g in range(self.l):
+                cells = self.group_members(g) + [self.local_parity_disk(g)]
+                missing = [d for d in cells if d in lost]
+                if len(missing) != 1:
+                    continue
+                target = missing[0]
+                acc = np.zeros(self.element_size, dtype=np.uint8)
+                for d in cells:
+                    if d != target:
+                        np.bitwise_xor(acc, stripe[d], out=acc)
+                stripe[target] = acc
+                lost.discard(target)
+                repaired.append(target)
+                progress = True
+
+        # phase 2: solve the remaining data jointly through *every*
+        # surviving parity equation — the local XOR rows participate too
+        # (three losses in one group decode from its local parity plus the
+        # two globals, which no per-group or globals-only pass can do)
+        lost_data = sorted(d for d in lost if d < self.k)
+        if lost_data:
+            index = {d: i for i, d in enumerate(lost_data)}
+            coeff_rows: List[List[int]] = []
+            syndromes: List[np.ndarray] = []
+            for g in range(self.l):
+                pdisk = self.local_parity_disk(g)
+                if pdisk in lost:
+                    continue
+                coeffs = [0] * len(lost_data)
+                syn = stripe[pdisk].copy()
+                relevant = False
+                for d in self.group_members(g):
+                    if d in index:
+                        coeffs[index[d]] = 1
+                        relevant = True
+                    else:
+                        np.bitwise_xor(syn, stripe[d], out=syn)
+                if relevant:
+                    coeff_rows.append(coeffs)
+                    syndromes.append(syn)
+            for row in range(self.r):
+                pdisk = self.k + self.l + row
+                if pdisk in lost:
+                    continue
+                coeffs = [0] * len(lost_data)
+                syn = stripe[pdisk].copy()
+                for j in range(self.k):
+                    if j in index:
+                        coeffs[index[j]] = int(self.coefficients[row, j])
+                    else:
+                        np.bitwise_xor(syn, self._rows[row][j][stripe[j]],
+                                       out=syn)
+                coeff_rows.append(coeffs)
+                syndromes.append(syn)
+            solution = _gf256_solve(coeff_rows, syndromes,
+                                    self.element_size)
+            if solution is None:
+                raise DecodeError(
+                    f"LRC({self.k},{self.l},{self.r}): pattern "
+                    f"{sorted(erased)} not decodable"
+                )
+            for disk, buf in zip(lost_data, solution):
+                stripe[disk] = buf
+                repaired.append(disk)
+            lost -= set(lost_data)
+
+        # phase 3: recompute any still-missing parities from full data
+        if lost:
+            fresh = self.encode(np.ascontiguousarray(stripe[: self.k]))
+            for d in sorted(lost):
+                stripe[d] = fresh[d]
+                repaired.append(d)
+        return repaired
+
+    def is_decodable(self, erased: Sequence[int]) -> bool:
+        """Whether :meth:`decode` would succeed (dry run on zeros)."""
+        probe = np.zeros((self.num_disks, self.element_size),
+                         dtype=np.uint8)
+        try:
+            self.decode(probe, erased)
+            return True
+        except DecodeError:
+            return False
+
+    # -- validation ---------------------------------------------------------------
+
+    def _check_data(self, data: np.ndarray) -> None:
+        expected = (self.k, self.element_size)
+        if data.shape != expected or data.dtype != np.uint8:
+            raise GeometryError(
+                f"data must be uint8 {expected}, got {data.dtype} "
+                f"{data.shape}"
+            )
+
+    def _check_stripe(self, stripe: np.ndarray) -> None:
+        expected = (self.num_disks, self.element_size)
+        if stripe.shape != expected or stripe.dtype != np.uint8:
+            raise GeometryError(
+                f"stripe must be uint8 {expected}, got {stripe.dtype} "
+                f"{stripe.shape}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<LocalReconstructionCode k={self.k} l={self.l} r={self.r} "
+            f"element_size={self.element_size}>"
+        )

@@ -1,0 +1,85 @@
+"""P-Code (Jin, Jiang & Zhou, 2009) — the other vertical code the paper's
+§II-A calls out for unbalanced parity placement.
+
+A stripe spans ``p - 1`` disks (``p`` prime), labelled ``1..p-1``.  Row 0
+holds one parity element per disk; the data region holds one element for
+every unordered pair ``{a, b} ⊂ {1..p-1}`` with ``a + b ≢ 0 (mod p)`` —
+the pair's element is stored on the disk labelled ``<a+b>_p``, and the
+parity of disk ``j`` is the XOR of every data element whose pair contains
+``j``.  Each of the ``(p-1)(p-3)/2`` data elements therefore sits in
+exactly two parity groups (update-optimal), and the code is MDS for prime
+``p`` — both facts verified exhaustively for p ∈ {5, 7, 11, 13} in the
+test-suite.
+
+Unlike D-Code/X-Code, P-Code's parities live in the *first* row and the
+stripe is shorter than it is wide; it has no horizontal family at all, so
+contiguous writes scatter across parity groups the same way X-Code's do.
+It participates in the extended comparisons but not in the paper's
+Figure 4–7 grids (the paper excludes it there too).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+from repro.codes.base import Cell, CodeLayout, ParityGroup
+from repro.util.validation import require_prime
+
+VERTICAL = "vertical"
+
+
+class PCode(CodeLayout):
+    """P-Code layout over ``p - 1`` disks (``p`` prime, ``p >= 5``)."""
+
+    def __init__(self, p: int) -> None:
+        require_prime(p, "p", minimum=5)
+        cols = p - 1
+        rows = 1 + (p - 3) // 2
+
+        pairs_by_col: Dict[int, List[Tuple[int, int]]] = {
+            j: [] for j in range(1, p)
+        }
+        for a, b in itertools.combinations(range(1, p), 2):
+            s = (a + b) % p
+            if s != 0:
+                pairs_by_col[s].append((a, b))
+
+        data: List[Cell] = []
+        pair_of: Dict[Cell, Tuple[int, int]] = {}
+        for j in range(1, p):
+            for r, pair in enumerate(sorted(pairs_by_col[j])):
+                cell = Cell(1 + r, j - 1)
+                data.append(cell)
+                pair_of[cell] = pair
+
+        groups: List[ParityGroup] = []
+        for j in range(1, p):
+            members = tuple(c for c in data if j in pair_of[c])
+            groups.append(ParityGroup(Cell(0, j - 1), members, VERTICAL))
+
+        super().__init__(
+            name="pcode",
+            p=p,
+            rows=rows,
+            cols=cols,
+            data_cells=data,
+            groups=groups,
+            description=(
+                "P-Code: pairwise-labelled vertical MDS RAID-6 with one "
+                "parity element per disk in the first row"
+            ),
+        )
+        self._pair_of = pair_of
+
+    def pair_label(self, cell: Cell) -> Tuple[int, int]:
+        """The ``{a, b}`` label of a data cell (the disks whose parities
+        cover it)."""
+        try:
+            return self._pair_of[cell]
+        except KeyError:
+            raise KeyError(f"{cell} is not a data cell of pcode") from None
+
+    def disk_label(self, col: int) -> int:
+        """P-Code's 1-based disk label for 0-based column ``col``."""
+        return col + 1

@@ -1,0 +1,69 @@
+"""RDP — Row-Diagonal Parity (Corbett et al., FAST 2004).
+
+The paper's representative *horizontal* baseline.  A stripe is ``p-1`` rows
+by ``p+1`` columns (``p`` prime): columns ``0..p-2`` hold data, column
+``p-1`` is the row-parity disk and column ``p`` the diagonal-parity disk.
+
+* Row parity: ``P(i, p-1) = XOR of the data cells in row i``.
+* Diagonal parity ``i`` (``0 <= i <= p-2``): XOR of every cell ``(r, c)``
+  with ``0 <= c <= p-1`` and ``(r + c) mod p == i`` — note the diagonals run
+  *through the row-parity column*, which is what gives RDP its optimal
+  encoding count, and is also why updating a data cell cascades into two
+  parity disks (its own diagonal plus the diagonal of its row parity).
+  Diagonal ``p-1`` is the "missing" diagonal and has no parity.
+
+The two dedicated parity disks never serve normal reads and absorb every
+partial-stripe-write update — the unbalanced-I/O behaviour the D-Code paper
+measures in its Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codes.base import Cell, CodeLayout, ParityGroup
+from repro.util.validation import require_prime
+
+ROW = "row"
+DIAGONAL = "diagonal"
+
+
+class RDP(CodeLayout):
+    """RDP layout over ``p + 1`` disks (``p`` prime, ``p >= 5``)."""
+
+    def __init__(self, p: int) -> None:
+        require_prime(p, "p", minimum=5)
+        rows = p - 1
+        data = [Cell(r, c) for r in range(rows) for c in range(p - 1)]
+        groups: List[ParityGroup] = []
+        for r in range(rows):
+            members = tuple(Cell(r, c) for c in range(p - 1))
+            groups.append(ParityGroup(Cell(r, p - 1), members, ROW))
+        for i in range(rows):
+            members = tuple(
+                Cell(r, c)
+                for r in range(rows)
+                for c in range(p)
+                if (r + c) % p == i
+            )
+            groups.append(ParityGroup(Cell(i, p), members, DIAGONAL))
+        super().__init__(
+            name="rdp",
+            p=p,
+            rows=rows,
+            cols=p + 1,
+            data_cells=data,
+            groups=groups,
+            description=(
+                "RDP: horizontal RAID-6 with a row-parity disk and a "
+                "diagonal-parity disk whose diagonals cross the row parities"
+            ),
+        )
+
+    @property
+    def row_parity_disk(self) -> int:
+        return self.p - 1
+
+    @property
+    def diagonal_parity_disk(self) -> int:
+        return self.p

@@ -1,0 +1,72 @@
+"""Name-based construction of code layouts.
+
+The evaluation sections of the paper sweep the same five codes over
+``p ∈ {5, 7, 11, 13}``; :data:`EVALUATION_CODES` lists them in the paper's
+plotting order so every figure harness iterates identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.codes.base import CodeLayout
+from repro.codes.dcode import DCode
+from repro.codes.evenodd import EvenOdd
+from repro.codes.hcode import HCode
+from repro.codes.hdp import HDPCode
+from repro.codes.pcode import PCode
+from repro.codes.rdp import RDP
+from repro.codes.xcode import XCode
+
+_BUILDERS: Dict[str, Callable[[int], CodeLayout]] = {
+    "dcode": DCode,
+    "xcode": XCode,
+    "rdp": RDP,
+    "evenodd": EvenOdd,
+    "hcode": HCode,
+    "hdp": HDPCode,
+    "pcode": PCode,
+}
+
+#: Disks used by each code when parameterised with prime ``p`` —
+#: the paper's §IV-A: RDP and H-Code span p+1 disks, HDP p-1, X-Code and
+#: D-Code p (EVENODD, an extra, spans p+2).
+_DISKS: Dict[str, Callable[[int], int]] = {
+    "dcode": lambda p: p,
+    "xcode": lambda p: p,
+    "rdp": lambda p: p + 1,
+    "evenodd": lambda p: p + 2,
+    "hcode": lambda p: p + 1,
+    "hdp": lambda p: p - 1,
+    "pcode": lambda p: p - 1,
+}
+
+#: The five codes of the paper's evaluation, in its plotting order.
+EVALUATION_CODES: Tuple[str, ...] = ("rdp", "hcode", "hdp", "xcode", "dcode")
+
+#: The primes every figure sweeps.
+EVALUATION_PRIMES: Tuple[int, ...] = (5, 7, 11, 13)
+
+
+def available_codes() -> Tuple[str, ...]:
+    """All registered layout names."""
+    return tuple(sorted(_BUILDERS))
+
+
+def make_code(name: str, p: int) -> CodeLayout:
+    """Build the layout ``name`` parameterised by prime ``p``."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown code {name!r}; available: {', '.join(available_codes())}"
+        ) from None
+    return builder(p)
+
+
+def disks_for(name: str, p: int) -> int:
+    """Number of disks code ``name`` spans at prime ``p``."""
+    try:
+        return _DISKS[name](p)
+    except KeyError:
+        raise ValueError(f"unknown code {name!r}") from None

@@ -1,0 +1,159 @@
+"""General Reed–Solomon erasure codec: ``k`` data + ``m`` parity disks.
+
+RAID-6 is the ``m = 2`` point of a family; beyond it (triple parity,
+wide-stripe cloud codes) the classic construction is a systematic code
+whose parity rows come from a **Cauchy matrix** — unlike the naive
+``[I | Vandermonde]`` stacking, every square submatrix of a Cauchy matrix
+is invertible, so the code is MDS for *any* ``m`` (the Vandermonde
+stacking is only safe for ``m ≤ 2``, a classic pitfall this module's
+tests demonstrate).  Arithmetic is GF(2^8), so ``k + m ≤ 256``.
+
+This generalises :class:`repro.codes.reed_solomon.ReedSolomonRAID6`
+(which keeps the traditional P+Q structure for the RAID-6 benchmarks);
+the D-Code paper's related work motivates both (Reed–Solomon and the
+Windows-Azure-style codes are its framing for general erasure coding).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import DecodeError, FaultToleranceExceeded, GeometryError
+from repro.gf.gf256 import GF256
+from repro.gf.matrix import cauchy, gf256_matinv
+from repro.util.validation import require, require_positive
+
+
+class GeneralReedSolomon:
+    """Systematic RS(k+m, k) over GF(2^8) with Cauchy parity rows."""
+
+    def __init__(self, k: int, m: int, element_size: int = 4096) -> None:
+        require_positive(k, "k")
+        require_positive(m, "m")
+        require(k >= 2, f"k must be >= 2, got {k}")
+        require(k + m <= 256, f"k + m must be <= 256, got {k + m}")
+        require_positive(element_size, "element_size")
+        self.k = k
+        self.m = m
+        self.element_size = element_size
+        # parity points 0..m-1, data points m..m+k-1 — disjoint by design
+        self.coefficients = cauchy(list(range(m)), list(range(m, m + k)))
+        self._rows = [
+            [GF256.mul_row_table(int(c)) for c in self.coefficients[r]]
+            for r in range(m)
+        ]
+
+    @property
+    def num_disks(self) -> int:
+        return self.k + self.m
+
+    @property
+    def fault_tolerance(self) -> int:
+        return self.m
+
+    # -- encode -----------------------------------------------------------
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``(k, element_size)`` data into ``(k+m, es)``."""
+        self._check_data(data)
+        stripe = np.empty((self.num_disks, self.element_size),
+                          dtype=np.uint8)
+        stripe[: self.k] = data
+        for r in range(self.m):
+            acc = self._rows[r][0][data[0]]
+            for j in range(1, self.k):
+                np.bitwise_xor(acc, self._rows[r][j][data[j]], out=acc)
+            stripe[self.k + r] = acc
+        return stripe
+
+    def parity_ok(self, stripe: np.ndarray) -> bool:
+        self._check_stripe(stripe)
+        fresh = self.encode(np.ascontiguousarray(stripe[: self.k]))
+        return bool(np.array_equal(fresh[self.k:], stripe[self.k:]))
+
+    # -- decode -----------------------------------------------------------
+
+    def decode(self, stripe: np.ndarray, erased: Sequence[int]) -> np.ndarray:
+        """Rebuild up to ``m`` erased disks in place."""
+        self._check_stripe(stripe)
+        lost = sorted(set(erased))
+        for d in lost:
+            if not 0 <= d < self.num_disks:
+                raise GeometryError(f"disk index {d} out of range")
+        if len(lost) > self.m:
+            raise FaultToleranceExceeded(
+                f"RS(k={self.k}, m={self.m}) tolerates {self.m} erasures, "
+                f"got {len(lost)}"
+            )
+        lost_data = [d for d in lost if d < self.k]
+        lost_parity = [d for d in lost if d >= self.k]
+        if lost_data:
+            self._solve_data(stripe, lost_data, lost_parity)
+        if lost_parity:
+            fresh = self.encode(np.ascontiguousarray(stripe[: self.k]))
+            for d in lost_parity:
+                stripe[d] = fresh[d]
+        return stripe
+
+    def _solve_data(
+        self,
+        stripe: np.ndarray,
+        lost_data: List[int],
+        lost_parity: List[int],
+    ) -> None:
+        surviving = [
+            r for r in range(self.m) if self.k + r not in lost_parity
+        ]
+        if len(surviving) < len(lost_data):
+            raise DecodeError(
+                f"not enough surviving parity ({len(surviving)}) to "
+                f"recover {len(lost_data)} data disks"
+            )
+        rows = surviving[: len(lost_data)]
+        syndromes = []
+        for r in rows:
+            syn = stripe[self.k + r].copy()
+            for j in range(self.k):
+                if j in lost_data:
+                    continue
+                np.bitwise_xor(syn, self._rows[r][j][stripe[j]], out=syn)
+            syndromes.append(syn)
+        sub = np.array(
+            [[self.coefficients[r, j] for j in lost_data] for r in rows],
+            dtype=np.uint8,
+        )
+        inv = gf256_matinv(sub)
+        for out_idx, disk in enumerate(lost_data):
+            acc = np.zeros(self.element_size, dtype=np.uint8)
+            for s_idx in range(len(rows)):
+                coef = int(inv[out_idx, s_idx])
+                np.bitwise_xor(
+                    acc, GF256.mul_block(coef, syndromes[s_idx]), out=acc
+                )
+            stripe[disk] = acc
+
+    # -- validation ---------------------------------------------------------
+
+    def _check_data(self, data: np.ndarray) -> None:
+        expected = (self.k, self.element_size)
+        if data.shape != expected or data.dtype != np.uint8:
+            raise GeometryError(
+                f"data must be uint8 {expected}, got {data.dtype} "
+                f"{data.shape}"
+            )
+
+    def _check_stripe(self, stripe: np.ndarray) -> None:
+        expected = (self.num_disks, self.element_size)
+        if stripe.shape != expected or stripe.dtype != np.uint8:
+            raise GeometryError(
+                f"stripe must be uint8 {expected}, got {stripe.dtype} "
+                f"{stripe.shape}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<GeneralReedSolomon k={self.k} m={self.m} "
+            f"element_size={self.element_size}>"
+        )

@@ -1,0 +1,125 @@
+"""Code shortening: arbitrary disk counts from prime-parameterised codes.
+
+Array codes fix their disk count to a function of a prime (RDP spans
+``p+1`` disks, EVENODD ``p+2``).  Deployments with other array widths use
+the standard *shortening* trick: build the code at a larger prime and
+treat some all-data columns as permanently zero.  Zero columns contribute
+nothing to any XOR, so they can simply be removed from the geometry — the
+result keeps the original's fault tolerance (erasing a real column of the
+shortened code is the same erasure in the parent with the virtual columns
+intact).
+
+Only columns that hold *data only* may be dropped; removing a parity cell
+would remove an equation.  That limits shortening to the horizontal codes
+(RDP, EVENODD, and H-Code's column 0) — the vertical codes spread parity
+over every column, which is exactly why the original papers (and the
+D-Code paper's related work) treat prime-only sizing as the cost of
+vertical layouts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.codes.base import Cell, CodeLayout, ParityGroup
+from repro.codes.registry import make_code
+from repro.exceptions import GeometryError
+from repro.util.primes import next_prime
+from repro.util.validation import require
+
+
+def shortenable_columns(layout: CodeLayout) -> List[int]:
+    """Columns holding only data cells — the ones shortening may drop."""
+    return [
+        col
+        for col in range(layout.cols)
+        if all(layout.is_data(c) for c in layout.cells_in_column(col))
+    ]
+
+
+def shorten(layout: CodeLayout, drop_cols: Sequence[int]) -> CodeLayout:
+    """Remove all-data columns from a layout (treating them as zero).
+
+    Raises :class:`GeometryError` when a requested column carries parity
+    or does not exist.  Dropping nothing returns an equivalent layout.
+    """
+    drops = sorted(set(drop_cols))
+    allowed = set(shortenable_columns(layout))
+    for col in drops:
+        if not 0 <= col < layout.cols:
+            raise GeometryError(f"column {col} does not exist")
+        if col not in allowed:
+            raise GeometryError(
+                f"column {col} of {layout.name} carries parity and "
+                "cannot be shortened away"
+            )
+    require(len(drops) < len(allowed),
+            "shortening must leave at least one data column")
+
+    drop_set = set(drops)
+    # old column index -> new contiguous index
+    remap = {}
+    new_col = 0
+    for col in range(layout.cols):
+        if col not in drop_set:
+            remap[col] = new_col
+            new_col += 1
+
+    data = [
+        Cell(c.row, remap[c.col])
+        for c in layout.data_cells
+        if c.col not in drop_set
+    ]
+    groups = []
+    for g in layout.groups:
+        members = tuple(
+            Cell(m.row, remap[m.col])
+            for m in g.members
+            if m.col not in drop_set
+        )
+        parity = Cell(g.parity.row, remap[g.parity.col])
+        groups.append(ParityGroup(parity, members, g.family))
+
+    return CodeLayout(
+        name=f"{layout.name}-short{len(drops)}",
+        p=layout.p,
+        rows=layout.rows,
+        cols=layout.cols - len(drops),
+        data_cells=data,
+        groups=groups,
+        chain_decodable=layout.chain_decodable,
+        description=(
+            f"{layout.name} at p={layout.p} shortened by columns "
+            f"{drops} (virtual zero disks)"
+        ),
+    )
+
+
+#: Disk-count formula per shortenable base code.
+_BASE_DISKS = {"rdp": lambda p: p + 1, "evenodd": lambda p: p + 2}
+
+
+def make_shortened(name: str, num_disks: int) -> CodeLayout:
+    """Build ``name`` ("rdp" or "evenodd") at exactly ``num_disks`` disks.
+
+    Picks the smallest admissible prime and shortens the surplus all-data
+    columns (highest indices first).  When the count fits a prime exactly,
+    the unshortened layout is returned.
+    """
+    try:
+        disks_of = _BASE_DISKS[name]
+    except KeyError:
+        raise ValueError(
+            f"only {sorted(_BASE_DISKS)} support shortening, got {name!r}"
+        ) from None
+    require(num_disks >= 4, f"RAID-6 needs >= 4 disks, got {num_disks}")
+
+    p = 5
+    while disks_of(p) < num_disks:
+        p = next_prime(p)
+    layout = make_code(name, p)
+    surplus = disks_of(p) - num_disks
+    if surplus == 0:
+        return layout
+    candidates = shortenable_columns(layout)
+    return shorten(layout, candidates[-surplus:])

@@ -1,0 +1,70 @@
+"""X-Code (Xu & Bruck, 1999) — the vertical baseline D-Code reorders.
+
+A stripe is a ``p x p`` matrix over ``p`` disks (``p`` prime).  Data
+elements fill rows ``0..p-3``; row ``p-2`` holds diagonal parities and row
+``p-1`` anti-diagonal parities:
+
+.. math::
+
+    P_{p-2,i} = \\bigoplus_{j=0}^{p-3} D_{j,\\langle i+j+2\\rangle_p}
+    \\qquad
+    P_{p-1,i} = \\bigoplus_{j=0}^{p-3} D_{j,\\langle i-j-2\\rangle_p}
+
+(the paper's equations (4) and (5)).  X-Code is MDS with fault tolerance
+exactly two iff ``p`` is prime, and D-Code inherits that property through
+the per-column reordering of the paper's Theorem 1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codes.base import Cell, CodeLayout, ParityGroup
+from repro.util.validation import require_prime
+
+#: Parity family names used by this layout.
+DIAGONAL = "diagonal"
+ANTI_DIAGONAL = "anti-diagonal"
+
+
+class XCode(CodeLayout):
+    """X-Code layout over ``p`` disks (``p`` prime, ``p >= 5``)."""
+
+    def __init__(self, p: int) -> None:
+        require_prime(p, "p", minimum=5)
+        data = [Cell(r, c) for r in range(p - 2) for c in range(p)]
+        groups: List[ParityGroup] = []
+        for i in range(p):
+            members = tuple(
+                Cell(j, (i + j + 2) % p) for j in range(p - 2)
+            )
+            groups.append(ParityGroup(Cell(p - 2, i), members, DIAGONAL))
+        for i in range(p):
+            members = tuple(
+                Cell(j, (i - j - 2) % p) for j in range(p - 2)
+            )
+            groups.append(ParityGroup(Cell(p - 1, i), members, ANTI_DIAGONAL))
+        super().__init__(
+            name="xcode",
+            p=p,
+            rows=p,
+            cols=p,
+            data_cells=data,
+            groups=groups,
+            description=(
+                "X-Code: vertical MDS RAID-6 with diagonal and anti-diagonal "
+                "parities evenly distributed in the last two rows"
+            ),
+        )
+
+    def diagonal_of(self, cell: Cell) -> int:
+        """Index ``i`` of the diagonal parity group covering a data cell."""
+        if not self.is_data(cell):
+            raise ValueError(f"{cell} is not a data cell")
+        return (cell.col - cell.row - 2) % self.p
+
+    def anti_diagonal_of(self, cell: Cell) -> int:
+        """Index ``i`` of the anti-diagonal parity group covering a data cell."""
+        if not self.is_data(cell):
+            raise ValueError(f"{cell} is not a data cell")
+        return (cell.col + cell.row + 2) % self.p

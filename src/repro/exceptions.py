@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro library.
+
+Everything raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GeometryError(ReproError, ValueError):
+    """A stripe geometry or cell coordinate is invalid."""
+
+
+class DecodeError(ReproError):
+    """Erasure decoding failed (too many failures, or a stuck chain)."""
+
+    def __init__(self, message: str, unrecovered=()):
+        super().__init__(message)
+        #: Cells that could not be recovered (possibly empty).
+        self.unrecovered = tuple(unrecovered)
+
+
+class FaultToleranceExceeded(DecodeError):
+    """More concurrent failures than the code tolerates."""
+
+
+class InconsistentStripeError(ReproError):
+    """Parity does not match data — silent corruption, never auto-repaired."""
+
+
+class DiskFailedError(ReproError):
+    """An I/O was issued against a disk marked failed."""
+
+
+class LatentSectorError(ReproError):
+    """A read hit an unreadable sector (medium error) on a live disk."""
+
+    def __init__(self, disk_id: int, offset: int):
+        super().__init__(
+            f"latent sector error on disk {disk_id} at offset {offset}"
+        )
+        self.disk_id = disk_id
+        self.offset = offset
+
+
+class AddressError(ReproError, ValueError):
+    """A logical address or length falls outside the volume."""

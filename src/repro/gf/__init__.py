@@ -1,0 +1,25 @@
+"""Finite-field arithmetic substrates.
+
+* :mod:`repro.gf.gf256` — GF(2^8) scalar and vectorised arithmetic used by
+  the Reed–Solomon baseline.
+* :mod:`repro.gf.matrix` — dense matrix algebra (multiply, invert) over
+  GF(2^8).
+* :mod:`repro.gf.bitmatrix` — GF(2) bit-matrices and Gaussian elimination,
+  used by the Cauchy-RS bitmatrix construction and by the generic erasure
+  decoding oracle.
+"""
+
+from repro.gf.bitmatrix import BitMatrix, gf2_rank, gf2_solve
+from repro.gf.gf256 import GF256
+from repro.gf.matrix import gf256_identity, gf256_matinv, gf256_matmul, gf256_matvec
+
+__all__ = [
+    "BitMatrix",
+    "GF256",
+    "gf2_rank",
+    "gf2_solve",
+    "gf256_identity",
+    "gf256_matinv",
+    "gf256_matmul",
+    "gf256_matvec",
+]

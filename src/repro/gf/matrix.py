@@ -1,0 +1,102 @@
+"""Dense matrix algebra over GF(2^8).
+
+Matrices are small (erasure-decoding systems are at most a few dozen rows),
+so clarity wins over vectorisation here; the per-*byte* hot path lives in
+:meth:`repro.gf.gf256.GF256.mul_block`, not in these matrix helpers.
+Matrices are ``uint8`` numpy 2-D arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.gf256 import GF256
+
+
+def gf256_identity(n: int) -> np.ndarray:
+    """The ``n x n`` identity matrix over GF(2^8)."""
+    return np.eye(n, dtype=np.uint8)
+
+
+def gf256_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2^8)."""
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for i in range(a.shape[0]):
+        for j in range(b.shape[1]):
+            acc = 0
+            for k in range(a.shape[1]):
+                acc ^= GF256.mul(int(a[i, k]), int(b[k, j]))
+            out[i, j] = acc
+    return out
+
+
+def gf256_matvec(a: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Matrix–vector product over GF(2^8)."""
+    return gf256_matmul(a, v.reshape(-1, 1)).reshape(-1)
+
+
+def gf256_matinv(a: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(2^8) by Gauss–Jordan elimination.
+
+    Raises :class:`ValueError` when the matrix is singular — for an MDS
+    generator matrix this signals a bug, not a data condition.
+    """
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"matrix must be square, got shape {a.shape}")
+    n = a.shape[0]
+    work = a.astype(np.uint8).copy()
+    inv = gf256_identity(n)
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if work[r, col]), None)
+        if pivot is None:
+            raise ValueError("singular matrix over GF(256)")
+        if pivot != col:
+            work[[col, pivot]] = work[[pivot, col]]
+            inv[[col, pivot]] = inv[[pivot, col]]
+        scale = GF256.inv(int(work[col, col]))
+        for j in range(n):
+            work[col, j] = GF256.mul(int(work[col, j]), scale)
+            inv[col, j] = GF256.mul(int(inv[col, j]), scale)
+        for r in range(n):
+            if r == col or not work[r, col]:
+                continue
+            factor = int(work[r, col])
+            for j in range(n):
+                work[r, j] ^= GF256.mul(factor, int(work[col, j]))
+                inv[r, j] ^= GF256.mul(factor, int(inv[col, j]))
+    return inv
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """Vandermonde matrix ``V[i, j] = (j+1)^i`` over GF(2^8).
+
+    Any ``rows`` distinct evaluation points give an invertible square
+    submatrix, which is what makes the classic Reed–Solomon construction
+    MDS.
+    """
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for j in range(cols):
+        x = j + 1
+        for i in range(rows):
+            out[i, j] = GF256.pow(x, i)
+    return out
+
+
+def cauchy(xs: list, ys: list) -> np.ndarray:
+    """Cauchy matrix ``C[i, j] = 1 / (xs[i] + ys[j])`` over GF(2^8).
+
+    ``xs`` and ``ys`` must be disjoint lists of distinct field elements;
+    every square submatrix of a Cauchy matrix is invertible, which is the
+    MDS property Cauchy-RS builds on.
+    """
+    if set(xs) & set(ys):
+        raise ValueError("xs and ys must be disjoint")
+    if len(set(xs)) != len(xs) or len(set(ys)) != len(ys):
+        raise ValueError("xs and ys must each be distinct")
+    out = np.zeros((len(xs), len(ys)), dtype=np.uint8)
+    for i, x in enumerate(xs):
+        for j, y in enumerate(ys):
+            out[i, j] = GF256.inv(x ^ y)
+    return out

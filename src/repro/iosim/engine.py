@@ -1,0 +1,407 @@
+"""Mapping workload operations to per-disk element accesses.
+
+This is the simulator behind the paper's Figures 4 and 5.  For every
+operation it computes exactly which elements each disk must read or write:
+
+* **normal read** — the addressed data cells, one access each (parity disks
+  serve nothing, which is what starves RDP's and H-Code's parity disks and
+  blows up their load-balancing factor);
+* **degraded read** — surviving addressed cells plus, for each lost cell,
+  the cheapest recovery set: among the parity groups covering the cell,
+  pick the one whose members are not themselves failed and that adds the
+  fewest elements beyond what the operation already fetched.  Contiguous
+  reads in D-Code overlap their horizontal groups heavily, which is the
+  mechanism behind the paper's degraded-read win over X-Code;
+* **partial-stripe write** — read-modify-write: read the old data cells and
+  every (transitively) affected parity cell, then write them all back.
+  Parity groups that cover other parity cells (RDP, HDP) cascade.  A write
+  covering a whole stripe skips the old-value reads and writes the full
+  stripe (reconstruct-write).
+
+Counts are multiplied by the operation's repeat factor ``T`` instead of
+looping, so 2000-op workloads with ``T`` up to 1000 evaluate in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.codes.base import Cell, CodeLayout
+from repro.codec.decoder import RecoveryStep, plan_chain_recovery, plan_slice
+from repro.codec.encoder import _toposort_groups
+from repro.iosim.request import Operation
+from repro.iosim.workloads import Workload
+from repro.util.validation import require, require_positive
+
+
+@dataclass
+class DiskLoads:
+    """Per-disk access tallies accumulated over a workload."""
+
+    reads: np.ndarray
+    writes: np.ndarray
+
+    @classmethod
+    def zeros(cls, num_disks: int) -> "DiskLoads":
+        return cls(np.zeros(num_disks, dtype=np.int64),
+                   np.zeros(num_disks, dtype=np.int64))
+
+    @property
+    def total(self) -> np.ndarray:
+        """Total accesses per disk (reads + writes) — the paper's ``L(i)``."""
+        return self.reads + self.writes
+
+    @property
+    def cost(self) -> int:
+        """Total I/O accesses over all disks — the paper's ``Cost``."""
+        return int(self.total.sum())
+
+    def __iadd__(self, other: "DiskLoads") -> "DiskLoads":
+        self.reads += other.reads
+        self.writes += other.writes
+        return self
+
+
+@dataclass(frozen=True)
+class StripeReadPlan:
+    """Executable read plan for one stripe of a (possibly degraded) read.
+
+    ``fetch`` — cells to read from disk.  ``recipe`` — ordered XOR steps
+    rebuilding lost cells from fetched/previously-rebuilt cells; ``None``
+    means the loss pattern needs algebraic decoding over the fetched set
+    (the EVENODD fallback).  ``lost`` — the wanted cells that need
+    rebuilding (empty for healthy stripes).
+    """
+
+    stripe: int
+    fetch: "frozenset[Cell]"
+    recipe: Optional[Tuple[RecoveryStep, ...]]
+    lost: Tuple[Cell, ...]
+
+    @property
+    def needs_decode(self) -> bool:
+        return bool(self.lost)
+
+
+class AccessEngine:
+    """Counts the element accesses a layout incurs for each operation.
+
+    ``num_stripes`` sizes the logical address space
+    (``num_stripes * layout.num_data_cells`` elements); operations wrap
+    modulo that space.  ``failed_disk`` switches reads to degraded mode.
+    ``rotate`` shifts the logical-to-physical column mapping by one per
+    stripe (classic RAID-5-style parity rotation), kept as an ablation —
+    the paper's §I notes rotation cannot fix intra-stripe imbalance.
+    """
+
+    #: Partial-stripe write policies: read-modify-write (patch the touched
+    #: parities), reconstruct-write (read the *untouched* data instead and
+    #: re-encode), or adaptive (whichever costs fewer accesses, the choice
+    #: a real controller makes per request).
+    WRITE_POLICIES = ("rmw", "reconstruct", "adaptive")
+
+    def __init__(
+        self,
+        layout: CodeLayout,
+        num_stripes: int = 64,
+        failed_disk: Optional[int] = None,
+        rotate: bool = False,
+        write_policy: str = "rmw",
+        failed_disks: Sequence[int] = (),
+    ) -> None:
+        require_positive(num_stripes, "num_stripes")
+        failures = set(failed_disks)
+        if failed_disk is not None:
+            failures.add(failed_disk)
+        for disk in failures:
+            require(0 <= disk < layout.cols,
+                    f"failed disk must be in [0, {layout.cols}), "
+                    f"got {disk}")
+        require(len(failures) <= 2,
+                f"RAID-6 degraded mode supports at most 2 failed disks, "
+                f"got {len(failures)}")
+        require(write_policy in self.WRITE_POLICIES,
+                f"write_policy must be one of {self.WRITE_POLICIES}, "
+                f"got {write_policy!r}")
+        self.layout = layout
+        self.num_stripes = num_stripes
+        self.failed_disks: Tuple[int, ...] = tuple(sorted(failures))
+        self.failed_disk = (
+            self.failed_disks[0] if len(self.failed_disks) == 1 else None
+        )
+        self.rotate = rotate
+        self.write_policy = write_policy
+        self._encode_order = _toposort_groups(layout)
+        #: family order for deterministic tie-breaks in recovery selection
+        self._family_rank = {f: i for i, f in enumerate(layout.families())}
+        #: cached double-failure chain plans, keyed by layout column pair
+        self._double_plans: Dict[Tuple[int, int], object] = {}
+
+    # -- addressing -----------------------------------------------------------
+
+    @property
+    def address_space(self) -> int:
+        """Number of addressable logical data elements."""
+        return self.num_stripes * self.layout.num_data_cells
+
+    def locate(self, logical: int) -> Tuple[int, Cell]:
+        """Map a logical element to ``(stripe_index, cell)`` (modulo space)."""
+        logical %= self.address_space
+        per = self.layout.num_data_cells
+        return logical // per, self.layout.data_cell(logical % per)
+
+    def physical_disk(self, stripe: int, col: int) -> int:
+        """Physical disk holding column ``col`` of stripe ``stripe``."""
+        if self.rotate:
+            return (col + stripe) % self.layout.cols
+        return col
+
+    def failed_column(self, stripe: int) -> Optional[int]:
+        """Layout column of ``stripe`` on the failed disk (single-failure
+        helper; ``None`` when healthy or doubly degraded)."""
+        if len(self.failed_disks) != 1:
+            return None
+        if self.rotate:
+            return (self.failed_disks[0] - stripe) % self.layout.cols
+        return self.failed_disks[0]
+
+    def failed_columns(self, stripe: int) -> Tuple[int, ...]:
+        """Layout columns of ``stripe`` sitting on failed disks."""
+        if self.rotate:
+            return tuple(
+                sorted((f - stripe) % self.layout.cols
+                       for f in self.failed_disks)
+            )
+        return self.failed_disks
+
+    def _range_by_stripe(
+        self, start: int, length: int
+    ) -> List[Tuple[int, List[Cell]]]:
+        """Split a logical range into per-stripe cell lists, in order."""
+        out: List[Tuple[int, List[Cell]]] = []
+        for logical in range(start, start + length):
+            stripe, cell = self.locate(logical)
+            if out and out[-1][0] == stripe:
+                out[-1][1].append(cell)
+            else:
+                out.append((stripe, [cell]))
+        return out
+
+    # -- reads ------------------------------------------------------------------
+
+    def read_accesses(self, start: int, length: int) -> DiskLoads:
+        """Per-disk accesses of one execution of a read ``<S, L, 1>``."""
+        loads = DiskLoads.zeros(self.layout.cols)
+        for stripe, fetched in self.read_fetch_sets(start, length):
+            for cell in fetched:
+                loads.reads[self.physical_disk(stripe, cell.col)] += 1
+        return loads
+
+    def read_fetch_sets(
+        self, start: int, length: int
+    ) -> List[Tuple[int, Set[Cell]]]:
+        """Per-stripe cells fetched from disk for a read ``<S, L>``.
+
+        In degraded mode the sets include reconstruction reads; the timing
+        model (:mod:`repro.perf`) consumes these to price the request.
+        """
+        return [
+            (plan.stripe, set(plan.fetch))
+            for plan in self.stripe_read_plans(start, length)
+        ]
+
+    def stripe_read_plans(
+        self, start: int, length: int
+    ) -> List["StripeReadPlan"]:
+        """Executable per-stripe read plans for ``<S, L>``.
+
+        Each plan names the cells to fetch from disk and, in degraded
+        mode, the ordered XOR recipe rebuilding the lost wanted cells
+        from them.  :class:`~repro.array.volume.RAID6Volume` executes
+        these plans verbatim, so the simulator's Figure-4/5/6/7 counts
+        and the volume's real disk counters agree by construction.
+        """
+        return [
+            self._plan_stripe_read(stripe, wanted)
+            for stripe, wanted in self._range_by_stripe(start, length)
+        ]
+
+    def _stripe_read_set(self, stripe: int, wanted: Sequence[Cell]) -> Set[Cell]:
+        """Cells actually fetched from disk to serve ``wanted`` in a stripe."""
+        return set(self._plan_stripe_read(stripe, wanted).fetch)
+
+    def _plan_stripe_read(
+        self, stripe: int, wanted: Sequence[Cell]
+    ) -> "StripeReadPlan":
+        cols = self.failed_columns(stripe)
+        if len(cols) == 0:
+            return StripeReadPlan(stripe, frozenset(wanted), (), ())
+        if len(cols) == 2:
+            return self._plan_double_failure(stripe, wanted, cols)
+        failed_col = cols[0]
+        fetched: Set[Cell] = {c for c in wanted if c.col != failed_col}
+        lost = [c for c in wanted if c.col == failed_col]
+        recovered: Set[Cell] = set()
+        recipe: List[RecoveryStep] = []
+        for cell in lost:
+            best: Optional[Set[Cell]] = None
+            best_key = None
+            best_group = None
+            for group in self.layout.groups_covering(cell):
+                needed = {c for c in group.cells if c != cell}
+                if any(c.col == failed_col for c in needed):
+                    continue  # group unusable: relies on another lost cell
+                extra = needed - fetched - recovered
+                key = (len(extra), self._family_rank[group.family],
+                       group.parity)
+                if best_key is None or key < best_key:
+                    best, best_key, best_group = extra, key, group
+            if best is None:
+                # no single-group recovery (possible for EVENODD's coupled
+                # diagonals): fall back to reading every surviving cell
+                # and decoding the whole loss set algebraically
+                survivors = {
+                    c
+                    for col in range(self.layout.cols)
+                    if col != failed_col
+                    for c in self.layout.cells_in_column(col)
+                }
+                return StripeReadPlan(
+                    stripe, frozenset(fetched | survivors), None,
+                    tuple(lost),
+                )
+            fetched |= best
+            recovered.add(cell)
+            recipe.append(RecoveryStep(cell, best_group))
+        return StripeReadPlan(stripe, frozenset(fetched), tuple(recipe),
+                              tuple(lost))
+
+    def _plan_double_failure(
+        self, stripe: int, wanted: Sequence[Cell], cols: Tuple[int, int]
+    ) -> "StripeReadPlan":
+        """Read plan under two concurrent failures.
+
+        Chain-decodable codes reconstruct through the cached column-pair
+        plan, charged only for the *slice* that rebuilds the wanted lost
+        cells; non-chain codes (EVENODD) read every surviving cell.
+        """
+        lost_cols = set(cols)
+        fetched: Set[Cell] = {c for c in wanted if c.col not in lost_cols}
+        lost = [c for c in wanted if c.col in lost_cols]
+        if not lost:
+            return StripeReadPlan(stripe, frozenset(fetched), (), ())
+        if not self.layout.chain_decodable:
+            survivors = {
+                c
+                for col in range(self.layout.cols)
+                if col not in lost_cols
+                for c in self.layout.cells_in_column(col)
+            }
+            return StripeReadPlan(
+                stripe, frozenset(fetched | survivors), None, tuple(lost)
+            )
+        plan = self._double_plans.get(cols)
+        if plan is None:
+            from repro.codes.base import column_failure_cells
+
+            plan = plan_chain_recovery(
+                self.layout, column_failure_cells(self.layout, cols)
+            )
+            if plan is None:
+                raise ValueError(
+                    f"{self.layout.name} cannot chain-recover columns "
+                    f"{cols}"
+                )
+            self._double_plans[cols] = plan
+        steps, disk_reads = plan_slice(plan, lost)
+        return StripeReadPlan(
+            stripe, frozenset(fetched | set(disk_reads)), tuple(steps),
+            tuple(lost),
+        )
+
+    # -- writes -----------------------------------------------------------------
+
+    def write_accesses(self, start: int, length: int) -> DiskLoads:
+        """Per-disk accesses of one execution of a write ``<S, L, 1>``."""
+        loads = DiskLoads.zeros(self.layout.cols)
+        for stripe, reads, writes in self.write_io_sets(start, length):
+            for cell in reads:
+                loads.reads[self.physical_disk(stripe, cell.col)] += 1
+            for cell in writes:
+                loads.writes[self.physical_disk(stripe, cell.col)] += 1
+        return loads
+
+    def write_io_sets(
+        self, start: int, length: int
+    ) -> List[Tuple[int, Set[Cell], Set[Cell]]]:
+        """Per-stripe ``(stripe, cells read, cells written)`` for a write.
+
+        Cells on a failed disk are dropped from both sets (the disk is
+        gone); the timing model consumes these to price write requests.
+        """
+        out: List[Tuple[int, Set[Cell], Set[Cell]]] = []
+        for stripe, targets in self._range_by_stripe(start, length):
+            lost_cols = set(self.failed_columns(stripe))
+            reads, writes = self._stripe_write_sets(set(targets))
+            if lost_cols:
+                reads = {c for c in reads if c.col not in lost_cols}
+                writes = {c for c in writes if c.col not in lost_cols}
+            out.append((stripe, reads, writes))
+        return out
+
+    def _stripe_write_sets(
+        self, targets: Set[Cell]
+    ) -> Tuple[Set[Cell], Set[Cell]]:
+        """(cells read, cells written) for a partial write of ``targets``."""
+        affected = self.affected_parities(targets)
+        if len(targets) == self.layout.num_data_cells:
+            # full-stripe write: encode fresh, no old values needed
+            return set(), targets | affected
+        rmw_reads = targets | affected
+        rmw = (set(rmw_reads), set(rmw_reads))
+        if self.write_policy == "rmw":
+            return rmw
+        # reconstruct-write: read the untouched data, rewrite targets and
+        # every parity of the stripe (they are all re-encoded)
+        untouched = set(self.layout.data_cells) - targets
+        all_parities = set(self.layout.parity_cells)
+        reconstruct = (untouched, targets | all_parities)
+        if self.write_policy == "reconstruct":
+            return reconstruct
+        # adaptive: fewer total accesses wins; tie goes to RMW (it leaves
+        # untouched parities alone, which is gentler on dedicated disks)
+        rmw_cost = len(rmw[0]) + len(rmw[1])
+        rec_cost = len(reconstruct[0]) + len(reconstruct[1])
+        return rmw if rmw_cost <= rec_cost else reconstruct
+
+    def affected_parities(self, targets: Iterable[Cell]) -> Set[Cell]:
+        """Parity cells dirtied by writing ``targets`` (cascades included)."""
+        changed: Set[Cell] = set(targets)
+        affected: Set[Cell] = set()
+        for group in self._encode_order:
+            if any(m in changed for m in group.members):
+                changed.add(group.parity)
+                affected.add(group.parity)
+        return affected
+
+    # -- workload driver -----------------------------------------------------------
+
+    def apply(self, op: Operation, loads: DiskLoads) -> None:
+        """Accumulate one operation (×its repeat count) into ``loads``."""
+        if op.is_read:
+            once = self.read_accesses(op.start, op.length)
+        else:
+            once = self.write_accesses(op.start, op.length)
+        loads.reads += once.reads * op.times
+        loads.writes += once.writes * op.times
+
+    def run(self, workload: Workload) -> DiskLoads:
+        """Per-disk loads of a whole workload."""
+        loads = DiskLoads.zeros(self.layout.cols)
+        for op in workload:
+            self.apply(op, loads)
+        return loads

@@ -1,0 +1,54 @@
+"""Workload operations — the paper's ``<S, L, T>`` tuples.
+
+Each operation reads or writes ``L`` *continuous* logical data elements
+starting at element ``S``, repeated ``T`` times (§IV-A: "the tuple
+``<0, 4, 5>`` means to read 4 continuous data elements that start from
+``D0,0`` five times").  Logical element numbering is each layout's
+``data_cells`` order continued across stripes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require, require_positive, require_type
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One workload operation: ``kind`` ∈ {"read", "write"}, ``<S, L, T>``."""
+
+    kind: str
+    start: int
+    length: int
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        require(self.kind in (READ, WRITE),
+                f"kind must be 'read' or 'write', got {self.kind!r}")
+        require_type(self.start, int, "start")
+        require(self.start >= 0, f"start must be >= 0, got {self.start}")
+        require_positive(self.length, "length")
+        require_positive(self.times, "times")
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == READ
+
+    @property
+    def elements_touched(self) -> int:
+        """Logical elements addressed, counting repeats."""
+        return self.length * self.times
+
+
+def ReadOp(start: int, length: int, times: int = 1) -> Operation:
+    """Convenience constructor for a read ``<S, L, T>``."""
+    return Operation(READ, start, length, times)
+
+
+def WriteOp(start: int, length: int, times: int = 1) -> Operation:
+    """Convenience constructor for a write ``<S, L, T>``."""
+    return Operation(WRITE, start, length, times)

@@ -1,0 +1,92 @@
+"""Distribution statistics over per-disk loads.
+
+The paper's LF (max/min) is sensitive only to the two extreme disks; for
+the extended analyses this module adds whole-distribution measures:
+
+* **Gini coefficient** — 0 for perfect balance, →1 as load concentrates;
+* **coefficient of variation** — std/mean, the classic dispersion measure;
+* a per-disk share breakdown for tables and charts.
+
+These don't replace LF (the figures reproduce the paper's metric); they
+corroborate it: a code that looks balanced under LF and unbalanced under
+Gini would be suspicious, and the test-suite checks the measures agree in
+ranking on the paper's workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.iosim.engine import DiskLoads
+from repro.util.validation import require
+
+
+def gini_coefficient(loads: DiskLoads) -> float:
+    """Gini coefficient of total per-disk accesses (0 = perfect balance)."""
+    totals = np.sort(loads.total.astype(np.float64))
+    n = totals.size
+    require(n > 0, "need at least one disk")
+    s = totals.sum()
+    if s == 0:
+        return 0.0
+    # mean absolute difference formulation via the sorted cumulative sum
+    index = np.arange(1, n + 1)
+    return float((2 * (index * totals).sum() - (n + 1) * s) / (n * s))
+
+
+def coefficient_of_variation(loads: DiskLoads) -> float:
+    """std/mean of total per-disk accesses (0 = perfect balance)."""
+    totals = loads.total.astype(np.float64)
+    mean = totals.mean()
+    if mean == 0:
+        return 0.0
+    return float(totals.std() / mean)
+
+
+def load_shares(loads: DiskLoads) -> List[float]:
+    """Each disk's fraction of total accesses."""
+    totals = loads.total.astype(np.float64)
+    s = totals.sum()
+    if s == 0:
+        return [0.0] * totals.size
+    return list(totals / s)
+
+
+def role_load_breakdown(layout, loads: DiskLoads) -> Dict[str, float]:
+    """Average per-disk load by disk role: pure-data / mixed / pure-parity.
+
+    Quantifies the paper's §II-A observation directly: in horizontal
+    codes the dedicated parity disks absorb a disproportionate share of
+    the write traffic while contributing nothing to reads.  Roles with no
+    disks report 0.
+    """
+    totals = loads.total
+    buckets: Dict[str, List[float]] = {"data": [], "mixed": [], "parity": []}
+    for col in range(layout.cols):
+        cells = layout.cells_in_column(col)
+        has_data = any(layout.is_data(c) for c in cells)
+        has_parity = any(layout.is_parity(c) for c in cells)
+        if has_data and has_parity:
+            role = "mixed"
+        elif has_parity:
+            role = "parity"
+        else:
+            role = "data"
+        buckets[role].append(float(totals[col]))
+    return {
+        role: (sum(values) / len(values) if values else 0.0)
+        for role, values in buckets.items()
+    }
+
+
+def balance_summary(loads: DiskLoads) -> Dict[str, float]:
+    """All balance measures in one dict (for reports)."""
+    from repro.iosim.metrics import load_balancing_factor
+
+    return {
+        "lf": load_balancing_factor(loads),
+        "gini": gini_coefficient(loads),
+        "cv": coefficient_of_variation(loads),
+    }

@@ -1,0 +1,123 @@
+"""Workload generators for the paper's three §IV-A traffic mixes.
+
+Every generator draws the paper's published distributions — 2000 operations
+per workload, start ``S`` uniform over the logical space, length ``L``
+uniform in ``[1, 20]`` elements, repeat count ``T`` uniform in
+``[1, 1000]`` — from a seeded :class:`numpy.random.Generator`, so a given
+seed replays the identical operation stream against every code (the paper
+runs the *same* workload through each layout; anything else would compare
+noise).
+
+* read-only — cloud-storage style, reads only;
+* read-intensive — SSD-array style, reads:writes = 7:3;
+* read-write evenly mixed — file-system style, 1:1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.iosim.request import Operation, ReadOp, WriteOp
+from repro.util.validation import require, require_positive
+
+#: The paper's published operation-count and parameter ranges (§IV-A).
+DEFAULT_NUM_OPS = 2000
+DEFAULT_MAX_LENGTH = 20
+DEFAULT_MAX_TIMES = 1000
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, replayable operation stream."""
+
+    name: str
+    operations: Tuple[Operation, ...]
+    read_fraction: float
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    @property
+    def num_reads(self) -> int:
+        return sum(1 for op in self.operations if op.is_read)
+
+    @property
+    def num_writes(self) -> int:
+        return len(self.operations) - self.num_reads
+
+    def total_elements(self) -> int:
+        """Logical elements addressed across all ops, counting repeats."""
+        return sum(op.elements_touched for op in self.operations)
+
+
+def workload_from_ratio(
+    name: str,
+    read_fraction: float,
+    address_space: int,
+    rng: np.random.Generator,
+    num_ops: int = DEFAULT_NUM_OPS,
+    max_length: int = DEFAULT_MAX_LENGTH,
+    max_times: int = DEFAULT_MAX_TIMES,
+) -> Workload:
+    """Generate ``num_ops`` random ``<S, L, T>`` ops with the given read mix.
+
+    ``address_space`` is the number of logical data elements addressable
+    (ops may start anywhere in it; lengths running past the end wrap into
+    subsequent stripes via the engine's modulo addressing, mirroring the
+    paper's "S may be an arbitrary element of the stripe").
+    """
+    require(0.0 <= read_fraction <= 1.0,
+            f"read_fraction must be in [0, 1], got {read_fraction}")
+    require_positive(address_space, "address_space")
+    require_positive(num_ops, "num_ops")
+    require_positive(max_length, "max_length")
+    require_positive(max_times, "max_times")
+
+    starts = rng.integers(0, address_space, num_ops)
+    lengths = rng.integers(1, max_length + 1, num_ops)
+    times = rng.integers(1, max_times + 1, num_ops)
+    is_read = rng.random(num_ops) < read_fraction
+
+    ops: List[Operation] = []
+    for s, length, t, r in zip(starts, lengths, times, is_read):
+        ctor = ReadOp if r else WriteOp
+        ops.append(ctor(int(s), int(length), int(t)))
+    return Workload(name=name, operations=tuple(ops),
+                    read_fraction=read_fraction)
+
+
+def read_only_workload(
+    address_space: int, rng: np.random.Generator, **kwargs
+) -> Workload:
+    """The paper's Read-Only Workload (cloud storage systems)."""
+    return workload_from_ratio("read-only", 1.0, address_space, rng, **kwargs)
+
+
+def read_intensive_workload(
+    address_space: int, rng: np.random.Generator, **kwargs
+) -> Workload:
+    """The paper's Read-Intensive Workload (SSD arrays), reads:writes = 7:3."""
+    return workload_from_ratio("read-intensive", 0.7, address_space, rng,
+                               **kwargs)
+
+
+def mixed_workload(
+    address_space: int, rng: np.random.Generator, **kwargs
+) -> Workload:
+    """The paper's Read-Write Evenly Mixed Workload (file systems), 1:1."""
+    return workload_from_ratio("read-write-mixed", 0.5, address_space, rng,
+                               **kwargs)
+
+
+#: Generator per paper workload name, in the paper's presentation order.
+PAPER_WORKLOADS = (
+    ("read-only", read_only_workload),
+    ("read-intensive", read_intensive_workload),
+    ("read-write-mixed", mixed_workload),
+)

@@ -1,0 +1,158 @@
+"""The paper's §V read-speed experiments, rebuilt on the timing model.
+
+* Normal mode (Figure 6): 2000 requests per code, random start, random
+  size in 1–20 elements.
+* Degraded mode (Figure 7): for each possible single *data-carrying* disk
+  failure, 200 requests with the same start/size distribution; results
+  aggregate over failure cases exactly as the paper's "k different data
+  disk failure cases × 200 experiments".
+
+Both report read speed (MB/s) and the per-disk average speed the paper
+introduces to compare codes with different disk counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.codes.base import CodeLayout
+from repro.iosim.engine import AccessEngine
+from repro.perf.diskmodel import DiskParameters, SAVVIO_10K3
+from repro.perf.timing import ArrayTimingModel
+from repro.util.validation import require_positive
+
+#: The paper's request-size range (elements).
+DEFAULT_MAX_LENGTH = 20
+#: Requests per code in normal mode (§V-B).
+DEFAULT_NORMAL_EXPERIMENTS = 2000
+#: Requests per failure case in degraded mode (§V-C).
+DEFAULT_DEGRADED_EXPERIMENTS = 200
+
+
+@dataclass(frozen=True)
+class ReadSpeedResult:
+    """Aggregated outcome of a read-speed experiment for one code."""
+
+    code: str
+    p: int
+    num_disks: int
+    mode: str  # "normal" | "degraded"
+    speed_mb_per_s: float
+    speeds: tuple  # per-request speeds (or per-failure-case means)
+
+    @property
+    def average_speed_per_disk(self) -> float:
+        """MB/s contributed per disk — the paper's Figures 6(b)/7(b)."""
+        return self.speed_mb_per_s / self.num_disks
+
+
+def _run_requests(
+    model: ArrayTimingModel,
+    rng: np.random.Generator,
+    num_requests: int,
+    max_length: int,
+) -> List[float]:
+    space = model.engine.address_space
+    starts = rng.integers(0, space, num_requests)
+    lengths = rng.integers(1, max_length + 1, num_requests)
+    return [
+        model.read_speed_mb_per_s(int(s), int(length))
+        for s, length in zip(starts, lengths)
+    ]
+
+
+def normal_read_experiment(
+    layout: CodeLayout,
+    rng: np.random.Generator,
+    num_requests: int = DEFAULT_NORMAL_EXPERIMENTS,
+    max_length: int = DEFAULT_MAX_LENGTH,
+    num_stripes: int = 64,
+    params: DiskParameters = SAVVIO_10K3,
+) -> ReadSpeedResult:
+    """Figure 6: normal-mode read speed for one code."""
+    require_positive(num_requests, "num_requests")
+    engine = AccessEngine(layout, num_stripes=num_stripes)
+    model = ArrayTimingModel(engine, params)
+    speeds = _run_requests(model, rng, num_requests, max_length)
+    return ReadSpeedResult(
+        code=layout.name,
+        p=layout.p,
+        num_disks=layout.num_disks,
+        mode="normal",
+        speed_mb_per_s=float(np.mean(speeds)),
+        speeds=tuple(speeds),
+    )
+
+
+def partial_write_experiment(
+    layout: CodeLayout,
+    rng: np.random.Generator,
+    num_requests: int = DEFAULT_NORMAL_EXPERIMENTS,
+    max_length: int = DEFAULT_MAX_LENGTH,
+    num_stripes: int = 64,
+    params: DiskParameters = SAVVIO_10K3,
+) -> ReadSpeedResult:
+    """Extension: partial-stripe-write speed on the timing model.
+
+    Not a figure in the paper, but the direct performance consequence of
+    its Figure-5 I/O-cost argument: fewer parity groups touched means a
+    faster RMW.  Results reuse :class:`ReadSpeedResult` with
+    ``mode="write"``.
+    """
+    require_positive(num_requests, "num_requests")
+    engine = AccessEngine(layout, num_stripes=num_stripes)
+    model = ArrayTimingModel(engine, params)
+    starts = rng.integers(0, engine.address_space, num_requests)
+    lengths = rng.integers(1, max_length + 1, num_requests)
+    speeds = [
+        model.write_speed_mb_per_s(int(s), int(length))
+        for s, length in zip(starts, lengths)
+    ]
+    return ReadSpeedResult(
+        code=layout.name,
+        p=layout.p,
+        num_disks=layout.num_disks,
+        mode="write",
+        speed_mb_per_s=float(np.mean(speeds)),
+        speeds=tuple(speeds),
+    )
+
+
+def data_disk_columns(layout: CodeLayout) -> List[int]:
+    """Columns that hold at least one data cell (the paper's failure cases)."""
+    cols = {c.col for c in layout.data_cells}
+    return sorted(cols)
+
+
+def degraded_read_experiment(
+    layout: CodeLayout,
+    rng: np.random.Generator,
+    num_requests_per_case: int = DEFAULT_DEGRADED_EXPERIMENTS,
+    max_length: int = DEFAULT_MAX_LENGTH,
+    num_stripes: int = 64,
+    params: DiskParameters = SAVVIO_10K3,
+    failure_cases: Optional[Sequence[int]] = None,
+) -> ReadSpeedResult:
+    """Figure 7: degraded-mode read speed, aggregated over failure cases."""
+    require_positive(num_requests_per_case, "num_requests_per_case")
+    cases = list(failure_cases) if failure_cases is not None \
+        else data_disk_columns(layout)
+    case_means: List[float] = []
+    for failed in cases:
+        engine = AccessEngine(
+            layout, num_stripes=num_stripes, failed_disk=failed
+        )
+        model = ArrayTimingModel(engine, params)
+        speeds = _run_requests(model, rng, num_requests_per_case, max_length)
+        case_means.append(float(np.mean(speeds)))
+    return ReadSpeedResult(
+        code=layout.name,
+        p=layout.p,
+        num_disks=layout.num_disks,
+        mode="degraded",
+        speed_mb_per_s=float(np.mean(case_means)),
+        speeds=tuple(case_means),
+    )

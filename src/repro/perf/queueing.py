@@ -1,0 +1,149 @@
+"""Event-driven queueing simulation of the disk array under load.
+
+:mod:`repro.perf.timing` prices one request on an idle array — enough for
+the paper's Figures 6/7, which measure isolated request streams.  Real
+arrays serve concurrent traffic, and a code's extra I/O (degraded
+reconstruction reads, parity RMW) then costs twice: once in its own
+service time and again as queueing delay inflicted on everyone behind it.
+
+This module models each disk as a FIFO server: a request decomposes (via
+the access engine) into per-disk element batches; a batch begins when both
+the request has arrived and the disk is free; the request completes when
+its last batch does.  The simulation is deterministic given the arrival
+trace, so experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.iosim.engine import AccessEngine
+from repro.perf.diskmodel import DiskParameters, SAVVIO_10K3, disk_service_time_ms
+from repro.util.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class ArrivingRequest:
+    """One read request entering the array at ``arrival_ms``."""
+
+    arrival_ms: float
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        require(self.arrival_ms >= 0, "arrival_ms must be >= 0")
+        require(self.start >= 0, "start must be >= 0")
+        require(self.length >= 1, "length must be >= 1")
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Aggregated outcome of a queueing run."""
+
+    latencies_ms: Tuple[float, ...]
+    makespan_ms: float
+    payload_mb: float
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return float(np.mean(self.latencies_ms))
+
+    @property
+    def throughput_mb_per_s(self) -> float:
+        if self.makespan_ms == 0:
+            return 0.0
+        return self.payload_mb / (self.makespan_ms / 1e3)
+
+    def percentile_ms(self, q: float) -> float:
+        """Latency percentile, ``q`` in [0, 100]."""
+        require(0 <= q <= 100, f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self.latencies_ms, q))
+
+
+class ArrayQueueSimulator:
+    """FIFO per-disk queueing over an access engine's fetch sets."""
+
+    def __init__(
+        self,
+        engine: AccessEngine,
+        params: DiskParameters = SAVVIO_10K3,
+    ) -> None:
+        self.engine = engine
+        self.params = params
+
+    def _per_disk_offsets(self, start: int, length: int) -> Dict[int, List[int]]:
+        per_disk: Dict[int, List[int]] = {}
+        rows = self.engine.layout.rows
+        for stripe, fetched in self.engine.read_fetch_sets(start, length):
+            for cell in fetched:
+                disk = self.engine.physical_disk(stripe, cell.col)
+                per_disk.setdefault(disk, []).append(stripe * rows + cell.row)
+        return per_disk
+
+    def run(self, requests: Sequence[ArrivingRequest]) -> QueueStats:
+        """Simulate the request stream; returns latency statistics.
+
+        Requests are served FCFS per disk in arrival order (the order of
+        ``requests``, which must be sorted by arrival time).
+        """
+        arrivals = [r.arrival_ms for r in requests]
+        require(all(b >= a for a, b in zip(arrivals, arrivals[1:])),
+                "requests must be sorted by arrival time")
+        disk_free: Dict[int, float] = {}
+        latencies: List[float] = []
+        makespan = 0.0
+        payload_elements = 0
+        for req in requests:
+            completion = req.arrival_ms
+            for disk, offsets in self._per_disk_offsets(
+                req.start, req.length
+            ).items():
+                begin = max(req.arrival_ms, disk_free.get(disk, 0.0))
+                service = disk_service_time_ms(offsets, self.params)
+                done = begin + service
+                disk_free[disk] = done
+                completion = max(completion, done)
+            latencies.append(completion - req.arrival_ms)
+            makespan = max(makespan, completion)
+            payload_elements += req.length
+        return QueueStats(
+            latencies_ms=tuple(latencies),
+            makespan_ms=makespan,
+            payload_mb=payload_elements * self.params.element_bytes / 1e6,
+        )
+
+
+def poisson_requests(
+    engine: AccessEngine,
+    rate_per_s: float,
+    num_requests: int,
+    rng: np.random.Generator,
+    max_length: int = 20,
+) -> List[ArrivingRequest]:
+    """A Poisson arrival stream of uniform-random reads."""
+    require(rate_per_s > 0, "rate must be positive")
+    require_positive(num_requests, "num_requests")
+    gaps_ms = rng.exponential(1e3 / rate_per_s, num_requests)
+    arrivals = np.cumsum(gaps_ms)
+    starts = rng.integers(0, engine.address_space, num_requests)
+    lengths = rng.integers(1, max_length + 1, num_requests)
+    return [
+        ArrivingRequest(float(a), int(s), int(length))
+        for a, s, length in zip(arrivals, starts, lengths)
+    ]
+
+
+def latency_under_load(
+    engine: AccessEngine,
+    rate_per_s: float,
+    num_requests: int,
+    seed: int = 0,
+    params: DiskParameters = SAVVIO_10K3,
+) -> QueueStats:
+    """Convenience wrapper: Poisson load -> queue stats."""
+    rng = np.random.default_rng(seed)
+    sim = ArrayQueueSimulator(engine, params)
+    return sim.run(poisson_requests(engine, rate_per_s, num_requests, rng))

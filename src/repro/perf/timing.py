@@ -1,0 +1,97 @@
+"""Pricing striped requests against the disk model.
+
+A request touches several disks in parallel (the defining property RAID
+read performance lives on — §V of the paper stresses that "all disks in
+RAID system can be accessed in parallel"), so its completion time is the
+*maximum* of the involved disks' service times, and its throughput is the
+requested payload divided by that time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.codes.base import CodeLayout
+from repro.iosim.engine import AccessEngine
+from repro.perf.diskmodel import DiskParameters, SAVVIO_10K3, disk_service_time_ms
+from repro.util.validation import require_positive
+
+
+class ArrayTimingModel:
+    """Times read requests for a layout on a modelled disk array."""
+
+    def __init__(
+        self,
+        engine: AccessEngine,
+        params: DiskParameters = SAVVIO_10K3,
+    ) -> None:
+        self.engine = engine
+        self.layout: CodeLayout = engine.layout
+        self.params = params
+
+    def request_time_ms(self, start: int, length: int) -> float:
+        """Completion time of a read of ``length`` logical elements."""
+        require_positive(length, "length")
+        per_disk: Dict[int, List[int]] = {}
+        for stripe, fetched in self.engine.read_fetch_sets(start, length):
+            for cell in fetched:
+                disk = self.engine.physical_disk(stripe, cell.col)
+                offset = stripe * self.layout.rows + cell.row
+                per_disk.setdefault(disk, []).append(offset)
+        if not per_disk:
+            return 0.0
+        return max(
+            disk_service_time_ms(offsets, self.params)
+            for offsets in per_disk.values()
+        )
+
+    def read_speed_mb_per_s(self, start: int, length: int) -> float:
+        """Delivered payload rate of one read request."""
+        time_ms = self.request_time_ms(start, length)
+        payload_mb = length * self.params.element_bytes / 1e6
+        return payload_mb / (time_ms / 1e3)
+
+    def write_request_time_ms(self, start: int, length: int) -> float:
+        """Completion time of a partial-stripe write.
+
+        Read-modify-write is two parallel phases: fetch the old values,
+        then write the new ones — the request waits for the slowest disk
+        of each phase.  Full-stripe writes have an empty read phase.
+        """
+        require_positive(length, "length")
+        read_batches: Dict[int, List[int]] = {}
+        write_batches: Dict[int, List[int]] = {}
+        for stripe, reads, writes in self.engine.write_io_sets(
+            start, length
+        ):
+            for cell in reads:
+                disk = self.engine.physical_disk(stripe, cell.col)
+                read_batches.setdefault(disk, []).append(
+                    stripe * self.layout.rows + cell.row
+                )
+            for cell in writes:
+                disk = self.engine.physical_disk(stripe, cell.col)
+                write_batches.setdefault(disk, []).append(
+                    stripe * self.layout.rows + cell.row
+                )
+        read_ms = max(
+            (disk_service_time_ms(offs, self.params)
+             for offs in read_batches.values()),
+            default=0.0,
+        )
+        write_ms = max(
+            (disk_service_time_ms(offs, self.params)
+             for offs in write_batches.values()),
+            default=0.0,
+        )
+        return read_ms + write_ms
+
+    def write_speed_mb_per_s(self, start: int, length: int) -> float:
+        """Delivered payload rate of one partial-stripe write."""
+        time_ms = self.write_request_time_ms(start, length)
+        payload_mb = length * self.params.element_bytes / 1e6
+        return payload_mb / (time_ms / 1e3)
+
+    def average_speed_per_disk(self, speed_mb_per_s: float) -> float:
+        """The paper's 'average read speed': MB/s divided by disk count."""
+        return speed_mb_per_s / self.layout.num_disks

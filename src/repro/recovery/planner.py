@@ -1,0 +1,203 @@
+"""Single-disk-failure recovery planning.
+
+When one disk dies, every lost *data* cell can be rebuilt from either of
+the two parity groups covering it; lost *parity* cells can only be rebuilt
+from their own group.  The total rebuild I/O is the number of **distinct**
+surviving elements fetched — elements shared by several chosen groups are
+read once.  The conventional scheme fixes one family for every cell and
+ignores overlap; the hybrid scheme (Xu et al. for X-Code, §III-D of the
+D-Code paper for D-Code) chooses per cell to maximise overlap, cutting
+reads by roughly 25 %.
+
+Because each lost data cell has exactly two candidate groups, the plan
+space is ``2^(lost data cells)``; for the evaluation primes that is at most
+``2^11``, so the planner finds the true optimum exhaustively and falls back
+to randomised local search beyond a configurable budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codes.base import Cell, CodeLayout, ParityGroup
+from repro.exceptions import DecodeError
+from repro.util.validation import require, require_index
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """A concrete single-failure rebuild plan.
+
+    ``choices`` maps each lost cell to the parity group used to rebuild
+    it; ``reads`` is the distinct surviving cells fetched.
+    """
+
+    failed_col: int
+    choices: Tuple[Tuple[Cell, ParityGroup], ...]
+    reads: FrozenSet[Cell]
+
+    @property
+    def num_reads(self) -> int:
+        return len(self.reads)
+
+    def reads_on_disk(self, col: int) -> int:
+        return sum(1 for c in self.reads if c.col == col)
+
+
+def _candidate_groups(
+    layout: CodeLayout, cell: Cell, failed_col: int
+) -> List[ParityGroup]:
+    """Groups that can rebuild ``cell`` with every other input surviving."""
+    if layout.is_parity(cell):
+        candidates = [layout.group_of_parity(cell)]
+    else:
+        candidates = list(layout.groups_covering(cell))
+    usable = []
+    for g in candidates:
+        others = [c for c in g.cells if c != cell]
+        if all(c.col != failed_col for c in others):
+            usable.append(g)
+    return usable
+
+
+def _plan_from_choice(
+    layout: CodeLayout,
+    failed_col: int,
+    lost: Sequence[Cell],
+    groups: Sequence[ParityGroup],
+) -> RecoveryPlan:
+    reads = set()
+    for cell, g in zip(lost, groups):
+        reads.update(c for c in g.cells if c != cell)
+    return RecoveryPlan(
+        failed_col=failed_col,
+        choices=tuple(zip(lost, groups)),
+        reads=frozenset(reads),
+    )
+
+
+def conventional_plan(
+    layout: CodeLayout, failed_col: int, family: Optional[str] = None
+) -> RecoveryPlan:
+    """Rebuild every lost cell from one fixed parity family.
+
+    ``family`` defaults to the layout's first family (e.g. D-Code's
+    horizontal parities).  Cells that family cannot rebuild — parity cells
+    of the other family, or cells whose group is itself damaged — fall back
+    to any usable group.
+    """
+    require_index(failed_col, layout.cols, "failed_col")
+    fam = family if family is not None else layout.families()[0]
+    require(fam in layout.families(),
+            f"{layout.name} has no parity family {fam!r}")
+    lost = list(layout.cells_in_column(failed_col))
+    chosen: List[ParityGroup] = []
+    for cell in lost:
+        usable = _candidate_groups(layout, cell, failed_col)
+        if not usable:
+            raise DecodeError(
+                f"no single-group recovery for {cell} with disk "
+                f"{failed_col} failed in {layout.name}",
+                unrecovered=[cell],
+            )
+        preferred = [g for g in usable if g.family == fam]
+        chosen.append(preferred[0] if preferred else usable[0])
+    return _plan_from_choice(layout, failed_col, lost, chosen)
+
+
+def hybrid_plan(
+    layout: CodeLayout,
+    failed_col: int,
+    exhaustive_limit: int = 4096,
+    rng: Optional[np.random.Generator] = None,
+    local_search_iterations: int = 2000,
+) -> RecoveryPlan:
+    """Minimise distinct reads by mixing parity families per cell.
+
+    Exhaustive when the choice space is at most ``exhaustive_limit`` plans
+    (the case for all evaluation primes), randomised first-improvement
+    local search otherwise.
+    """
+    require_index(failed_col, layout.cols, "failed_col")
+    lost = list(layout.cells_in_column(failed_col))
+    options: List[List[ParityGroup]] = []
+    for cell in lost:
+        usable = _candidate_groups(layout, cell, failed_col)
+        if not usable:
+            raise DecodeError(
+                f"no single-group recovery for {cell} with disk "
+                f"{failed_col} failed in {layout.name}",
+                unrecovered=[cell],
+            )
+        options.append(usable)
+
+    free_cells = [i for i, opts in enumerate(options) if len(opts) > 1]
+    space = 1
+    for i in free_cells:
+        space *= len(options[i])
+
+    if space <= exhaustive_limit:
+        return _exhaustive(layout, failed_col, lost, options, free_cells)
+    return _local_search(
+        layout, failed_col, lost, options, free_cells,
+        rng if rng is not None else np.random.default_rng(0),
+        local_search_iterations,
+    )
+
+
+def _exhaustive(layout, failed_col, lost, options, free_cells) -> RecoveryPlan:
+    choice = [opts[0] for opts in options]
+    best: Optional[RecoveryPlan] = None
+    total = 1
+    for i in free_cells:
+        total *= len(options[i])
+    for index in range(total):
+        value = index
+        for i in free_cells:
+            n = len(options[i])
+            choice[i] = options[i][value % n]
+            value //= n
+        plan = _plan_from_choice(layout, failed_col, lost, choice)
+        if best is None or plan.num_reads < best.num_reads:
+            best = plan
+    assert best is not None
+    return best
+
+
+def _local_search(
+    layout, failed_col, lost, options, free_cells, rng, iterations
+) -> RecoveryPlan:
+    choice_idx = [0] * len(options)
+    current = _plan_from_choice(
+        layout, failed_col, lost,
+        [options[i][choice_idx[i]] for i in range(len(options))],
+    )
+    for _ in range(iterations):
+        i = int(rng.choice(free_cells))
+        old = choice_idx[i]
+        choice_idx[i] = int(rng.integers(0, len(options[i])))
+        if choice_idx[i] == old:
+            continue
+        candidate = _plan_from_choice(
+            layout, failed_col, lost,
+            [options[j][choice_idx[j]] for j in range(len(options))],
+        )
+        if candidate.num_reads <= current.num_reads:
+            current = candidate
+        else:
+            choice_idx[i] = old
+    return current
+
+
+def recovery_read_savings(
+    layout: CodeLayout, failed_col: int, family: Optional[str] = None
+) -> float:
+    """Fraction of reads the hybrid plan saves over the conventional one."""
+    conv = conventional_plan(layout, failed_col, family)
+    hyb = hybrid_plan(layout, failed_col)
+    if conv.num_reads == 0:
+        return 0.0
+    return 1.0 - hyb.num_reads / conv.num_reads

@@ -1,0 +1,26 @@
+"""Shared low-level utilities: primality, argument validation, XOR engine."""
+
+from repro.util.primes import is_prime, next_prime, previous_prime, primes_in_range
+from repro.util.validation import (
+    require,
+    require_index,
+    require_positive,
+    require_prime,
+    require_type,
+)
+from repro.util.xor import xor_accumulate, xor_blocks, xor_into
+
+__all__ = [
+    "is_prime",
+    "next_prime",
+    "previous_prime",
+    "primes_in_range",
+    "require",
+    "require_index",
+    "require_positive",
+    "require_prime",
+    "require_type",
+    "xor_accumulate",
+    "xor_blocks",
+    "xor_into",
+]

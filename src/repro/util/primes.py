@@ -1,0 +1,68 @@
+"""Primality helpers.
+
+Every array code in this library is defined over a stripe whose geometry is
+parameterised by a prime ``p`` (X-Code and D-Code require the disk count
+itself to be prime; RDP/EVENODD/H-Code/HDP are built around a prime and add
+or remove columns).  These helpers centralise the primality logic so layout
+constructors can validate geometry uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+def is_prime(n: int) -> bool:
+    """Return ``True`` iff ``n`` is a prime number.
+
+    Deterministic trial division — stripe primes in RAID arrays are tiny
+    (tens of disks), so there is no need for probabilistic tests.
+    """
+    if not isinstance(n, int) or isinstance(n, bool):
+        raise TypeError(f"is_prime expects an int, got {type(n).__name__}")
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    candidate = max(n + 1, 2)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def previous_prime(n: int) -> int:
+    """Return the largest prime strictly smaller than ``n``.
+
+    Raises :class:`ValueError` when no such prime exists (``n <= 2``).
+    """
+    candidate = n - 1
+    while candidate >= 2:
+        if is_prime(candidate):
+            return candidate
+        candidate -= 1
+    raise ValueError(f"no prime smaller than {n}")
+
+
+def primes_in_range(lo: int, hi: int) -> List[int]:
+    """Return all primes ``q`` with ``lo <= q < hi`` in increasing order."""
+    return [q for q in range(max(lo, 2), hi) if is_prime(q)]
+
+
+def iter_primes(start: int = 2) -> Iterator[int]:
+    """Yield primes ``>= start`` indefinitely."""
+    q = start - 1
+    while True:
+        q = next_prime(q)
+        yield q

@@ -1,0 +1,61 @@
+"""Uniform argument validation with informative error messages.
+
+The library is a reference implementation; being loud and precise about
+misuse is worth more than the nanoseconds saved by skipping checks.  Hot
+inner loops (the XOR engine, the access-counting engine) validate once at
+the boundary and then trust their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+from repro.util.primes import is_prime
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_type(
+    value: Any, types: Union[Type, Tuple[Type, ...]], name: str
+) -> None:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else " | ".join(t.__name__ for t in types)
+        )
+        raise TypeError(
+            f"{name} must be {expected}, got {type(value).__name__}"
+        )
+
+
+def require_positive(value: int, name: str) -> None:
+    """Raise unless ``value`` is a positive int (bools rejected)."""
+    require_type(value, int, name)
+    if isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+
+
+def require_index(value: int, bound: int, name: str) -> None:
+    """Raise unless ``0 <= value < bound``."""
+    require_type(value, int, name)
+    if not 0 <= value < bound:
+        raise IndexError(f"{name} must be in [0, {bound}), got {value}")
+
+
+def require_prime(value: int, name: str, minimum: int = 3) -> None:
+    """Raise unless ``value`` is a prime ``>= minimum``.
+
+    All the array codes here degenerate below p=5 (no data rows or a single
+    chain), so layout constructors typically pass ``minimum=5``.
+    """
+    require_type(value, int, name)
+    if value < minimum or not is_prime(value):
+        raise ValueError(
+            f"{name} must be a prime >= {minimum}, got {value!r}"
+        )

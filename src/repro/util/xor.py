@@ -1,0 +1,68 @@
+"""Vectorised XOR over element buffers.
+
+Array codes spend essentially all of their encode/decode time XOR-ing
+fixed-size element buffers together.  Following the HPC guidance for this
+repo (vectorise, work in place, avoid copies), every helper here operates on
+contiguous ``uint8`` numpy views and offers in-place accumulation so the
+block codec never allocates inside its inner loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+
+def as_element(buf: "np.ndarray | bytes | bytearray", name: str = "buffer") -> np.ndarray:
+    """Return ``buf`` as a 1-D contiguous ``uint8`` numpy view.
+
+    Accepts bytes-like objects (copied, since bytes are immutable) and numpy
+    arrays (viewed, never copied, when already uint8 and contiguous).
+    """
+    if isinstance(buf, np.ndarray):
+        if buf.dtype != np.uint8:
+            raise TypeError(f"{name} must have dtype uint8, got {buf.dtype}")
+        arr = np.ascontiguousarray(buf).reshape(-1)
+        return arr
+    if isinstance(buf, (bytes, bytearray, memoryview)):
+        return np.frombuffer(bytes(buf), dtype=np.uint8)
+    raise TypeError(
+        f"{name} must be bytes-like or a uint8 ndarray, got {type(buf).__name__}"
+    )
+
+
+def xor_blocks(blocks: Sequence[np.ndarray], out: Optional[np.ndarray] = None) -> np.ndarray:
+    """XOR a sequence of equal-length uint8 blocks together.
+
+    ``out`` (if given) receives the result in place and must not alias any
+    input except ``blocks[0]``.  With no ``out``, a fresh array is returned.
+    An empty sequence with ``out`` zeroes ``out``; without ``out`` it raises.
+    """
+    if out is None:
+        if not blocks:
+            raise ValueError("xor_blocks needs at least one block when out is None")
+        out = blocks[0].copy()
+        rest: Iterable[np.ndarray] = blocks[1:]
+    else:
+        if not blocks:
+            out[:] = 0
+            return out
+        np.copyto(out, blocks[0])
+        rest = blocks[1:]
+    for blk in rest:
+        np.bitwise_xor(out, blk, out=out)
+    return out
+
+
+def xor_into(dst: np.ndarray, src: np.ndarray) -> np.ndarray:
+    """``dst ^= src`` in place; returns ``dst``."""
+    np.bitwise_xor(dst, src, out=dst)
+    return dst
+
+
+def xor_accumulate(dst: np.ndarray, blocks: Iterable[np.ndarray]) -> np.ndarray:
+    """XOR every block of ``blocks`` into ``dst`` in place; returns ``dst``."""
+    for blk in blocks:
+        np.bitwise_xor(dst, blk, out=dst)
+    return dst

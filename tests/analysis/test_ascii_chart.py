@@ -1,0 +1,60 @@
+"""ASCII chart renderer tests."""
+
+import pytest
+
+from repro.analysis.ascii_chart import BAR_CHAR, hbar_chart, sparkline
+
+
+class TestHBarChart:
+    def test_structure(self):
+        chart = hbar_chart(
+            "title", {"a": [1.0, 2.0], "bb": [2.0, 4.0]}, primes=(5, 7)
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "title"
+        assert "p=5" in lines and "p=7" in lines
+        # 2 primes x 2 codes + title + 2 group headers
+        assert len(lines) == 1 + 2 * (1 + 2)
+
+    def test_shared_scale(self):
+        chart = hbar_chart(
+            "t", {"a": [1.0, 4.0]}, primes=(5, 7), width=8
+        )
+        lines = [ln for ln in chart.splitlines() if BAR_CHAR in ln]
+        shorter, longer = lines
+        assert longer.count(BAR_CHAR) == 8          # the peak fills width
+        assert shorter.count(BAR_CHAR) == 2         # 1/4 of the peak
+
+    def test_zero_values_render(self):
+        chart = hbar_chart("t", {"a": [0.0]}, primes=(5,))
+        assert BAR_CHAR not in chart
+
+    def test_label_alignment(self):
+        chart = hbar_chart(
+            "t", {"x": [1.0], "longname": [1.0]}, primes=(5,)
+        )
+        bar_lines = [ln for ln in chart.splitlines() if "|" in ln]
+        pipes = [ln.index("|") for ln in bar_lines]
+        assert len(set(pipes)) == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hbar_chart("t", {"a": [1.0]}, primes=(5, 7))
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            hbar_chart("t", {}, primes=(5,))
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_flat_series(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,85 @@
+"""Feature-table tests: the paper's §III-D optimality claims."""
+
+import math
+
+import pytest
+
+from repro.analysis.features import (
+    code_features,
+    decode_xors_per_lost_element,
+    encode_xors_per_data_element,
+    feature_table,
+    format_feature_table,
+    max_update_complexity,
+)
+from repro.codes import DCode, EvenOdd, HDPCode, RDP, XCode, make_code
+
+
+class TestEncodeComplexity:
+    @pytest.mark.parametrize("n", (5, 7, 11, 13))
+    def test_dcode_hits_the_optimum(self, n):
+        """§III-D: 2n(n-3)/(n(n-2)) = 2 - 2/(n-2) XORs per data element."""
+        assert encode_xors_per_data_element(DCode(n)) == pytest.approx(
+            2 - 2 / (n - 2)
+        )
+
+    @pytest.mark.parametrize("n", (5, 7, 11))
+    def test_xcode_matches_dcode(self, n):
+        assert encode_xors_per_data_element(XCode(n)) == pytest.approx(
+            encode_xors_per_data_element(DCode(n))
+        )
+
+    @pytest.mark.parametrize("p", (5, 7, 11))
+    def test_evenodd_above_optimal(self, p):
+        # the adjuster makes each diagonal group 2(p-1)-ish wide
+        assert encode_xors_per_data_element(EvenOdd(p)) > 2 - 2 / (p - 2)
+
+
+class TestDecodeComplexity:
+    @pytest.mark.parametrize("n", (5, 7))
+    def test_dcode_hits_the_optimum(self, n):
+        """§III-D: (n-3) XORs per lost element over all double failures."""
+        assert decode_xors_per_lost_element(DCode(n)) == pytest.approx(n - 3)
+
+    def test_evenodd_reports_nan(self):
+        assert math.isnan(decode_xors_per_lost_element(EvenOdd(5)))
+
+
+class TestStorageEfficiency:
+    @pytest.mark.parametrize("n", (5, 7, 11, 13))
+    def test_dcode_mds_rate(self, n):
+        # n(n-2) data out of n*n cells == (n-2)/n — the MDS optimum for
+        # n disks with 2 disks' worth of parity
+        assert DCode(n).storage_efficiency == pytest.approx((n - 2) / n)
+
+    @pytest.mark.parametrize("p", (5, 7, 11))
+    def test_rdp_mds_rate(self, p):
+        assert RDP(p).storage_efficiency == pytest.approx((p - 1) / (p + 1))
+
+
+class TestFeatureRows:
+    def test_row_contents(self):
+        row = code_features(DCode(7))
+        assert row.code == "dcode"
+        assert row.num_disks == 7
+        assert row.avg_update_complexity == pytest.approx(2.0)
+        assert row.max_update_complexity == 2
+
+    def test_hdp_row_shows_suboptimal_update(self):
+        row = code_features(HDPCode(7))
+        assert row.avg_update_complexity == pytest.approx(3.0)
+
+    def test_table_covers_grid(self):
+        rows = feature_table(["dcode", "rdp"], [5, 7])
+        assert len(rows) == 4
+        assert {(r.code, r.p) for r in rows} == {
+            ("dcode", 5), ("dcode", 7), ("rdp", 5), ("rdp", 7)
+        }
+
+    def test_formatting(self):
+        text = format_feature_table(feature_table(["dcode"], [5]))
+        assert "dcode" in text and "enc/el" in text
+
+    def test_max_update_complexity(self):
+        assert max_update_complexity(DCode(5)) == 2
+        assert max_update_complexity(EvenOdd(5)) == 5

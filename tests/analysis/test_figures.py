@@ -1,0 +1,108 @@
+"""Figure-harness tests: every series generator produces sane shapes.
+
+The quantitative paper-vs-measured comparison lives in
+``tests/integration/test_paper_claims.py``; these tests pin down the
+harness contracts (keys, lengths, determinism) at small sizes.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.figures import (
+    WORKLOAD_NAMES,
+    fig1_footprints,
+    fig4_load_balancing,
+    fig5_io_cost,
+    fig6_normal_read,
+    fig7_degraded_read,
+    single_failure_recovery_series,
+)
+
+SMALL = dict(primes=(5, 7), codes=("rdp", "dcode"), num_ops=60,
+             num_stripes=8)
+
+
+class TestFig4:
+    def test_series_shape(self):
+        out = fig4_load_balancing("read-only", **SMALL)
+        assert set(out) == {"rdp", "dcode"}
+        assert all(len(v) == 2 for v in out.values())
+
+    def test_clipping_applied(self):
+        out = fig4_load_balancing("read-only", clip=True, **SMALL)
+        assert all(v <= 30.0 for v in out["rdp"])
+
+    def test_unclipped_rdp_read_only_is_infinite(self):
+        out = fig4_load_balancing("read-only", clip=False, **SMALL)
+        assert all(math.isinf(v) for v in out["rdp"])
+
+    def test_workload_names_cover_paper(self):
+        assert WORKLOAD_NAMES == (
+            "read-only", "read-intensive", "read-write-mixed"
+        )
+
+    def test_deterministic(self):
+        a = fig4_load_balancing("read-write-mixed", seed=3, **SMALL)
+        b = fig4_load_balancing("read-write-mixed", seed=3, **SMALL)
+        assert a == b
+
+
+class TestFig5:
+    def test_read_only_costs_identical(self):
+        out = fig5_io_cost("read-only", **SMALL)
+        assert out["rdp"] == out["dcode"]
+
+    def test_costs_are_positive_ints(self):
+        out = fig5_io_cost("read-write-mixed", **SMALL)
+        for series in out.values():
+            assert all(isinstance(v, int) and v > 0 for v in series)
+
+
+class TestFig6And7:
+    def test_fig6_structure(self):
+        out = fig6_normal_read(primes=(5,), codes=("dcode", "xcode"),
+                               num_requests=30, num_stripes=8)
+        assert set(out) == {"speed", "average"}
+        assert out["speed"]["dcode"] == pytest.approx(
+            out["speed"]["xcode"]
+        )
+
+    def test_fig7_structure(self):
+        out = fig7_degraded_read(primes=(5,), codes=("dcode", "xcode"),
+                                 num_requests_per_case=10, num_stripes=8)
+        assert out["speed"]["dcode"][0] > out["speed"]["xcode"][0]
+
+    def test_average_is_speed_over_disks(self):
+        out = fig6_normal_read(primes=(5,), codes=("dcode",),
+                               num_requests=20, num_stripes=8)
+        assert out["average"]["dcode"][0] == pytest.approx(
+            out["speed"]["dcode"][0] / 5
+        )
+
+
+class TestFig1Footprints:
+    def test_keys_and_payload(self):
+        out = fig1_footprints(p=7, codes=("rdp", "xcode", "dcode"), length=4)
+        for code in ("rdp", "xcode", "dcode"):
+            entry = out[code]
+            assert entry["read_payload_elements"] == 4.0
+            assert entry["degraded_read_elements"] >= 4.0
+            assert entry["partial_write_accesses"] > 0
+
+    def test_dcode_footprints_beat_xcode(self):
+        out = fig1_footprints(p=7, length=4)
+        assert out["dcode"]["degraded_read_elements"] < \
+            out["xcode"]["degraded_read_elements"]
+        assert out["dcode"]["partial_write_accesses"] < \
+            out["xcode"]["partial_write_accesses"]
+
+
+class TestRecoverySeries:
+    def test_structure_and_savings(self):
+        out = single_failure_recovery_series(primes=(5, 7), codes=("dcode",))
+        rows = out["dcode"]
+        assert [r["p"] for r in rows] == [5, 7]
+        for row in rows:
+            assert row["hybrid_reads"] <= row["conventional_reads"]
+            assert 0.0 <= row["savings"] < 0.5

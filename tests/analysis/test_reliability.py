@@ -1,0 +1,79 @@
+"""MTTDL reliability-model tests."""
+
+import pytest
+
+from repro.analysis.reliability import (
+    ReliabilityEstimate,
+    estimate_reliability,
+    mttdl_hours,
+)
+from repro.codes import DCode, XCode
+
+
+class TestMarkovModel:
+    def test_matches_large_mu_approximation(self):
+        """For μ >> λ the exact chain approaches μ²/(n(n-1)(n-2)λ³)."""
+        n, mtbf, mttr = 10, 1e6, 10.0
+        lam, mu = 1 / mtbf, 1 / mttr
+        approx = mu**2 / (n * (n - 1) * (n - 2) * lam**3)
+        exact = mttdl_hours(n, mtbf, mttr)
+        assert exact == pytest.approx(approx, rel=0.01)
+
+    def test_faster_repair_improves_mttdl_quadratically(self):
+        fast = mttdl_hours(8, 1e6, 5.0)
+        slow = mttdl_hours(8, 1e6, 10.0)
+        assert fast == pytest.approx(4 * slow, rel=0.02)
+
+    def test_more_disks_lower_mttdl(self):
+        assert mttdl_hours(6, 1e6, 10.0) > mttdl_hours(12, 1e6, 10.0)
+
+    def test_degenerate_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            mttdl_hours(2, 1e6, 10.0)
+        with pytest.raises(ValueError):
+            mttdl_hours(8, 0.0, 10.0)
+
+    def test_no_repair_limit(self):
+        """With hopeless repair (mttr ~ mtbf scale) MTTDL ~ sum of the
+        three failure stage times."""
+        n, mtbf = 5, 1000.0
+        t = mttdl_hours(n, mtbf, 1e12)
+        lam = 1 / mtbf
+        expected = 1 / (n * lam) + 1 / ((n - 1) * lam) + 1 / ((n - 2) * lam)
+        assert t == pytest.approx(expected, rel=0.01)
+
+
+class TestEstimates:
+    def test_fields(self):
+        est = estimate_reliability(DCode(7), num_stripes=256)
+        assert isinstance(est, ReliabilityEstimate)
+        assert est.code == "dcode"
+        assert est.rebuild_hours > 0
+        assert est.mttdl_years == pytest.approx(
+            est.mttdl_hours / (24 * 365)
+        )
+
+    def test_hybrid_beats_conventional_on_read_bottleneck(self):
+        hyb = estimate_reliability(DCode(13), num_stripes=256)
+        conv = estimate_reliability(DCode(13), strategy="conventional",
+                                    num_stripes=256)
+        assert hyb.rebuild_hours < conv.rebuild_hours
+        assert hyb.mttdl_hours > conv.mttdl_hours
+
+    def test_single_spare_bottleneck_is_strategy_independent(self):
+        """With a dedicated spare, every byte of the dead disk must be
+        rewritten regardless of how cleverly the reads were planned."""
+        hyb = estimate_reliability(DCode(13), num_stripes=256,
+                                   bottleneck="array")
+        conv = estimate_reliability(DCode(13), strategy="conventional",
+                                    num_stripes=256, bottleneck="array")
+        assert hyb.rebuild_hours == pytest.approx(conv.rebuild_hours)
+
+    def test_bad_bottleneck_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_reliability(DCode(5), bottleneck="vibes")
+
+    def test_dcode_matches_xcode(self):
+        d = estimate_reliability(DCode(11), num_stripes=128)
+        x = estimate_reliability(XCode(11), num_stripes=128)
+        assert d.mttdl_hours == pytest.approx(x.mttdl_hours, rel=0.02)

@@ -1,0 +1,54 @@
+"""Self-audit tests (verification module + CLI verify command)."""
+
+import pytest
+
+from repro.analysis.verification import (
+    VerificationReport,
+    verify_reproduction,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    # small primes keep it fast; the full grid runs in the benchmark tier
+    return verify_reproduction(primes=(5, 7))
+
+
+class TestVerification:
+    def test_everything_passes(self, report):
+        failing = [r.name for r in report.results if not r.passed]
+        assert report.ok, failing
+
+    def test_covers_all_codes(self, report):
+        names = " ".join(r.name for r in report.results)
+        for code in ("dcode", "xcode", "rdp", "evenodd", "hcode", "hdp",
+                     "pcode"):
+            assert code in names
+
+    def test_covers_all_check_kinds(self, report):
+        names = [r.name for r in report.results]
+        assert any(n.startswith("MDS") for n in names)
+        assert any("constructions agree" in n for n in names)
+        assert any("optimality" in n for n in names)
+        assert any(n.startswith("round trip") for n in names)
+
+    def test_render_format(self, report):
+        text = report.render()
+        assert "[PASS]" in text
+        assert "overall: OK" in text
+
+    def test_report_accumulates(self):
+        rep = VerificationReport()
+        rep.add("a", True)
+        rep.add("b", False, "broken")
+        assert not rep.ok
+        assert "FAIL] b — broken" in rep.render()
+
+
+class TestCLI:
+    def test_verify_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--primes", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "overall: OK" in out

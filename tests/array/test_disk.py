@@ -1,0 +1,75 @@
+"""SimDisk unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.array.disk import DiskState, SimDisk
+from repro.exceptions import DiskFailedError, GeometryError
+
+
+@pytest.fixture
+def disk():
+    return SimDisk(disk_id=3, capacity=10, element_size=16)
+
+
+class TestIO:
+    def test_starts_zeroed(self, disk):
+        assert not disk.read(0).any()
+
+    def test_write_read_round_trip(self, disk, rng):
+        data = rng.integers(0, 256, 16, dtype=np.uint8)
+        disk.write(4, data)
+        assert np.array_equal(disk.read(4), data)
+
+    def test_read_returns_copy(self, disk, rng):
+        data = rng.integers(0, 256, 16, dtype=np.uint8)
+        disk.write(0, data)
+        out = disk.read(0)
+        out[:] = 0
+        assert np.array_equal(disk.read(0), data)
+
+    def test_offset_bounds(self, disk):
+        with pytest.raises(IndexError):
+            disk.read(10)
+        with pytest.raises(IndexError):
+            disk.write(-1, np.zeros(16, dtype=np.uint8))
+
+    def test_write_shape_checked(self, disk):
+        with pytest.raises(GeometryError):
+            disk.write(0, np.zeros(8, dtype=np.uint8))
+        with pytest.raises(GeometryError):
+            disk.write(0, np.zeros(16, dtype=np.int16))
+
+
+class TestCounters:
+    def test_counts_accumulate(self, disk, rng):
+        data = rng.integers(0, 256, 16, dtype=np.uint8)
+        for i in range(3):
+            disk.write(i, data)
+        disk.read(0)
+        disk.read(1)
+        assert disk.write_count == 3
+        assert disk.read_count == 2
+
+    def test_reset(self, disk):
+        disk.read(0)
+        disk.reset_counters()
+        assert disk.read_count == 0 and disk.write_count == 0
+
+
+class TestFailureLifecycle:
+    def test_failed_disk_refuses_io(self, disk):
+        disk.fail()
+        assert disk.state is DiskState.FAILED
+        with pytest.raises(DiskFailedError):
+            disk.read(0)
+        with pytest.raises(DiskFailedError):
+            disk.write(0, np.zeros(16, dtype=np.uint8))
+
+    def test_replace_blanks_store(self, disk, rng):
+        data = rng.integers(1, 256, 16, dtype=np.uint8)
+        disk.write(0, data)
+        disk.fail()
+        disk.replace()
+        assert not disk.failed
+        assert not disk.read(0).any()

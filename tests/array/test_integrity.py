@@ -1,0 +1,137 @@
+"""Checksum integrity-layer tests: locating and healing silent corruption."""
+
+import numpy as np
+import pytest
+
+from repro.array import RAID6Volume
+from repro.array.integrity import ChecksumStore, IntegrityChecker, crc32
+from repro.codes import Cell, DCode, make_code
+from repro.exceptions import InconsistentStripeError
+
+
+@pytest.fixture
+def volume(rng):
+    vol = RAID6Volume(DCode(7), num_stripes=3, element_size=16)
+    data = rng.integers(0, 256, (vol.num_elements, 16), dtype=np.uint8)
+    vol.write(0, data)
+    vol._truth = data
+    return vol
+
+
+@pytest.fixture
+def checker(volume):
+    return IntegrityChecker(volume)
+
+
+def corrupt_cell(volume, stripe, cell, flip=0xFF):
+    """Flip bytes behind the volume's back (no counters, no checksums)."""
+    loc = volume.mapper.locate_cell(stripe, cell)
+    volume.disks[loc.disk]._store[loc.offset] ^= flip
+
+
+class TestChecksumStore:
+    def test_crc_of_zero_block_is_default(self):
+        store = ChecksumStore(16)
+        zero = np.zeros(16, dtype=np.uint8)
+        assert store.matches(0, 0, zero)
+
+    def test_record_and_match(self, rng):
+        store = ChecksumStore(16)
+        block = rng.integers(0, 256, 16, dtype=np.uint8)
+        store.record(1, 5, block)
+        assert store.matches(1, 5, block)
+        assert not store.matches(1, 5, block ^ np.uint8(1))
+
+    def test_forget_disk(self, rng):
+        store = ChecksumStore(16)
+        block = rng.integers(1, 256, 16, dtype=np.uint8)
+        store.record(2, 0, block)
+        store.forget_disk(2)
+        # back to the implicit zero-block checksum
+        assert not store.matches(2, 0, block)
+
+    def test_crc32_stable(self):
+        block = np.arange(16, dtype=np.uint8)
+        assert crc32(block) == crc32(block.copy())
+
+
+class TestDetection:
+    def test_clean_volume_has_no_corruption(self, checker):
+        assert checker.find_corruption() == {}
+
+    def test_single_corruption_located_exactly(self, volume, checker):
+        target = Cell(2, 4)
+        corrupt_cell(volume, 1, target)
+        assert checker.find_corruption() == {1: [target]}
+
+    def test_parity_corruption_located(self, volume, checker):
+        target = volume.layout.parity_cells[0]
+        corrupt_cell(volume, 0, target)
+        found = checker.find_corruption()
+        assert found == {0: [target]}
+
+    def test_latent_error_reported_as_damage(self, volume, checker):
+        volume.inject_latent_error(disk=2, stripe=0, row=1)
+        found = checker.find_corruption()
+        assert Cell(1, 2) in found[0]
+
+    def test_legitimate_writes_do_not_trip(self, volume, checker, rng):
+        patch = rng.integers(0, 256, (5, 16), dtype=np.uint8)
+        volume.write(3, patch)
+        assert checker.find_corruption() == {}
+
+
+class TestRepair:
+    def test_single_silent_corruption_healed(self, volume, checker):
+        corrupt_cell(volume, 1, Cell(0, 3))
+        repaired = checker.verify_and_repair()
+        assert repaired == {1: [Cell(0, 3)]}
+        assert checker.find_corruption() == {}
+        assert volume.scrub() == []
+        assert np.array_equal(
+            volume.read(0, volume.num_elements), volume._truth
+        )
+
+    def test_two_corruptions_different_columns_healed(self, volume, checker):
+        corrupt_cell(volume, 0, Cell(1, 1))
+        corrupt_cell(volume, 0, Cell(3, 5))
+        checker.verify_and_repair()
+        assert np.array_equal(
+            volume.read(0, volume.num_elements), volume._truth
+        )
+
+    def test_mixed_corruption_and_latent_error(self, volume, checker):
+        corrupt_cell(volume, 2, Cell(0, 0))
+        volume.inject_latent_error(disk=6, stripe=2, row=3)
+        checker.verify_and_repair()
+        assert np.array_equal(
+            volume.read(0, volume.num_elements), volume._truth
+        )
+
+    def test_overwhelming_damage_raises(self, volume, checker):
+        # corrupt an entire stripe's data region — beyond any code's reach
+        for cell in volume.layout.data_cells:
+            corrupt_cell(volume, 0, cell)
+        with pytest.raises(InconsistentStripeError):
+            checker.verify_and_repair()
+
+    @pytest.mark.parametrize("name", ("rdp", "hdp", "evenodd"))
+    def test_other_codes(self, name, rng):
+        layout = make_code(name, 5)
+        vol = RAID6Volume(layout, num_stripes=2, element_size=16)
+        data = rng.integers(0, 256, (vol.num_elements, 16), dtype=np.uint8)
+        vol.write(0, data)
+        checker = IntegrityChecker(vol)
+        corrupt_cell(vol, 1, layout.data_cells[0])
+        checker.verify_and_repair()
+        assert np.array_equal(vol.read(0, vol.num_elements), data)
+
+
+class TestWriteRouting:
+    def test_new_writes_keep_checksums_current(self, volume, checker, rng):
+        patch = rng.integers(0, 256, (8, 16), dtype=np.uint8)
+        volume.write(11, patch)
+        assert checker.find_corruption() == {}
+        # and the store actually changed: corrupting now is detected
+        corrupt_cell(volume, 0, volume.layout.data_cells[11])
+        assert checker.find_corruption() != {}

@@ -1,0 +1,141 @@
+"""Latent-sector-error (medium error) handling across disk and volume."""
+
+import numpy as np
+import pytest
+
+from repro.array import RAID6Volume, SimDisk
+from repro.codes import DCode, make_code
+from repro.exceptions import InconsistentStripeError, LatentSectorError
+
+
+class TestDiskLevel:
+    def test_bad_sector_read_raises(self):
+        disk = SimDisk(0, capacity=4, element_size=8)
+        disk.mark_bad(2)
+        with pytest.raises(LatentSectorError) as exc:
+            disk.read(2)
+        assert exc.value.disk_id == 0
+        assert exc.value.offset == 2
+
+    def test_other_sectors_unaffected(self):
+        disk = SimDisk(0, capacity=4, element_size=8)
+        disk.mark_bad(2)
+        disk.read(0)
+        disk.read(3)
+
+    def test_write_remaps_bad_sector(self, rng):
+        disk = SimDisk(0, capacity=4, element_size=8)
+        disk.mark_bad(1)
+        data = rng.integers(0, 256, 8, dtype=np.uint8)
+        disk.write(1, data)
+        assert np.array_equal(disk.read(1), data)
+        assert disk.bad_sectors == frozenset()
+
+    def test_replace_clears_bad_sectors(self):
+        disk = SimDisk(0, capacity=4, element_size=8)
+        disk.mark_bad(0)
+        disk.fail()
+        disk.replace()
+        disk.read(0)
+
+    def test_mark_bad_bounds(self):
+        disk = SimDisk(0, capacity=4, element_size=8)
+        with pytest.raises(IndexError):
+            disk.mark_bad(4)
+
+
+@pytest.fixture
+def volume(rng):
+    vol = RAID6Volume(DCode(7), num_stripes=4, element_size=16)
+    data = rng.integers(0, 256, (vol.num_elements, 16), dtype=np.uint8)
+    vol.write(0, data)
+    vol._truth = data  # stashed for assertions
+    return vol
+
+
+class TestVolumeReads:
+    def test_read_through_single_latent_error(self, volume):
+        volume.inject_latent_error(disk=3, stripe=0, row=0)
+        out = volume.read(0, volume.num_elements)
+        assert np.array_equal(out, volume._truth)
+
+    def test_read_through_two_errors_in_one_stripe(self, volume):
+        volume.inject_latent_error(disk=1, stripe=0, row=2)
+        volume.inject_latent_error(disk=4, stripe=0, row=3)
+        assert np.array_equal(
+            volume.read(0, volume.num_elements), volume._truth
+        )
+
+    def test_failed_disk_plus_latent_error_elsewhere(self, volume):
+        """More than RAID-6's column guarantee: cell-level decoding."""
+        volume.fail_disk(0)
+        volume.inject_latent_error(disk=2, stripe=1, row=1)
+        assert np.array_equal(
+            volume.read(0, volume.num_elements), volume._truth
+        )
+
+    def test_errors_in_different_stripes_independent(self, volume):
+        for stripe in range(4):
+            volume.inject_latent_error(disk=stripe % 7, stripe=stripe,
+                                       row=1)
+        assert np.array_equal(
+            volume.read(0, volume.num_elements), volume._truth
+        )
+
+
+class TestScrubAndRepair:
+    def test_repair_clears_errors(self, volume):
+        volume.inject_latent_error(disk=2, stripe=0, row=0)
+        volume.inject_latent_error(disk=5, stripe=2, row=4)
+        repaired = volume.scrub_and_repair()
+        assert set(repaired) == {0, 2}
+        # second scrub finds nothing; raw reads work again
+        assert volume.scrub_and_repair() == {}
+        assert np.array_equal(
+            volume.read(0, volume.num_elements), volume._truth
+        )
+
+    def test_repair_restores_parity_cells_too(self, volume):
+        parity_cell = volume.layout.parity_cells[0]
+        volume.inject_latent_error(
+            disk=parity_cell.col, stripe=1, row=parity_cell.row
+        )
+        repaired = volume.scrub_and_repair()
+        assert repaired[1] == [parity_cell]
+        assert volume.scrub() == []
+
+    def test_silent_corruption_is_reported_not_fixed(self, volume):
+        # flip bytes behind the volume's back: parity now disagrees but no
+        # sector is marked bad, so repair must refuse to guess
+        disk = volume.disks[0]
+        disk._store[0] ^= 0xFF
+        with pytest.raises(InconsistentStripeError):
+            volume.scrub_and_repair()
+
+    def test_repair_requires_healthy_array(self, volume):
+        volume.fail_disk(0)
+        with pytest.raises(ValueError):
+            volume.scrub_and_repair()
+
+
+class TestRebuildWithLatentErrors:
+    def test_rebuild_survives_medium_error_in_read_set(self, volume):
+        """The classic nightmare: rebuild hits a latent error elsewhere."""
+        volume.fail_disk(0)
+        # break a sector on another disk in every stripe
+        for stripe in range(4):
+            volume.inject_latent_error(disk=3, stripe=stripe, row=0)
+        volume.replace_and_rebuild(0)
+        # disk 0 fully restored despite the degraded read set
+        volume_reads = volume.read(0, volume.num_elements)
+        assert np.array_equal(volume_reads, volume._truth)
+
+    @pytest.mark.parametrize("name", ("rdp", "evenodd", "hdp"))
+    def test_other_codes_handle_latent_errors(self, name, rng):
+        layout = make_code(name, 5)
+        vol = RAID6Volume(layout, num_stripes=2, element_size=16)
+        data = rng.integers(0, 256, (vol.num_elements, 16), dtype=np.uint8)
+        vol.write(0, data)
+        vol.inject_latent_error(disk=1, stripe=0, row=0)
+        assert np.array_equal(vol.read(0, vol.num_elements), data)
+        assert vol.scrub_and_repair()[0]

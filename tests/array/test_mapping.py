@@ -1,0 +1,78 @@
+"""AddressMapper bijectivity and rotation tests."""
+
+import pytest
+
+from repro.array.mapping import AddressMapper
+from repro.codes import Cell, DCode, RDP
+from repro.exceptions import AddressError
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(DCode(7), num_stripes=4)
+
+
+@pytest.fixture
+def rotated():
+    return AddressMapper(DCode(7), num_stripes=4, rotate=True)
+
+
+class TestLogicalPhysical:
+    def test_capacity(self, mapper):
+        assert mapper.num_elements == 4 * 35
+        assert mapper.disk_capacity == 4 * 7
+
+    def test_locate_first_and_last(self, mapper):
+        first = mapper.locate(0)
+        assert (first.stripe, first.cell) == (0, Cell(0, 0))
+        last = mapper.locate(mapper.num_elements - 1)
+        assert last.stripe == 3
+        assert last.cell == Cell(4, 6)  # last data cell of D-Code(7)
+
+    def test_out_of_range(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.locate(-1)
+        with pytest.raises(AddressError):
+            mapper.locate(mapper.num_elements)
+
+    def test_round_trip_bijection(self, mapper):
+        seen = set()
+        for k in range(mapper.num_elements):
+            loc = mapper.locate(k)
+            assert mapper.logical_of(loc.stripe, loc.cell) == k
+            key = (loc.disk, loc.offset)
+            assert key not in seen, "two logical elements on one block"
+            seen.add(key)
+
+    def test_offsets_within_disk_capacity(self, mapper):
+        for k in range(mapper.num_elements):
+            loc = mapper.locate(k)
+            assert 0 <= loc.offset < mapper.disk_capacity
+
+    def test_stripe_bounds_checked(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.locate_cell(4, Cell(0, 0))
+
+
+class TestRotation:
+    def test_unrotated_identity(self, mapper):
+        for stripe in range(4):
+            for col in range(7):
+                assert mapper.disk_of(stripe, col) == col
+
+    def test_rotation_shifts_per_stripe(self, rotated):
+        assert rotated.disk_of(0, 0) == 0
+        assert rotated.disk_of(1, 0) == 1
+        assert rotated.disk_of(3, 6) == (6 + 3) % 7
+
+    def test_col_on_disk_is_inverse(self, rotated):
+        for stripe in range(4):
+            for col in range(7):
+                disk = rotated.disk_of(stripe, col)
+                assert rotated.col_on_disk(stripe, disk) == col
+
+    def test_rotation_spreads_parity_disks(self):
+        # with rotation, RDP's row-parity column lands on every disk
+        m = AddressMapper(RDP(5), num_stripes=6, rotate=True)
+        disks = {m.disk_of(s, 4) for s in range(6)}
+        assert len(disks) == 6

@@ -1,0 +1,109 @@
+"""Volume persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.array import RAID6Volume
+from repro.array.persistence import (
+    PersistenceError,
+    load_volume,
+    save_volume,
+)
+from repro.codes import DCode, make_code
+
+
+@pytest.fixture
+def volume(rng):
+    vol = RAID6Volume(DCode(7), num_stripes=3, element_size=16)
+    data = rng.integers(0, 256, (vol.num_elements, 16), dtype=np.uint8)
+    vol.write(0, data)
+    vol._truth = data
+    return vol
+
+
+class TestRoundTrip:
+    def test_contents_identical(self, volume, tmp_path):
+        path = save_volume(volume, tmp_path / "vol.npz")
+        restored = load_volume(path)
+        assert np.array_equal(
+            restored.read(0, restored.num_elements), volume._truth
+        )
+        assert restored.scrub() == []
+
+    def test_geometry_restored(self, volume, tmp_path):
+        restored = load_volume(save_volume(volume, tmp_path / "v.npz"))
+        assert restored.layout.name == "dcode"
+        assert restored.layout.p == 7
+        assert restored.mapper.num_stripes == 3
+        assert restored.element_size == 16
+
+    def test_failed_disks_survive(self, volume, tmp_path):
+        volume.fail_disk(2)
+        restored = load_volume(save_volume(volume, tmp_path / "v.npz"))
+        assert restored.failed_disks == (2,)
+        assert np.array_equal(
+            restored.read(0, restored.num_elements), volume._truth
+        )
+
+    def test_bad_sectors_survive(self, volume, tmp_path):
+        volume.inject_latent_error(disk=1, stripe=0, row=0)
+        restored = load_volume(save_volume(volume, tmp_path / "v.npz"))
+        assert restored.disks[1].bad_sectors
+        # and reads still reconstruct through them
+        assert np.array_equal(
+            restored.read(0, restored.num_elements), volume._truth
+        )
+
+    def test_rotation_flag_survives(self, rng, tmp_path):
+        vol = RAID6Volume(make_code("rdp", 5), num_stripes=2,
+                          element_size=8, rotate=True)
+        data = rng.integers(0, 256, (vol.num_elements, 8), dtype=np.uint8)
+        vol.write(0, data)
+        restored = load_volume(save_volume(vol, tmp_path / "r.npz"))
+        assert restored.mapper.rotate
+        assert np.array_equal(restored.read(0, restored.num_elements), data)
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="no archive"):
+            load_volume(tmp_path / "nope.npz")
+
+    def test_wrong_format_version(self, volume, tmp_path):
+        import json
+
+        path = save_volume(volume, tmp_path / "v.npz")
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files if k != "meta"}
+            meta = json.loads(str(archive["meta"]))
+        meta["format"] = 99
+        np.savez_compressed(path, meta=json.dumps(meta), **arrays)
+        with pytest.raises(PersistenceError, match="format"):
+            load_volume(path)
+
+    def test_missing_disk_array(self, volume, tmp_path):
+        import json
+
+        path = save_volume(volume, tmp_path / "v.npz")
+        with np.load(path) as archive:
+            meta = str(archive["meta"])
+            arrays = {
+                k: archive[k]
+                for k in archive.files
+                if k not in ("meta", "disk_0")
+            }
+        np.savez_compressed(path, meta=meta, **arrays)
+        with pytest.raises(PersistenceError, match="disk_0"):
+            load_volume(path)
+
+    def test_shape_mismatch_detected(self, volume, tmp_path):
+        import json
+
+        path = save_volume(volume, tmp_path / "v.npz")
+        with np.load(path) as archive:
+            meta = json.loads(str(archive["meta"]))
+            arrays = {k: archive[k] for k in archive.files if k != "meta"}
+        arrays["disk_0"] = np.zeros((1, 1), dtype=np.uint8)
+        np.savez_compressed(path, meta=json.dumps(meta), **arrays)
+        with pytest.raises(PersistenceError, match="shape"):
+            load_volume(path)

@@ -1,0 +1,91 @@
+"""Gaussian-decoder tests: the universal oracle, and oracle agreement."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.codec.decoder import ChainDecoder
+from repro.codec.encoder import StripeCodec
+from repro.codec.gauss import GaussianDecoder, can_recover, can_recover_cells
+from repro.exceptions import DecodeError
+
+
+@pytest.fixture
+def codec(small_layout):
+    return StripeCodec(small_layout, element_size=32)
+
+
+class TestDecoding:
+    def test_double_column_round_trip(self, codec, rng):
+        truth = codec.random_stripe(rng)
+        stripe = truth.copy()
+        codec.erase_columns(stripe, [0, 1])
+        GaussianDecoder(codec).decode_columns(stripe, [0, 1])
+        assert np.array_equal(stripe, truth)
+
+    def test_arbitrary_cell_loss(self, codec, rng):
+        truth = codec.random_stripe(rng)
+        stripe = truth.copy()
+        # lose a mix of data and parity from different columns
+        lost = [codec.layout.data_cells[0], codec.layout.parity_cells[-1]]
+        for c in lost:
+            stripe[c.row, c.col] = 0
+        GaussianDecoder(codec).decode_cells(stripe, lost)
+        assert np.array_equal(stripe, truth)
+
+    def test_no_loss_is_noop(self, codec, rng):
+        truth = codec.random_stripe(rng)
+        stripe = truth.copy()
+        GaussianDecoder(codec).decode_cells(stripe, [])
+        assert np.array_equal(stripe, truth)
+
+    def test_unrecoverable_pattern_raises(self, codec):
+        stripe = codec.blank_stripe()
+        everything = [
+            c
+            for col in range(codec.layout.cols)
+            for c in codec.layout.cells_in_column(col)
+        ]
+        with pytest.raises(DecodeError):
+            GaussianDecoder(codec).decode_cells(stripe, everything)
+
+
+class TestOracleAgreement:
+    """Chain and Gaussian decoders must produce identical stripes."""
+
+    def test_agreement_on_all_double_failures(self, codec, rng):
+        if not codec.layout.chain_decodable:
+            pytest.skip("chain decoding not applicable")
+        truth = codec.random_stripe(rng)
+        chain, gauss = ChainDecoder(codec), GaussianDecoder(codec)
+        for f1, f2 in itertools.combinations(range(codec.layout.cols), 2):
+            s1, s2 = truth.copy(), truth.copy()
+            codec.erase_columns(s1, [f1, f2])
+            codec.erase_columns(s2, [f1, f2])
+            chain.decode_columns(s1, [f1, f2])
+            gauss.decode_columns(s2, [f1, f2])
+            assert np.array_equal(s1, s2), (f1, f2)
+
+
+class TestRecoverability:
+    def test_can_recover_empty(self, codec):
+        assert can_recover(codec.layout, [])
+        assert can_recover_cells(codec.layout, [])
+
+    def test_can_recover_cells_partial_losses(self, codec):
+        # losing one cell from each of three different columns is fine —
+        # strictly more patterns than whole-column RAID-6 failures
+        cells = []
+        for col in range(3):
+            cells.append(codec.layout.cells_in_column(col)[0])
+        assert can_recover_cells(codec.layout, cells)
+
+    def test_can_recover_cells_everything_lost(self, codec):
+        everything = [
+            c
+            for col in range(codec.layout.cols)
+            for c in codec.layout.cells_in_column(col)
+        ]
+        assert not can_recover_cells(codec.layout, everything)

@@ -1,0 +1,84 @@
+"""Deeper properties of chain-recovery schedules."""
+
+import itertools
+
+import pytest
+
+from repro.codes import DCode, XCode, make_code
+from repro.codes.base import column_failure_cells
+from repro.codec.decoder import ChainDecoder, plan_chain_recovery
+from repro.codec.encoder import StripeCodec
+
+
+def plan_for(layout, cols):
+    return plan_chain_recovery(layout, column_failure_cells(layout, cols))
+
+
+class TestScheduleStructure:
+    @pytest.mark.parametrize("name", ("dcode", "xcode", "rdp", "hcode",
+                                      "hdp", "pcode"))
+    def test_each_cell_rebuilt_exactly_once(self, name, small_prime):
+        layout = make_code(name, small_prime)
+        for pair in itertools.combinations(range(layout.cols), 2):
+            plan = plan_for(layout, pair)
+            cells = [s.cell for s in plan]
+            assert len(cells) == len(set(cells)), (name, pair)
+
+    @pytest.mark.parametrize("n", (5, 7, 11))
+    def test_dcode_chains_alternate_families(self, n):
+        """The paper's zig-zag: consecutive rebuilds of *data* cells in a
+        chain alternate horizontal/deployment groups — a horizontal
+        equation unlocks a deployment one and vice versa."""
+        layout = DCode(n)
+        plan = plan_for(layout, (0, 1))
+        # group steps into dependency chains: a step continues a chain if
+        # it reads the previous step's cell
+        families_used = {s.group.family for s in plan
+                         if layout.is_data(s.cell)}
+        assert families_used == {"horizontal", "deployment"}
+
+    @pytest.mark.parametrize("n", (5, 7))
+    def test_dcode_schedule_length_is_total_loss(self, n):
+        layout = DCode(n)
+        for pair in itertools.combinations(range(n), 2):
+            plan = plan_for(layout, pair)
+            assert len(plan) == 2 * n  # 2 columns x n cells each
+
+    def test_parity_cells_rebuilt_from_their_own_groups(self):
+        layout = DCode(7)
+        plan = plan_for(layout, (2, 3))
+        for step in plan:
+            if layout.is_parity(step.cell):
+                assert step.group.parity == step.cell
+
+    @pytest.mark.parametrize("n", (5, 7, 11))
+    def test_dcode_and_xcode_schedules_same_length(self, n):
+        """Theorem 1's operational consequence."""
+        for pair in itertools.combinations(range(n), 2):
+            d = plan_for(DCode(n), pair)
+            x = plan_for(XCode(n), pair)
+            assert len(d) == len(x)
+
+
+class TestReadsPerDisk:
+    @pytest.mark.parametrize("name", ("dcode", "xcode"))
+    def test_reads_bounded_by_column_heights(self, name):
+        layout = make_code(name, 7)
+        codec = StripeCodec(layout, element_size=8)
+        decoder = ChainDecoder(codec)
+        for pair in itertools.combinations(range(7), 2):
+            plan = decoder.plan_for_columns(list(pair))
+            per_disk = decoder.reads_per_disk(plan)
+            for col, count in per_disk.items():
+                assert col not in pair
+                assert count <= len(layout.cells_in_column(col))
+
+    def test_total_reads_at_most_all_survivors(self):
+        layout = DCode(7)
+        codec = StripeCodec(layout, element_size=8)
+        decoder = ChainDecoder(codec)
+        plan = decoder.plan_for_columns([0, 1])
+        survivors = sum(
+            len(layout.cells_in_column(c)) for c in range(2, 7)
+        )
+        assert sum(decoder.reads_per_disk(plan).values()) <= survivors

@@ -1,0 +1,111 @@
+"""Delta-update tests: correctness of RMW and the update-complexity claims."""
+
+import numpy as np
+import pytest
+
+from repro.codes import DCode, EvenOdd, HCode, HDPCode, RDP, XCode, make_code
+from repro.codec.encoder import StripeCodec
+from repro.codec.update import (
+    apply_update,
+    average_update_complexity,
+    update_footprint,
+)
+from repro.exceptions import GeometryError
+
+
+@pytest.fixture
+def codec(small_layout):
+    return StripeCodec(small_layout, element_size=32)
+
+
+class TestApplyUpdate:
+    def test_update_equals_reencode(self, codec, rng):
+        stripe = codec.random_stripe(rng)
+        cell = codec.layout.data_cells[5 % codec.layout.num_data_cells]
+        new = rng.integers(0, 256, 32, dtype=np.uint8)
+        apply_update(codec, stripe, cell, new)
+        reference = stripe.copy()
+        codec.encode(reference)
+        assert np.array_equal(stripe, reference)
+        assert codec.parity_ok(stripe)
+
+    def test_updates_every_data_cell(self, codec, rng):
+        stripe = codec.random_stripe(rng)
+        for cell in codec.layout.data_cells:
+            new = rng.integers(0, 256, 32, dtype=np.uint8)
+            apply_update(codec, stripe, cell, new)
+        assert codec.parity_ok(stripe)
+
+    def test_noop_write_touches_nothing(self, codec, rng):
+        stripe = codec.random_stripe(rng)
+        cell = codec.layout.data_cells[0]
+        touched = apply_update(
+            codec, stripe, cell, stripe[cell.row, cell.col].copy()
+        )
+        assert touched == ()
+
+    def test_touched_matches_footprint(self, codec, rng):
+        stripe = codec.random_stripe(rng)
+        cell = codec.layout.data_cells[1]
+        # flip every byte so no per-path delta can cancel to zero
+        new = stripe[cell.row, cell.col] ^ np.uint8(0xFF)
+        touched = apply_update(codec, stripe, cell, new)
+        assert set(touched) == set(update_footprint(codec.layout, cell))
+
+    def test_parity_cell_rejected(self, codec, rng):
+        stripe = codec.random_stripe(rng)
+        with pytest.raises(GeometryError):
+            apply_update(
+                codec, stripe, codec.layout.parity_cells[0],
+                np.zeros(32, dtype=np.uint8),
+            )
+
+    def test_wrong_shape_rejected(self, codec, rng):
+        stripe = codec.random_stripe(rng)
+        with pytest.raises(GeometryError):
+            apply_update(
+                codec, stripe, codec.layout.data_cells[0],
+                np.zeros(16, dtype=np.uint8),
+            )
+
+
+class TestUpdateComplexityClaims:
+    """§III-D: D-Code updates exactly two parities; baselines differ."""
+
+    @pytest.mark.parametrize("p", (5, 7, 11, 13))
+    def test_dcode_optimal(self, p):
+        layout = DCode(p)
+        for cell in layout.data_cells:
+            assert len(update_footprint(layout, cell)) == 2
+
+    @pytest.mark.parametrize("p", (5, 7, 11))
+    def test_xcode_and_hcode_optimal(self, p):
+        for layout in (XCode(p), HCode(p)):
+            assert average_update_complexity(layout) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("p", (5, 7, 11))
+    def test_hdp_always_three(self, p):
+        layout = HDPCode(p)
+        for cell in layout.data_cells:
+            assert len(update_footprint(layout, cell)) == 3
+
+    @pytest.mark.parametrize("p", (5, 7, 11))
+    def test_rdp_above_optimal(self, p):
+        # row parity + own diagonal + the diagonal through the row parity,
+        # except for missing-diagonal cells
+        layout = RDP(p)
+        avg = average_update_complexity(layout)
+        assert 2.0 < avg <= 3.0
+
+    @pytest.mark.parametrize("p", (5, 7))
+    def test_evenodd_worst_on_adjuster(self, p):
+        layout = EvenOdd(p)
+        worst = max(
+            len(update_footprint(layout, c)) for c in layout.data_cells
+        )
+        assert worst == p  # adjuster cells dirty every diagonal parity
+
+    def test_footprint_rejects_parity_cell(self):
+        layout = DCode(5)
+        with pytest.raises(GeometryError):
+            update_footprint(layout, layout.parity_cells[0])

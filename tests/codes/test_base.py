@@ -1,0 +1,174 @@
+"""Tests for the layout framework (Cell, ParityGroup, CodeLayout)."""
+
+import pytest
+
+from repro.codes.base import (
+    Cell,
+    CodeLayout,
+    ParityGroup,
+    cell_to_flat,
+    column_failure_cells,
+    describe_families,
+    equations_as_cellsets,
+    flat_to_cell,
+)
+
+
+def tiny_layout():
+    """A minimal hand-built layout: 2x3, one parity per family."""
+    data = [Cell(0, 0), Cell(0, 1), Cell(1, 0), Cell(1, 1)]
+    groups = [
+        ParityGroup(Cell(0, 2), (Cell(0, 0), Cell(0, 1)), "row"),
+        ParityGroup(Cell(1, 2), (Cell(1, 0), Cell(1, 1)), "row"),
+    ]
+    return CodeLayout(
+        name="tiny", p=2, rows=2, cols=3, data_cells=data, groups=groups
+    )
+
+
+class TestCell:
+    def test_ordering_row_major(self):
+        assert Cell(0, 5) < Cell(1, 0)
+        assert Cell(1, 0) < Cell(1, 1)
+
+    def test_equality_and_hash(self):
+        assert Cell(2, 3) == Cell(2, 3)
+        assert len({Cell(1, 1), Cell(1, 1), Cell(1, 2)}) == 2
+
+    def test_repr_compact(self):
+        assert repr(Cell(4, 6)) == "C(4,6)"
+
+
+class TestParityGroup:
+    def test_rejects_self_membership(self):
+        with pytest.raises(ValueError):
+            ParityGroup(Cell(0, 0), (Cell(0, 0), Cell(0, 1)), "row")
+
+    def test_rejects_duplicate_members(self):
+        with pytest.raises(ValueError):
+            ParityGroup(Cell(0, 2), (Cell(0, 0), Cell(0, 0)), "row")
+
+    def test_cells_includes_parity_first(self):
+        g = ParityGroup(Cell(0, 2), (Cell(0, 0), Cell(0, 1)), "row")
+        assert g.cells == (Cell(0, 2), Cell(0, 0), Cell(0, 1))
+
+
+class TestCodeLayoutConstruction:
+    def test_counts(self):
+        lay = tiny_layout()
+        assert lay.num_data_cells == 4
+        assert lay.num_parity_cells == 2
+        assert lay.num_cells == 6
+        assert lay.num_disks == 3
+
+    def test_storage_efficiency(self):
+        assert tiny_layout().storage_efficiency == pytest.approx(4 / 6)
+
+    def test_duplicate_data_cell_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CodeLayout(
+                name="bad", p=2, rows=1, cols=2,
+                data_cells=[Cell(0, 0), Cell(0, 0)], groups=[],
+            )
+
+    def test_cell_role_conflict_rejected(self):
+        with pytest.raises(ValueError, match="both data and parity"):
+            CodeLayout(
+                name="bad", p=2, rows=1, cols=2,
+                data_cells=[Cell(0, 0)],
+                groups=[ParityGroup(Cell(0, 0), (Cell(0, 1),), "row")],
+            )
+
+    def test_group_referencing_unlaid_cell_rejected(self):
+        with pytest.raises(ValueError, match="unlaid"):
+            CodeLayout(
+                name="bad", p=2, rows=2, cols=2,
+                data_cells=[Cell(0, 0)],
+                groups=[ParityGroup(Cell(0, 1), (Cell(1, 1),), "row")],
+            )
+
+    def test_out_of_grid_rejected(self):
+        with pytest.raises(IndexError):
+            CodeLayout(
+                name="bad", p=2, rows=1, cols=1,
+                data_cells=[Cell(0, 5)], groups=[],
+            )
+
+
+class TestAccessors:
+    def test_data_index_bijection(self):
+        lay = tiny_layout()
+        for k in range(lay.num_data_cells):
+            assert lay.data_index(lay.data_cell(k)) == k
+
+    def test_data_index_rejects_parity(self):
+        lay = tiny_layout()
+        with pytest.raises(KeyError):
+            lay.data_index(Cell(0, 2))
+
+    def test_group_of_parity(self):
+        lay = tiny_layout()
+        assert lay.group_of_parity(Cell(0, 2)).members == (
+            Cell(0, 0), Cell(0, 1)
+        )
+        with pytest.raises(KeyError):
+            lay.group_of_parity(Cell(0, 0))
+
+    def test_groups_covering(self):
+        lay = tiny_layout()
+        assert len(lay.groups_covering(Cell(0, 0))) == 1
+        assert lay.groups_covering(Cell(0, 2)) == ()
+
+    def test_cells_in_column_sorted(self):
+        lay = tiny_layout()
+        assert lay.cells_in_column(2) == (Cell(0, 2), Cell(1, 2))
+        assert lay.cells_in_column(0) == (Cell(0, 0), Cell(1, 0))
+
+    def test_families(self):
+        assert tiny_layout().families() == ("row",)
+
+    def test_is_data_is_parity(self):
+        lay = tiny_layout()
+        assert lay.is_data(Cell(0, 0)) and not lay.is_parity(Cell(0, 0))
+        assert lay.is_parity(Cell(0, 2)) and not lay.is_data(Cell(0, 2))
+        assert not lay.is_data(Cell(5, 5))
+
+
+class TestHelpers:
+    def test_flat_round_trip(self):
+        lay = tiny_layout()
+        for row in range(lay.rows):
+            for col in range(lay.cols):
+                cell = Cell(row, col)
+                assert flat_to_cell(lay, cell_to_flat(lay, cell)) == cell
+
+    def test_column_failure_cells(self):
+        lay = tiny_layout()
+        lost = column_failure_cells(lay, [2])
+        assert lost == frozenset({Cell(0, 2), Cell(1, 2)})
+
+    def test_equations_as_cellsets(self):
+        sets = equations_as_cellsets(tiny_layout())
+        assert frozenset({Cell(0, 2), Cell(0, 0), Cell(0, 1)}) in sets
+
+    def test_describe_families(self):
+        assert describe_families(tiny_layout()) == {"row": 2}
+
+    def test_layout_grid(self):
+        lay = tiny_layout()
+        grid = lay.layout_grid()
+        assert grid[0] == ["D", "D", "P"]
+        assert lay.family_letters() == {"row": "P"}
+
+    def test_layout_grid_distinct_family_letters(self):
+        from repro.codes.dcode import DCode
+
+        lay = DCode(5)
+        letters = lay.family_letters()
+        assert letters["horizontal"] != letters["deployment"]
+        grid = lay.layout_grid()
+        assert set(grid[3]) == {letters["horizontal"]}
+        assert set(grid[4]) == {letters["deployment"]}
+
+    def test_check_invariants_passes(self):
+        tiny_layout().check_invariants()

@@ -1,0 +1,85 @@
+"""Blaum–Roth bitmatrix code tests."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes.blaum_roth import (
+    BlaumRothCode,
+    blaum_roth_matrices,
+    mul_x_matrix,
+)
+
+
+class TestRingStructure:
+    @pytest.mark.parametrize("p", (5, 7, 11))
+    def test_mul_x_matrix_order(self, p):
+        """x has multiplicative order p in R: B^p == I, B^i != I for i<p."""
+        B = mul_x_matrix(p).astype(np.uint8)
+        w = p - 1
+        cur = np.eye(w, dtype=np.uint8)
+        for i in range(1, p):
+            cur = (cur @ B) % 2
+            assert not np.array_equal(cur, np.eye(w, dtype=np.uint8)), i
+        cur = (cur @ B) % 2
+        assert np.array_equal(cur, np.eye(w, dtype=np.uint8))
+
+    def test_overflow_column_folds_modulus(self):
+        B = mul_x_matrix(5)
+        # x * x^3 = x^4 ≡ 1 + x + x^2 + x^3
+        assert B[:, 3].all()
+
+    @pytest.mark.parametrize("p", (5, 7))
+    def test_matrices_are_powers(self, p):
+        Xs = blaum_roth_matrices(p)
+        B = mul_x_matrix(p).astype(np.uint8)
+        acc = np.eye(p - 1, dtype=np.uint8)
+        for X in Xs:
+            assert np.array_equal(X, acc.astype(bool))
+            acc = (acc @ B) % 2
+
+
+class TestMDS:
+    @pytest.mark.parametrize("p", (5, 7, 11, 13))
+    def test_mds_at_every_prime(self, p):
+        codec = BlaumRothCode(p, element_size=(p - 1) * 4)
+        assert codec.is_mds()
+
+    def test_shortened_mds(self):
+        codec = BlaumRothCode(7, k=4, element_size=24)
+        assert codec.is_mds()
+        assert codec.num_disks == 6
+
+
+class TestCodec:
+    @pytest.fixture
+    def codec(self):
+        return BlaumRothCode(5, element_size=32)
+
+    def test_round_trip_all_double_erasures(self, codec, rng):
+        data = rng.integers(
+            0, 256, (codec.k, codec.element_size), dtype=np.uint8
+        )
+        stripe = codec.encode(data)
+        for a, b in itertools.combinations(range(codec.num_disks), 2):
+            damaged = stripe.copy()
+            damaged[a] = 0
+            damaged[b] = 0
+            codec.decode(damaged, [a, b])
+            assert np.array_equal(damaged, stripe), (a, b)
+
+    def test_element_size_constraint(self):
+        with pytest.raises(ValueError):
+            BlaumRothCode(5, element_size=30)  # not divisible by 4
+
+    def test_non_prime_rejected(self):
+        with pytest.raises(ValueError):
+            BlaumRothCode(8, element_size=28)
+
+    @pytest.mark.parametrize("p", (5, 7, 11, 13))
+    def test_density_pinned(self, p):
+        """Regression pin: the power-basis densities (see module doc)."""
+        codec = BlaumRothCode(p, element_size=(p - 1) * 4)
+        expected = {5: 25, 7: 61, 11: 181, 13: 265}[p]
+        assert codec.density() == expected

@@ -1,0 +1,199 @@
+"""D-Code construction tests — the paper's §III checked in detail."""
+
+import pytest
+
+from repro.codes.base import Cell
+from repro.codes.dcode import (
+    DCode,
+    deployment_order,
+    horizontal_order,
+    xcode_reorder_row,
+)
+from repro.codes.xcode import XCode
+
+PRIMES = (5, 7, 11, 13)
+
+
+def group_signature(layout):
+    """Canonical, order-independent description of all parity groups."""
+    return sorted(
+        (g.parity, g.family, tuple(sorted(g.members))) for g in layout.groups
+    )
+
+
+class TestConstructionEquivalence:
+    """Paper Theorem 1 + §III-A: three definitions, one code."""
+
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_closed_form_equals_procedural(self, n):
+        assert group_signature(DCode(n, "closed-form")) == group_signature(
+            DCode(n, "procedural")
+        )
+
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_closed_form_equals_xcode_reorder(self, n):
+        assert group_signature(DCode(n, "closed-form")) == group_signature(
+            DCode(n, "xcode-reorder")
+        )
+
+    def test_unknown_construction_rejected(self):
+        with pytest.raises(ValueError, match="construction"):
+            DCode(7, "made-up")
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_square_stripe(self, n):
+        lay = DCode(n)
+        assert lay.rows == lay.cols == n
+        assert lay.num_disks == n
+
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_data_in_first_rows_parity_in_last_two(self, n):
+        lay = DCode(n)
+        assert all(c.row <= n - 3 for c in lay.data_cells)
+        assert all(c.row in (n - 2, n - 1) for c in lay.parity_cells)
+
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_every_disk_carries_exactly_two_parities(self, n):
+        # the even parity distribution behind the paper's load balancing
+        lay = DCode(n)
+        for col in range(n):
+            parities = [c for c in lay.parity_cells if c.col == col]
+            assert len(parities) == 2
+
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_counts(self, n):
+        lay = DCode(n)
+        assert lay.num_data_cells == n * (n - 2)
+        assert lay.num_parity_cells == 2 * n
+
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_group_sizes(self, n):
+        # every parity is the XOR of exactly n-2 data elements
+        for g in DCode(n).groups:
+            assert len(g.members) == n - 2
+
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_each_data_cell_in_one_group_per_family(self, n):
+        lay = DCode(n)
+        for cell in lay.data_cells:
+            fams = sorted(g.family for g in lay.groups_covering(cell))
+            assert fams == ["deployment", "horizontal"]
+
+    def test_non_prime_rejected(self):
+        with pytest.raises(ValueError):
+            DCode(9)
+
+    def test_too_small_prime_rejected(self):
+        with pytest.raises(ValueError):
+            DCode(3)
+
+
+class TestPaperWorkedExample:
+    """The concrete 7-disk values the paper spells out in §III-A."""
+
+    def test_horizontal_group_2(self):
+        # paper: P5,1 = D1,3 ^ D1,4 ^ D1,5 ^ D1,6 ^ D2,0
+        lay = DCode(7)
+        group = lay.group_of_parity(Cell(5, 1))
+        assert group.family == "horizontal"
+        assert set(group.members) == {
+            Cell(1, 3), Cell(1, 4), Cell(1, 5), Cell(1, 6), Cell(2, 0)
+        }
+
+    def test_deployment_group_a(self):
+        # paper: P6,2 = D0,0 ^ D0,6 ^ D1,5 ^ D2,4 ^ D3,3
+        lay = DCode(7)
+        group = lay.group_of_parity(Cell(6, 2))
+        assert group.family == "deployment"
+        assert set(group.members) == {
+            Cell(0, 0), Cell(0, 6), Cell(1, 5), Cell(2, 4), Cell(3, 3)
+        }
+
+    def test_deployment_parity_columns(self):
+        # step 3: group g's parity sits at column <2(g+1)>_n
+        lay = DCode(7)
+        deploy = deployment_order(7)
+        for g in range(7):
+            run = deploy[g * 5: (g + 1) * 5]
+            covering = {
+                grp.parity
+                for cell in run
+                for grp in lay.groups_covering(cell)
+                if grp.family == "deployment"
+            }
+            assert covering == {Cell(6, (2 * (g + 1)) % 7)}
+
+
+class TestOrders:
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_horizontal_order_is_row_major(self, n):
+        order = horizontal_order(n)
+        assert order[0] == Cell(0, 0)
+        assert order[1] == Cell(0, 1)
+        assert order[n] == Cell(1, 0)
+        assert order[-1] == Cell(n - 3, n - 1)
+
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_deployment_order_is_permutation(self, n):
+        order = deployment_order(n)
+        assert len(order) == n * (n - 2)
+        assert len(set(order)) == len(order)
+
+    def test_deployment_order_paper_prefix(self):
+        # §III-A: 0th..4th deployment elements are D0,0 D0,6 D1,5 D2,4 D3,3
+        assert deployment_order(7)[:5] == [
+            Cell(0, 0), Cell(0, 6), Cell(1, 5), Cell(2, 4), Cell(3, 3)
+        ]
+
+    def test_deployment_order_wraps_at_column_zero(self):
+        # successor of a column-0 cell is the last cell of the same row
+        order = deployment_order(7)
+        for prev, nxt in zip(order, order[1:]):
+            if prev.col == 0:
+                assert nxt == Cell(prev.row, 6)
+            else:
+                assert nxt == Cell((prev.row + 1) % 5, prev.col - 1)
+
+
+class TestContinuityProperty:
+    """The design goal: runs of consecutive data share horizontal parity."""
+
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_horizontal_groups_are_logical_runs(self, n):
+        lay = DCode(n)
+        for g in lay.groups_in_family("horizontal"):
+            indexes = sorted(lay.data_index(m) for m in g.members)
+            assert indexes == list(range(indexes[0], indexes[0] + n - 2))
+
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_any_short_run_touches_at_most_two_horizontal_groups(self, n):
+        lay = DCode(n)
+        run_length = n - 2
+        for start in range(lay.num_data_cells - run_length):
+            cells = [lay.data_cell(start + i) for i in range(run_length)]
+            groups = {
+                lay.horizontal_group_index(c) for c in cells
+            }
+            assert len(groups) <= 2
+
+
+class TestTheoremOneMapping:
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_row_remap_is_column_bijection(self, n):
+        for col in range(n):
+            rows = {xcode_reorder_row(n, r, col) for r in range(n - 2)}
+            assert rows == set(range(n - 2))
+
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_xcode_diagonals_become_horizontal_groups(self, n):
+        xc, dc = XCode(n), DCode(n)
+        for i in range(n):
+            xg = xc.group_of_parity(Cell(n - 2, i))
+            dg = dc.group_of_parity(Cell(n - 2, i))
+            remapped = {
+                Cell(xcode_reorder_row(n, m.row, m.col), m.col)
+                for m in xg.members
+            }
+            assert remapped == set(dg.members)

@@ -1,0 +1,61 @@
+"""EVENODD layout tests (adjuster semantics included)."""
+
+import pytest
+
+from repro.codes.base import Cell
+from repro.codes.evenodd import EvenOdd
+
+PRIMES = (5, 7, 11, 13)
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_shape(self, p):
+        lay = EvenOdd(p)
+        assert lay.rows == p - 1
+        assert lay.cols == p + 2
+        assert lay.num_data_cells == p * (p - 1)
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_not_chain_decodable_flag(self, p):
+        assert EvenOdd(p).chain_decodable is False
+
+
+class TestAdjuster:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_adjuster_cells_on_missing_diagonal(self, p):
+        lay = EvenOdd(p)
+        for cell in lay.adjuster_cells:
+            assert (cell.row + cell.col) % p == p - 1
+        assert len(lay.adjuster_cells) == p - 1
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_every_diagonal_group_folds_in_adjuster(self, p):
+        lay = EvenOdd(p)
+        adjuster = set(lay.adjuster_cells)
+        for g in lay.groups_in_family("diagonal"):
+            assert adjuster <= set(g.members)
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_adjuster_cells_have_high_update_complexity(self, p):
+        # the known EVENODD weakness: missing-diagonal cells sit in every
+        # diagonal group plus their row group
+        lay = EvenOdd(p)
+        for cell in lay.adjuster_cells:
+            assert len(lay.groups_covering(cell)) == p
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_ordinary_cells_in_two_groups(self, p):
+        lay = EvenOdd(p)
+        adjuster = set(lay.adjuster_cells)
+        for cell in lay.data_cells:
+            if cell not in adjuster:
+                assert len(lay.groups_covering(cell)) == 2
+
+    def test_diagonal_group_worked_example_p5(self):
+        # P_{0,6} = S ^ diagonal 0; members = diag0 ∪ diag4 data cells
+        lay = EvenOdd(5)
+        g = lay.group_of_parity(Cell(0, 6))
+        diag0 = {c for c in lay.data_cells if (c.row + c.col) % 5 == 0}
+        diag4 = {c for c in lay.data_cells if (c.row + c.col) % 5 == 4}
+        assert set(g.members) == diag0 | diag4

@@ -1,0 +1,81 @@
+"""H-Code layout tests."""
+
+import pytest
+
+from repro.codes.base import Cell
+from repro.codes.hcode import HCode
+
+PRIMES = (5, 7, 11, 13)
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_shape(self, p):
+        lay = HCode(p)
+        assert lay.rows == p - 1
+        assert lay.cols == p + 1
+        assert lay.num_data_cells == (p - 1) ** 2
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_dedicated_horizontal_parity_disk(self, p):
+        lay = HCode(p)
+        col = lay.horizontal_parity_disk
+        assert col == p
+        assert all(lay.is_parity(c) for c in lay.cells_in_column(col))
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_anti_diagonal_parities_on_subdiagonal(self, p):
+        lay = HCode(p)
+        anti = lay.groups_in_family("anti-diagonal")
+        assert {g.parity for g in anti} == {
+            Cell(i, i + 1) for i in range(p - 1)
+        }
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_column_zero_is_pure_data(self, p):
+        lay = HCode(p)
+        assert all(lay.is_data(c) for c in lay.cells_in_column(0))
+
+
+class TestEquations:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_horizontal_group_is_row_without_parity(self, p):
+        lay = HCode(p)
+        for r in range(p - 1):
+            g = lay.group_of_parity(Cell(r, p))
+            assert set(g.members) == {
+                Cell(r, c) for c in range(p) if c != r + 1
+            }
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_anti_diagonal_walk(self, p):
+        # group i covers C(k, <k+i+2>_p) for every data row k
+        lay = HCode(p)
+        for i in range(p - 1):
+            g = lay.group_of_parity(Cell(i, i + 1))
+            assert set(g.members) == {
+                Cell(k, (k + i + 2) % p) for k in range(p - 1)
+            }
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_parities_cover_only_data(self, p):
+        # H-Code's update-optimality: no parity group covers a parity cell
+        lay = HCode(p)
+        for g in lay.groups:
+            assert all(lay.is_data(m) for m in g.members)
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_update_optimal(self, p):
+        lay = HCode(p)
+        for cell in lay.data_cells:
+            assert len(lay.groups_covering(cell)) == 2
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_anti_diagonal_groups_partition_data(self, p):
+        lay = HCode(p)
+        seen = set()
+        for g in lay.groups_in_family("anti-diagonal"):
+            assert len(g.members) == p - 1
+            assert seen.isdisjoint(g.members)
+            seen.update(g.members)
+        assert seen == set(lay.data_cells)

@@ -1,0 +1,78 @@
+"""HDP layout tests."""
+
+import pytest
+
+from repro.codes.base import Cell
+from repro.codes.hdp import HDPCode
+
+PRIMES = (5, 7, 11, 13)
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_square_over_p_minus_1_disks(self, p):
+        lay = HDPCode(p)
+        assert lay.rows == lay.cols == p - 1
+        assert lay.num_data_cells == (p - 1) * (p - 3)
+        assert lay.num_parity_cells == 2 * (p - 1)
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_parity_placement(self, p):
+        lay = HDPCode(p)
+        hd = lay.groups_in_family("horizontal-diagonal")
+        anti = lay.groups_in_family("anti-diagonal")
+        assert {g.parity for g in hd} == {Cell(i, i) for i in range(p - 1)}
+        assert {g.parity for g in anti} == {
+            Cell(i, p - 2 - i) for i in range(p - 1)
+        }
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_every_disk_carries_exactly_two_parities(self, p):
+        # HDP's defining balance property
+        lay = HDPCode(p)
+        for col in range(p - 1):
+            assert sum(1 for c in lay.parity_cells if c.col == col) == 2
+
+
+class TestEquations:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_hd_parity_covers_rest_of_row_including_anti_parity(self, p):
+        lay = HDPCode(p)
+        for i in range(p - 1):
+            g = lay.group_of_parity(Cell(i, i))
+            assert set(g.members) == {
+                Cell(i, c) for c in range(p - 1) if c != i
+            }
+            # the anti-diagonal parity of row i is inside the member set
+            assert Cell(i, p - 2 - i) in g.members
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_anti_groups_cover_own_trace(self, p):
+        lay = HDPCode(p)
+        for i in range(p - 1):
+            g = lay.group_of_parity(Cell(i, p - 2 - i))
+            trace = (2 * i + 2) % p
+            assert all(
+                (m.row - m.col) % p == trace and lay.is_data(m)
+                for m in g.members
+            )
+            assert len(g.members) == p - 3
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_anti_groups_partition_data(self, p):
+        lay = HDPCode(p)
+        seen = set()
+        for g in lay.groups_in_family("anti-diagonal"):
+            assert seen.isdisjoint(g.members)
+            seen.update(g.members)
+        assert seen == set(lay.data_cells)
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_update_complexity_is_not_optimal(self, p):
+        # writing a data cell dirties its HD parity, its anti parity, and —
+        # through the anti parity — the HD parity of another row
+        from repro.codec.update import update_footprint
+
+        lay = HDPCode(p)
+        counts = {len(update_footprint(lay, c)) for c in lay.data_cells}
+        assert counts == {3}

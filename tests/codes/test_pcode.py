@@ -1,0 +1,96 @@
+"""P-Code layout tests."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes.base import Cell
+from repro.codes.pcode import PCode
+from repro.codec.decoder import ChainDecoder, can_chain_recover
+from repro.codec.encoder import StripeCodec
+from repro.codec.gauss import can_recover
+
+PRIMES = (5, 7, 11, 13)
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_shape(self, p):
+        lay = PCode(p)
+        assert lay.cols == p - 1
+        assert lay.rows == 1 + (p - 3) // 2
+        assert lay.num_data_cells == (p - 1) * (p - 3) // 2
+        assert lay.num_parity_cells == p - 1
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_parities_in_first_row(self, p):
+        lay = PCode(p)
+        assert {c.row for c in lay.parity_cells} == {0}
+        assert len(lay.parity_cells) == p - 1
+
+    def test_non_prime_rejected(self):
+        with pytest.raises(ValueError):
+            PCode(9)
+
+
+class TestPairLabels:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_labels_are_the_valid_pairs(self, p):
+        lay = PCode(p)
+        labels = {lay.pair_label(c) for c in lay.data_cells}
+        expected = {
+            (a, b)
+            for a, b in itertools.combinations(range(1, p), 2)
+            if (a + b) % p != 0
+        }
+        assert labels == expected
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_cell_lives_on_the_pair_sum_disk(self, p):
+        lay = PCode(p)
+        for cell in lay.data_cells:
+            a, b = lay.pair_label(cell)
+            assert lay.disk_label(cell.col) == (a + b) % p
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_covering_parities_match_pair(self, p):
+        lay = PCode(p)
+        for cell in lay.data_cells:
+            a, b = lay.pair_label(cell)
+            covering = {
+                lay.disk_label(g.parity.col)
+                for g in lay.groups_covering(cell)
+            }
+            assert covering == {a, b}
+
+    def test_pair_label_rejects_parity(self):
+        lay = PCode(7)
+        with pytest.raises(KeyError):
+            lay.pair_label(Cell(0, 0))
+
+
+class TestFaultTolerance:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_mds(self, p):
+        lay = PCode(p)
+        for f1, f2 in itertools.combinations(range(lay.cols), 2):
+            assert can_recover(lay, [f1, f2]), (p, f1, f2)
+            assert can_chain_recover(lay, [f1, f2]), (p, f1, f2)
+
+    @pytest.mark.parametrize("p", (5, 7))
+    def test_data_backed_round_trip(self, p, rng):
+        codec = StripeCodec(PCode(p), element_size=32)
+        truth = codec.random_stripe(rng)
+        dec = ChainDecoder(codec)
+        for f1, f2 in itertools.combinations(range(codec.layout.cols), 2):
+            stripe = truth.copy()
+            codec.erase_columns(stripe, [f1, f2])
+            dec.decode_columns(stripe, [f1, f2])
+            assert np.array_equal(stripe, truth)
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_update_optimal(self, p):
+        lay = PCode(p)
+        for cell in lay.data_cells:
+            assert len(lay.groups_covering(cell)) == 2

@@ -1,0 +1,70 @@
+"""RDP layout tests."""
+
+import pytest
+
+from repro.codes.base import Cell
+from repro.codes.rdp import RDP
+
+PRIMES = (5, 7, 11, 13)
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_shape(self, p):
+        lay = RDP(p)
+        assert lay.rows == p - 1
+        assert lay.cols == p + 1
+        assert lay.num_data_cells == (p - 1) ** 2
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_dedicated_parity_disks(self, p):
+        lay = RDP(p)
+        assert lay.row_parity_disk == p - 1
+        assert lay.diagonal_parity_disk == p
+        for col in (p - 1, p):
+            assert all(
+                lay.is_parity(c) for c in lay.cells_in_column(col)
+            )
+        for col in range(p - 1):
+            assert all(lay.is_data(c) for c in lay.cells_in_column(col))
+
+
+class TestEquations:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_row_parity_covers_whole_row(self, p):
+        lay = RDP(p)
+        for r in range(p - 1):
+            g = lay.group_of_parity(Cell(r, p - 1))
+            assert set(g.members) == {Cell(r, c) for c in range(p - 1)}
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_diagonals_cross_row_parity_column(self, p):
+        # the defining RDP trick: diagonal parity protects row parities too
+        lay = RDP(p)
+        crossing = 0
+        for g in lay.groups_in_family("diagonal"):
+            if any(m.col == p - 1 for m in g.members):
+                crossing += 1
+        assert crossing == p - 2  # all but the diagonal missing that column
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_missing_diagonal(self, p):
+        # diagonal p-1 has no parity: cells with (r+c) % p == p-1 are only
+        # covered by their row group
+        lay = RDP(p)
+        for cell in lay.data_cells:
+            fams = [g.family for g in lay.groups_covering(cell)]
+            if (cell.row + cell.col) % p == p - 1:
+                assert fams == ["row"]
+            else:
+                assert sorted(fams) == ["diagonal", "row"]
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_diagonal_group_sizes(self, p):
+        for g in RDP(p).groups_in_family("diagonal"):
+            assert len(g.members) == p - 1
+
+    def test_worked_example_p5(self):
+        # diagonal 0 of RDP(5): cells with (r+c)%5 == 0 over cols 0..4
+        g = RDP(5).group_of_parity(Cell(0, 5))
+        assert set(g.members) == {Cell(0, 0), Cell(1, 4), Cell(2, 3), Cell(3, 2)}

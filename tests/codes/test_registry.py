@@ -1,0 +1,55 @@
+"""Registry and factory tests."""
+
+import pytest
+
+from repro.codes import available_codes, disks_for, make_code
+from repro.codes.registry import EVALUATION_CODES, EVALUATION_PRIMES
+
+
+class TestFactory:
+    def test_available_codes(self):
+        assert set(available_codes()) == {
+            "dcode", "xcode", "rdp", "evenodd", "hcode", "hdp", "pcode"
+        }
+
+    @pytest.mark.parametrize("name", EVALUATION_CODES)
+    @pytest.mark.parametrize("p", EVALUATION_PRIMES)
+    def test_make_code_builds_named_layout(self, name, p):
+        lay = make_code(name, p)
+        assert lay.name == name
+        assert lay.p == p
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown code"):
+            make_code("raidzilla", 7)
+
+
+class TestDiskCounts:
+    """§IV-A: RDP/H-Code over p+1, HDP over p-1, X-Code/D-Code over p."""
+
+    @pytest.mark.parametrize("p", EVALUATION_PRIMES)
+    def test_paper_disk_counts(self, p):
+        assert disks_for("rdp", p) == p + 1
+        assert disks_for("hcode", p) == p + 1
+        assert disks_for("hdp", p) == p - 1
+        assert disks_for("xcode", p) == p
+        assert disks_for("dcode", p) == p
+        assert disks_for("evenodd", p) == p + 2
+        assert disks_for("pcode", p) == p - 1
+
+    @pytest.mark.parametrize("name", EVALUATION_CODES)
+    @pytest.mark.parametrize("p", EVALUATION_PRIMES)
+    def test_disks_for_matches_layout(self, name, p):
+        assert disks_for(name, p) == make_code(name, p).num_disks
+
+    def test_disks_for_unknown(self):
+        with pytest.raises(ValueError):
+            disks_for("nope", 7)
+
+
+class TestEvaluationConstants:
+    def test_paper_plotting_order(self):
+        assert EVALUATION_CODES == ("rdp", "hcode", "hdp", "xcode", "dcode")
+
+    def test_paper_primes(self):
+        assert EVALUATION_PRIMES == (5, 7, 11, 13)

@@ -1,0 +1,114 @@
+"""Shortening tests: arbitrary disk counts with preserved fault tolerance."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import DCode, EvenOdd, HCode, RDP, make_code
+from repro.codes.shorten import make_shortened, shorten, shortenable_columns
+from repro.codec.encoder import StripeCodec
+from repro.codec.gauss import GaussianDecoder, can_recover
+from repro.exceptions import GeometryError
+
+
+class TestShortenableColumns:
+    def test_rdp_data_columns(self):
+        assert shortenable_columns(RDP(7)) == list(range(6))
+
+    def test_evenodd_data_columns(self):
+        assert shortenable_columns(EvenOdd(7)) == list(range(7))
+
+    def test_hcode_only_column_zero(self):
+        assert shortenable_columns(HCode(7)) == [0]
+
+    def test_vertical_codes_not_shortenable(self):
+        assert shortenable_columns(DCode(7)) == []
+
+
+class TestShorten:
+    def test_geometry_after_shortening(self):
+        lay = shorten(RDP(7), [4, 5])
+        assert lay.cols == 6
+        assert lay.num_data_cells == RDP(7).num_data_cells - 2 * 6
+        assert lay.num_parity_cells == RDP(7).num_parity_cells
+
+    @pytest.mark.parametrize("p,drops", [(7, [5]), (7, [0, 3]), (11, [1, 2, 9])])
+    def test_mds_preserved_rdp(self, p, drops):
+        lay = shorten(RDP(p), drops)
+        for f1, f2 in itertools.combinations(range(lay.cols), 2):
+            assert can_recover(lay, [f1, f2]), (f1, f2)
+
+    @pytest.mark.parametrize("drops", [[0], [2, 4]])
+    def test_mds_preserved_evenodd(self, drops):
+        lay = shorten(EvenOdd(7), drops)
+        for f1, f2 in itertools.combinations(range(lay.cols), 2):
+            assert can_recover(lay, [f1, f2])
+
+    def test_data_backed_round_trip(self, rng):
+        lay = shorten(RDP(7), [2, 5])
+        codec = StripeCodec(lay, element_size=32)
+        truth = codec.random_stripe(rng)
+        dec = GaussianDecoder(codec)
+        for f1, f2 in itertools.combinations(range(lay.cols), 2):
+            stripe = truth.copy()
+            codec.erase_columns(stripe, [f1, f2])
+            dec.decode_columns(stripe, [f1, f2])
+            assert np.array_equal(stripe, truth)
+
+    def test_parity_column_rejected(self):
+        with pytest.raises(GeometryError):
+            shorten(RDP(7), [6])  # row-parity disk
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(GeometryError):
+            shorten(RDP(7), [99])
+
+    def test_cannot_drop_everything(self):
+        with pytest.raises(ValueError):
+            shorten(RDP(5), [0, 1, 2, 3])
+
+    def test_empty_drop_is_equivalent(self):
+        lay = shorten(RDP(7), [])
+        assert lay.cols == 8
+        assert lay.num_data_cells == RDP(7).num_data_cells
+
+
+class TestMakeShortened:
+    @pytest.mark.parametrize("disks", range(4, 16))
+    def test_exact_disk_counts_rdp(self, disks):
+        lay = make_shortened("rdp", disks)
+        assert lay.cols == disks
+
+    @pytest.mark.parametrize("disks", (9, 10, 13))
+    def test_shortened_still_mds(self, disks):
+        lay = make_shortened("rdp", disks)
+        for f1, f2 in itertools.combinations(range(lay.cols), 2):
+            assert can_recover(lay, [f1, f2])
+
+    def test_prime_fit_returns_unshortened(self):
+        lay = make_shortened("rdp", 8)  # p=7 exactly
+        assert lay.name == "rdp"
+
+    def test_evenodd_supported(self):
+        lay = make_shortened("evenodd", 8)
+        assert lay.cols == 8
+
+    def test_vertical_codes_rejected(self):
+        with pytest.raises(ValueError):
+            make_shortened("dcode", 8)
+
+    def test_too_few_disks_rejected(self):
+        with pytest.raises(ValueError):
+            make_shortened("rdp", 3)
+
+    def test_shortened_volume_round_trip(self, rng):
+        from repro.array import RAID6Volume
+
+        lay = make_shortened("rdp", 9)
+        vol = RAID6Volume(lay, num_stripes=2, element_size=16)
+        data = rng.integers(0, 256, (vol.num_elements, 16), dtype=np.uint8)
+        vol.write(0, data)
+        vol.fail_disk(0)
+        vol.fail_disk(8)
+        assert np.array_equal(vol.read(0, vol.num_elements), data)

@@ -1,0 +1,80 @@
+"""WEAVER code tests."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes.weaver import WeaverCode
+from repro.codec.decoder import ChainDecoder, can_chain_recover
+from repro.codec.encoder import StripeCodec
+from repro.codec.gauss import can_recover
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n", range(4, 13))
+    def test_two_fault_tolerant_for_every_n(self, n):
+        """WEAVER's selling point: no prime constraint."""
+        lay = WeaverCode(n)
+        for pair in itertools.combinations(range(n), 2):
+            assert can_recover(lay, list(pair)), (n, pair)
+
+    @pytest.mark.parametrize("n", (4, 6, 9))
+    def test_chain_decodable(self, n):
+        lay = WeaverCode(n)
+        for pair in itertools.combinations(range(n), 2):
+            assert can_chain_recover(lay, list(pair))
+
+    def test_fifty_percent_efficiency(self):
+        lay = WeaverCode(8)
+        assert lay.storage_efficiency == pytest.approx(0.5)
+
+    def test_one_data_one_parity_per_disk(self):
+        lay = WeaverCode(7)
+        for col in range(7):
+            cells = lay.cells_in_column(col)
+            assert len(cells) == 2
+            assert sum(1 for c in cells if lay.is_data(c)) == 1
+
+    def test_parity_covers_next_two_disks(self):
+        lay = WeaverCode(6)
+        from repro.codes.base import Cell
+
+        g = lay.group_of_parity(Cell(1, 0))
+        assert set(g.members) == {Cell(0, 1), Cell(0, 2)}
+
+    def test_update_complexity_two(self):
+        lay = WeaverCode(9)
+        for cell in lay.data_cells:
+            assert len(lay.groups_covering(cell)) == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WeaverCode(3)
+        with pytest.raises(ValueError):
+            WeaverCode(6, offsets=(1, 1))
+        with pytest.raises(ValueError):
+            WeaverCode(6, offsets=(0, 2))
+
+
+class TestDataPath:
+    @pytest.mark.parametrize("n", (4, 7, 10))
+    def test_round_trip_all_double_failures(self, n, rng):
+        codec = StripeCodec(WeaverCode(n), element_size=16)
+        truth = codec.random_stripe(rng)
+        dec = ChainDecoder(codec)
+        for pair in itertools.combinations(range(n), 2):
+            stripe = truth.copy()
+            codec.erase_columns(stripe, list(pair))
+            dec.decode_columns(stripe, list(pair))
+            assert np.array_equal(stripe, truth)
+
+    def test_volume_integration(self, rng):
+        from repro.array import RAID6Volume
+
+        vol = RAID6Volume(WeaverCode(6), num_stripes=3, element_size=16)
+        data = rng.integers(0, 256, (vol.num_elements, 16), dtype=np.uint8)
+        vol.write(0, data)
+        vol.fail_disk(1)
+        vol.fail_disk(2)
+        assert np.array_equal(vol.read(0, vol.num_elements), data)

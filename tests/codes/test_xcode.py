@@ -1,0 +1,71 @@
+"""X-Code layout tests (the paper's equations (4) and (5))."""
+
+import pytest
+
+from repro.codes.base import Cell
+from repro.codes.xcode import XCode
+
+PRIMES = (5, 7, 11, 13)
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_square_stripe(self, p):
+        lay = XCode(p)
+        assert lay.rows == lay.cols == p
+        assert lay.num_data_cells == p * (p - 2)
+        assert lay.num_parity_cells == 2 * p
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_parities_in_last_two_rows(self, p):
+        lay = XCode(p)
+        diag = lay.groups_in_family("diagonal")
+        anti = lay.groups_in_family("anti-diagonal")
+        assert {g.parity.row for g in diag} == {p - 2}
+        assert {g.parity.row for g in anti} == {p - 1}
+
+    def test_non_prime_rejected(self):
+        with pytest.raises(ValueError):
+            XCode(8)
+
+
+class TestEquations:
+    def test_diagonal_equation_p5(self):
+        # P_{3,0} = D_{0,2} ^ D_{1,3} ^ D_{2,4} per equation (4)
+        lay = XCode(5)
+        g = lay.group_of_parity(Cell(3, 0))
+        assert set(g.members) == {Cell(0, 2), Cell(1, 3), Cell(2, 4)}
+
+    def test_anti_diagonal_equation_p5(self):
+        # P_{4,0} = D_{0,3} ^ D_{1,2} ^ D_{2,1} per equation (5)
+        lay = XCode(5)
+        g = lay.group_of_parity(Cell(4, 0))
+        assert set(g.members) == {Cell(0, 3), Cell(1, 2), Cell(2, 1)}
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_groups_touch_each_column_at_most_once(self, p):
+        for g in XCode(p).groups:
+            cols = [c.col for c in g.cells]
+            assert len(cols) == len(set(cols))
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_diagonal_index_accessors(self, p):
+        lay = XCode(p)
+        for cell in lay.data_cells:
+            d = lay.diagonal_of(cell)
+            a = lay.anti_diagonal_of(cell)
+            assert cell in lay.group_of_parity(Cell(p - 2, d)).members
+            assert cell in lay.group_of_parity(Cell(p - 1, a)).members
+
+    def test_accessors_reject_parity_cells(self):
+        lay = XCode(5)
+        with pytest.raises(ValueError):
+            lay.diagonal_of(Cell(3, 0))
+        with pytest.raises(ValueError):
+            lay.anti_diagonal_of(Cell(4, 0))
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_update_optimal(self, p):
+        lay = XCode(p)
+        for cell in lay.data_cells:
+            assert len(lay.groups_covering(cell)) == 2

@@ -1,0 +1,129 @@
+"""Field-axiom and vectorisation tests for GF(2^8)."""
+
+import numpy as np
+import pytest
+
+from repro.gf.gf256 import GF256, PRIMITIVE_POLY
+
+
+class TestFieldAxioms:
+    def test_additive_identity(self):
+        for a in range(256):
+            assert GF256.add(a, 0) == a
+
+    def test_addition_is_xor_and_self_inverse(self):
+        for a in (0, 1, 77, 255):
+            for b in (0, 3, 128, 254):
+                assert GF256.add(a, b) == a ^ b
+                assert GF256.add(GF256.add(a, b), b) == a
+
+    def test_multiplicative_identity(self):
+        for a in range(256):
+            assert GF256.mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        for a in range(0, 256, 17):
+            assert GF256.mul(a, 0) == 0
+            assert GF256.mul(0, a) == 0
+
+    def test_commutativity(self):
+        for a in (3, 91, 200):
+            for b in (7, 45, 255):
+                assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    def test_associativity(self):
+        for a, b, c in [(3, 5, 7), (90, 91, 92), (255, 2, 128)]:
+            assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    def test_distributivity(self):
+        for a, b, c in [(9, 33, 71), (255, 254, 253)]:
+            left = GF256.mul(a, b ^ c)
+            right = GF256.mul(a, b) ^ GF256.mul(a, c)
+            assert left == right
+
+    def test_every_nonzero_has_inverse(self):
+        for a in range(1, 256):
+            assert GF256.mul(a, GF256.inv(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.inv(0)
+
+    def test_division_consistent_with_inverse(self):
+        for a in (5, 100, 255):
+            for b in (1, 7, 254):
+                assert GF256.div(a, b) == GF256.mul(a, GF256.inv(b))
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(1, 0)
+
+
+class TestStructure:
+    def test_generator_has_full_order(self):
+        # 2 generates the multiplicative group: 2^k distinct for k < 255
+        seen = set()
+        x = 1
+        for _ in range(255):
+            seen.add(x)
+            x = GF256.mul(x, 2)
+        assert len(seen) == 255
+        assert x == 1  # 2^255 == 1
+
+    def test_mul_agrees_with_carryless_reference(self):
+        def ref_mul(a, b):
+            acc = 0
+            while b:
+                if b & 1:
+                    acc ^= a
+                a <<= 1
+                if a & 0x100:
+                    a ^= PRIMITIVE_POLY
+                b >>= 1
+            return acc
+
+        for a in (0, 1, 2, 3, 29, 142, 255):
+            for b in (0, 1, 2, 97, 200, 255):
+                assert GF256.mul(a, b) == ref_mul(a, b)
+
+    def test_pow(self):
+        assert GF256.pow(2, 0) == 1
+        assert GF256.pow(2, 1) == 2
+        assert GF256.pow(2, 8) == PRIMITIVE_POLY & 0xFF
+        assert GF256.pow(3, 255) == 1  # Fermat in GF(256)
+
+    def test_pow_negative(self):
+        for a in (2, 5, 255):
+            assert GF256.pow(a, -1) == GF256.inv(a)
+
+    def test_pow_zero_base(self):
+        assert GF256.pow(0, 0) == 1
+        assert GF256.pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            GF256.pow(0, -2)
+
+
+class TestVectorised:
+    def test_mul_block_matches_scalar(self, rng):
+        block = rng.integers(0, 256, 512, dtype=np.uint8)
+        for coef in (0, 1, 2, 29, 255):
+            got = GF256.mul_block(coef, block)
+            want = np.array([GF256.mul(coef, int(b)) for b in block],
+                            dtype=np.uint8)
+            assert np.array_equal(got, want)
+
+    def test_mul_block_out_aliasing(self, rng):
+        block = rng.integers(0, 256, 64, dtype=np.uint8)
+        expected = GF256.mul_block(7, block)
+        GF256.mul_block(7, block, out=block)
+        assert np.array_equal(block, expected)
+
+    def test_mul_block_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            GF256.mul_block(3, np.zeros(8, dtype=np.int32))
+
+    def test_mul_row_table(self):
+        for coef in (0, 1, 2, 77):
+            row = GF256.mul_row_table(coef)
+            for b in (0, 1, 128, 255):
+                assert row[b] == GF256.mul(coef, b)

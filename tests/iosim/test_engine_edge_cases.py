@@ -1,0 +1,117 @@
+"""Engine edge cases: fallback recovery, rotation × degradation, wrap."""
+
+import numpy as np
+import pytest
+
+from repro.codes import DCode, EvenOdd, make_code
+from repro.codes.base import Cell, CodeLayout, ParityGroup
+from repro.iosim.engine import AccessEngine, DiskLoads
+from repro.iosim.request import ReadOp
+
+
+def chain_hostile_layout():
+    """A deliberately awkward (non-MDS) layout where a lost cell has *no*
+    usable single-group recovery: both covering groups also span the
+    failed column, forcing the engine's read-everything fallback."""
+    data = [Cell(0, 0), Cell(0, 1), Cell(1, 0), Cell(1, 1)]
+    groups = [
+        # both groups covering D(0,0) include a cell from column 0
+        ParityGroup(Cell(2, 1), (Cell(0, 0), Cell(1, 0)), "a"),
+        ParityGroup(Cell(2, 2), (Cell(0, 0), Cell(1, 0), Cell(0, 1)), "b"),
+        ParityGroup(Cell(0, 2), (Cell(0, 1), Cell(1, 1)), "c"),
+        ParityGroup(Cell(1, 2), (Cell(1, 1),), "d"),
+    ]
+    return CodeLayout(name="hostile", p=2, rows=3, cols=3,
+                      data_cells=data, groups=groups)
+
+
+class TestFallbackPath:
+    def test_read_everything_fallback_triggers(self):
+        layout = chain_hostile_layout()
+        engine = AccessEngine(layout, num_stripes=1, failed_disk=0)
+        loads = engine.read_accesses(0, 1)  # wants D(0,0), which is lost
+        # fallback reads every surviving cell: columns 1 and 2 hold
+        # D(0,1), D(1,1), P(2,1), P(2,2), P(0,2), P(1,2) = 6 cells
+        assert loads.cost == 6
+        assert loads.reads[0] == 0
+
+    def test_fallback_counts_cells_once(self):
+        layout = chain_hostile_layout()
+        engine = AccessEngine(layout, num_stripes=1, failed_disk=0)
+        # wanting both lost cells must not double-fetch the fallback set
+        loads = engine.read_accesses(0, 4)
+        assert loads.cost == 6
+
+
+class TestRotationDegradedInterplay:
+    def test_failed_physical_disk_never_read_with_rotation(self):
+        layout = DCode(5)
+        engine = AccessEngine(layout, num_stripes=5, failed_disk=3,
+                              rotate=True)
+        loads = engine.read_accesses(0, engine.address_space)
+        assert loads.reads[3] == 0
+
+    def test_rotation_changes_which_cells_are_lost(self):
+        layout = DCode(5)
+        flat = AccessEngine(layout, num_stripes=4, failed_disk=0)
+        spun = AccessEngine(layout, num_stripes=4, failed_disk=0,
+                            rotate=True)
+        # same logical read, different reconstruction cost profiles
+        per = layout.num_data_cells
+        flat_cost = flat.read_accesses(per, 5).cost     # stripe 1
+        spun_cost = spun.read_accesses(per, 5).cost
+        # in stripe 1, rotation moves column p-1 onto physical disk 0
+        assert flat.failed_column(1) == 0
+        assert spun.failed_column(1) == layout.cols - 1
+        assert flat_cost >= 5 and spun_cost >= 5
+
+
+class TestAddressWrap:
+    def test_wrap_spans_last_and_first_stripe(self):
+        layout = DCode(5)
+        engine = AccessEngine(layout, num_stripes=2)
+        sets = engine.read_fetch_sets(engine.address_space - 2, 4)
+        stripes = [s for s, _ in sets]
+        assert stripes == [1, 0]
+
+    def test_huge_start_reduced(self):
+        layout = DCode(5)
+        engine = AccessEngine(layout, num_stripes=2)
+        a = engine.read_accesses(5, 3)
+        b = engine.read_accesses(5 + 7 * engine.address_space, 3)
+        assert np.array_equal(a.reads, b.reads)
+
+
+class TestEvenOddDegradedReads:
+    @pytest.mark.parametrize("failed", range(7))
+    def test_all_single_failures_served(self, failed):
+        layout = EvenOdd(5)
+        engine = AccessEngine(layout, num_stripes=2, failed_disk=failed)
+        loads = engine.read_accesses(0, layout.num_data_cells)
+        assert loads.reads[failed] == 0
+        assert loads.cost >= layout.num_data_cells - len(
+            [c for c in layout.data_cells if c.col == failed]
+        )
+
+    def test_adjuster_cell_recovery_prefers_row_group(self):
+        layout = EvenOdd(5)
+        # D(0,4) is an adjuster cell (0+4 = p-1); fail its disk
+        engine = AccessEngine(layout, num_stripes=1, failed_disk=4)
+        loads = engine.read_accesses(layout.data_index(Cell(0, 4)), 1)
+        # row group: read the 4 other data cells + row parity = 5
+        assert loads.cost == 5
+
+
+class TestDiskLoads:
+    def test_zeros_factory(self):
+        loads = DiskLoads.zeros(4)
+        assert loads.cost == 0
+        assert len(loads.total) == 4
+
+    def test_apply_read_op_matches_manual(self):
+        layout = DCode(5)
+        engine = AccessEngine(layout, num_stripes=2)
+        loads = DiskLoads.zeros(layout.cols)
+        engine.apply(ReadOp(3, 4, 7), loads)
+        manual = engine.read_accesses(3, 4)
+        assert np.array_equal(loads.reads, manual.reads * 7)

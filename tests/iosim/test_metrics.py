@@ -1,0 +1,88 @@
+"""Metric tests: LF, Cost, plot clipping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.codes import DCode, RDP
+from repro.iosim.engine import DiskLoads
+from repro.iosim.metrics import (
+    INFINITY_PLOT_VALUE,
+    clip_lf_for_plot,
+    io_cost,
+    load_balancing_factor,
+    per_disk_summary,
+    run_workload,
+)
+from repro.iosim.workloads import read_only_workload
+
+
+def loads_from(reads, writes=None):
+    reads = np.array(reads, dtype=np.int64)
+    writes = (
+        np.zeros_like(reads)
+        if writes is None
+        else np.array(writes, dtype=np.int64)
+    )
+    return DiskLoads(reads, writes)
+
+
+class TestLoadBalancingFactor:
+    def test_perfect_balance(self):
+        assert load_balancing_factor(loads_from([5, 5, 5])) == 1.0
+
+    def test_ratio(self):
+        assert load_balancing_factor(loads_from([10, 5, 5])) == 2.0
+
+    def test_idle_disk_is_infinite(self):
+        assert math.isinf(load_balancing_factor(loads_from([3, 0, 3])))
+
+    def test_no_traffic_at_all_is_balanced(self):
+        assert load_balancing_factor(loads_from([0, 0, 0])) == 1.0
+
+    def test_reads_and_writes_both_count(self):
+        lf = load_balancing_factor(loads_from([1, 1], [0, 1]))
+        assert lf == 2.0
+
+
+class TestCost:
+    def test_cost_sums_everything(self):
+        assert io_cost(loads_from([1, 2, 3], [4, 5, 6])) == 21
+
+    def test_iadd_accumulates(self):
+        a = loads_from([1, 1])
+        a += loads_from([2, 0], [0, 3])
+        assert list(a.total) == [3, 4]
+
+
+class TestClipping:
+    def test_infinite_clipped_to_paper_value(self):
+        assert clip_lf_for_plot(math.inf) == INFINITY_PLOT_VALUE == 30.0
+
+    def test_large_finite_clipped(self):
+        assert clip_lf_for_plot(100.0) == 30.0
+
+    def test_small_passes_through(self):
+        assert clip_lf_for_plot(1.07) == 1.07
+
+
+class TestRunWorkload:
+    def test_read_only_cost_equal_across_codes(self, rng):
+        """Figure 5(a): reads bring no extra accesses in any code."""
+        wl = read_only_workload(200, np.random.default_rng(3), num_ops=50)
+        d = run_workload(DCode(5), wl, num_stripes=16)
+        r = run_workload(RDP(5), wl, num_stripes=16)
+        assert d.cost == r.cost == wl.total_elements()
+
+    def test_degraded_run_costs_more(self, rng):
+        wl = read_only_workload(200, np.random.default_rng(3), num_ops=50)
+        healthy = run_workload(DCode(5), wl, num_stripes=16)
+        degraded = run_workload(
+            DCode(5), wl, num_stripes=16, failed_disk=0
+        )
+        assert degraded.cost > healthy.cost
+
+    def test_summary_renders(self):
+        text = per_disk_summary(loads_from([1, 2], [3, 4]))
+        assert "LF" in text and "Cost" in text

@@ -1,0 +1,49 @@
+"""Operation (<S, L, T> tuple) tests."""
+
+import pytest
+
+from repro.iosim.request import Operation, ReadOp, WriteOp
+
+
+class TestConstruction:
+    def test_read_op(self):
+        op = ReadOp(0, 4, 5)
+        assert op.is_read
+        assert (op.start, op.length, op.times) == (0, 4, 5)
+
+    def test_write_op(self):
+        op = WriteOp(10, 2)
+        assert not op.is_read
+        assert op.times == 1
+
+    def test_elements_touched(self):
+        assert ReadOp(0, 4, 5).elements_touched == 20
+
+    def test_frozen(self):
+        op = ReadOp(0, 1)
+        with pytest.raises(AttributeError):
+            op.start = 5
+
+
+class TestValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Operation("scan", 0, 1)
+
+    def test_negative_start(self):
+        with pytest.raises(ValueError):
+            ReadOp(-1, 1)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_non_positive_length(self, bad):
+        with pytest.raises(ValueError):
+            ReadOp(0, bad)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_non_positive_times(self, bad):
+        with pytest.raises(ValueError):
+            ReadOp(0, 1, bad)
+
+    def test_non_int_start(self):
+        with pytest.raises(TypeError):
+            ReadOp(1.5, 1)

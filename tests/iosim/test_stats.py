@@ -1,0 +1,135 @@
+"""Balance-statistics tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.iosim.engine import DiskLoads
+from repro.iosim.metrics import load_balancing_factor, run_workload
+from repro.iosim.stats import (
+    balance_summary,
+    coefficient_of_variation,
+    gini_coefficient,
+    load_shares,
+    role_load_breakdown,
+)
+from repro.iosim.workloads import read_intensive_workload
+
+
+def loads_of(totals):
+    arr = np.array(totals, dtype=np.int64)
+    return DiskLoads(arr, np.zeros_like(arr))
+
+
+class TestGini:
+    def test_perfect_balance_is_zero(self):
+        assert gini_coefficient(loads_of([7, 7, 7, 7])) == pytest.approx(0.0)
+
+    def test_total_concentration_approaches_limit(self):
+        # all load on one of n disks: gini = (n-1)/n
+        g = gini_coefficient(loads_of([0, 0, 0, 100]))
+        assert g == pytest.approx(3 / 4)
+
+    def test_no_traffic_is_balanced(self):
+        assert gini_coefficient(loads_of([0, 0, 0])) == 0.0
+
+    def test_scale_invariant(self):
+        a = gini_coefficient(loads_of([1, 2, 3]))
+        b = gini_coefficient(loads_of([10, 20, 30]))
+        assert a == pytest.approx(b)
+
+    def test_order_invariant(self):
+        assert gini_coefficient(loads_of([5, 1, 3])) == pytest.approx(
+            gini_coefficient(loads_of([1, 3, 5]))
+        )
+
+
+class TestCV:
+    def test_perfect_balance(self):
+        assert coefficient_of_variation(loads_of([4, 4])) == 0.0
+
+    def test_known_value(self):
+        # values 0, 2: mean 1, population std 1 -> cv 1
+        assert coefficient_of_variation(loads_of([0, 2])) == pytest.approx(1.0)
+
+    def test_zero_traffic(self):
+        assert coefficient_of_variation(loads_of([0, 0])) == 0.0
+
+
+class TestShares:
+    def test_shares_sum_to_one(self):
+        shares = load_shares(loads_of([1, 2, 3, 4]))
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares == pytest.approx([0.1, 0.2, 0.3, 0.4])
+
+    def test_zero_traffic(self):
+        assert load_shares(loads_of([0, 0])) == [0.0, 0.0]
+
+
+class TestAgreementWithLF:
+    def test_measures_rank_codes_identically(self):
+        """RDP must look worse than D-Code under every balance measure."""
+        results = {}
+        for code in ("rdp", "dcode"):
+            layout = make_code(code, 7)
+            wl = read_intensive_workload(
+                layout.num_data_cells * 16, np.random.default_rng(3),
+                num_ops=200,
+            )
+            loads = run_workload(layout, wl, num_stripes=16)
+            results[code] = balance_summary(loads)
+        assert results["rdp"]["gini"] > results["dcode"]["gini"]
+        assert results["rdp"]["cv"] > results["dcode"]["cv"]
+        assert results["rdp"]["lf"] > results["dcode"]["lf"]
+
+    def test_summary_keys(self):
+        summary = balance_summary(loads_of([1, 2]))
+        assert set(summary) == {"lf", "gini", "cv"}
+        assert not math.isnan(summary["gini"])
+
+
+class TestRoleBreakdown:
+    def test_rdp_parity_disks_dominate_write_traffic(self):
+        """§II-A quantified: under the 1:1 mix RDP's parity disks carry
+        more load per disk than its data disks (under 7:3 the idle
+        row-parity disk offsets the overloaded diagonal disk — both
+        extremes are the imbalance LF reports)."""
+        from repro.iosim.workloads import mixed_workload
+
+        layout = make_code("rdp", 7)
+        wl = mixed_workload(
+            layout.num_data_cells * 16, np.random.default_rng(5),
+            num_ops=300,
+        )
+        loads = run_workload(layout, wl, num_stripes=16)
+        roles = role_load_breakdown(layout, loads)
+        assert roles["parity"] > roles["data"]
+        assert roles["mixed"] == 0.0
+        # and per §II-A, the diagonal-parity disk is the single hottest
+        assert int(np.argmax(loads.total)) == layout.diagonal_parity_disk
+
+    def test_dcode_has_only_mixed_disks(self):
+        layout = make_code("dcode", 7)
+        wl = read_intensive_workload(
+            layout.num_data_cells * 16, np.random.default_rng(5),
+            num_ops=100,
+        )
+        loads = run_workload(layout, wl, num_stripes=16)
+        roles = role_load_breakdown(layout, loads)
+        assert roles["data"] == 0.0 and roles["parity"] == 0.0
+        assert roles["mixed"] > 0.0
+
+    def test_hcode_has_all_three_roles(self):
+        layout = make_code("hcode", 7)
+        wl = read_intensive_workload(
+            layout.num_data_cells * 16, np.random.default_rng(5),
+            num_ops=100,
+        )
+        loads = run_workload(layout, wl, num_stripes=16)
+        roles = role_load_breakdown(layout, loads)
+        # column 0 pure data, columns 1..p-1 mixed, column p pure parity
+        assert roles["data"] > 0.0
+        assert roles["mixed"] > 0.0
+        assert roles["parity"] > 0.0

@@ -1,0 +1,106 @@
+"""Trace persistence and synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.iosim.request import ReadOp, WriteOp
+from repro.iosim.trace import (
+    load_trace,
+    save_trace,
+    sequential_workload,
+    zipf_workload,
+)
+from repro.iosim.workloads import Workload, mixed_workload
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path, rng):
+        wl = mixed_workload(500, rng, num_ops=100)
+        path = save_trace(wl, tmp_path / "trace.csv")
+        loaded = load_trace(path)
+        assert loaded.operations == wl.operations
+        assert loaded.read_fraction == pytest.approx(
+            loaded.num_reads / len(loaded)
+        )
+
+    def test_name_defaults_to_stem(self, tmp_path, rng):
+        wl = mixed_workload(100, rng, num_ops=5)
+        path = save_trace(wl, tmp_path / "mytrace.csv")
+        assert load_trace(path).name == "mytrace"
+        assert load_trace(path, name="other").name == "other"
+
+    def test_empty_workload(self, tmp_path):
+        wl = Workload("empty", (), 1.0)
+        path = save_trace(wl, tmp_path / "e.csv")
+        assert load_trace(path).operations == ()
+
+
+class TestMalformedTraces:
+    def test_bad_header(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("a,b,c,d\nread,0,1,1\n")
+        with pytest.raises(ValueError, match="header"):
+            load_trace(p)
+
+    def test_wrong_field_count(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("kind,start,length,times\nread,0,1\n")
+        with pytest.raises(ValueError, match=":2"):
+            load_trace(p)
+
+    def test_non_integer_field(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("kind,start,length,times\nread,zero,1,1\n")
+        with pytest.raises(ValueError, match=":2"):
+            load_trace(p)
+
+    def test_invalid_kind(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("kind,start,length,times\nscan,0,1,1\n")
+        with pytest.raises(ValueError):
+            load_trace(p)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "ok.csv"
+        p.write_text("kind,start,length,times\nread,0,1,1\n\nwrite,5,2,3\n")
+        wl = load_trace(p)
+        assert wl.operations == (ReadOp(0, 1, 1), WriteOp(5, 2, 3))
+
+
+class TestSequential:
+    def test_runs_advance(self, rng):
+        wl = sequential_workload(1000, rng, num_ops=5, run_length=10)
+        starts = [op.start for op in wl]
+        assert starts == [0, 10, 20, 30, 40]
+        assert all(op.length == 10 for op in wl)
+
+    def test_wraps_address_space(self, rng):
+        wl = sequential_workload(25, rng, num_ops=4, run_length=10)
+        assert [op.start for op in wl] == [0, 10, 20, 5]
+
+    def test_write_fraction(self):
+        wl = sequential_workload(
+            100, np.random.default_rng(0), num_ops=200, read_fraction=0.0
+        )
+        assert wl.num_reads == 0
+
+
+class TestZipf:
+    def test_hotspot_concentration(self):
+        wl = zipf_workload(10_000, np.random.default_rng(1), num_ops=2000)
+        starts = [op.start for op in wl]
+        # Zipf: the single hottest address dominates
+        hottest = max(set(starts), key=starts.count)
+        assert starts.count(hottest) > len(starts) * 0.15
+
+    def test_respects_ranges(self):
+        wl = zipf_workload(50, np.random.default_rng(2), num_ops=500,
+                           max_length=5, max_times=10)
+        for op in wl:
+            assert 0 <= op.start < 50
+            assert 1 <= op.length <= 5
+            assert 1 <= op.times <= 10
+
+    def test_skew_validated(self, rng):
+        with pytest.raises(ValueError):
+            zipf_workload(100, rng, skew=1.0)

@@ -1,0 +1,78 @@
+"""Workload-generator tests: paper parameters, determinism, mixes."""
+
+import numpy as np
+import pytest
+
+from repro.iosim.workloads import (
+    DEFAULT_MAX_LENGTH,
+    DEFAULT_MAX_TIMES,
+    DEFAULT_NUM_OPS,
+    mixed_workload,
+    read_intensive_workload,
+    read_only_workload,
+    workload_from_ratio,
+)
+
+SPACE = 1000
+
+
+class TestPaperParameters:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_NUM_OPS == 2000
+        assert DEFAULT_MAX_LENGTH == 20
+        assert DEFAULT_MAX_TIMES == 1000
+
+    def test_ranges_respected(self, rng):
+        wl = mixed_workload(SPACE, rng)
+        assert len(wl) == 2000
+        for op in wl:
+            assert 0 <= op.start < SPACE
+            assert 1 <= op.length <= 20
+            assert 1 <= op.times <= 1000
+
+
+class TestMixes:
+    def test_read_only_has_no_writes(self, rng):
+        wl = read_only_workload(SPACE, rng)
+        assert wl.num_writes == 0
+        assert wl.read_fraction == 1.0
+
+    def test_read_intensive_roughly_70_30(self, rng):
+        wl = read_intensive_workload(SPACE, rng)
+        assert 0.65 <= wl.num_reads / len(wl) <= 0.75
+
+    def test_mixed_roughly_50_50(self, rng):
+        wl = mixed_workload(SPACE, rng)
+        assert 0.45 <= wl.num_reads / len(wl) <= 0.55
+
+    def test_write_only_possible(self, rng):
+        wl = workload_from_ratio("wo", 0.0, SPACE, rng, num_ops=50)
+        assert wl.num_reads == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = mixed_workload(SPACE, np.random.default_rng(11))
+        b = mixed_workload(SPACE, np.random.default_rng(11))
+        assert a.operations == b.operations
+
+    def test_different_seeds_differ(self):
+        a = mixed_workload(SPACE, np.random.default_rng(11))
+        b = mixed_workload(SPACE, np.random.default_rng(12))
+        assert a.operations != b.operations
+
+
+class TestValidation:
+    def test_bad_fraction(self, rng):
+        with pytest.raises(ValueError):
+            workload_from_ratio("x", 1.5, SPACE, rng)
+
+    def test_bad_space(self, rng):
+        with pytest.raises(ValueError):
+            read_only_workload(0, rng)
+
+    def test_total_elements(self, rng):
+        wl = read_only_workload(SPACE, rng, num_ops=10)
+        assert wl.total_elements() == sum(
+            op.length * op.times for op in wl
+        )

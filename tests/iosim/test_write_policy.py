@@ -1,0 +1,77 @@
+"""Write-policy tests: RMW vs reconstruct-write vs adaptive."""
+
+import numpy as np
+import pytest
+
+from repro.codes import DCode, make_code
+from repro.iosim.engine import AccessEngine
+from repro.iosim.metrics import io_cost, run_workload
+from repro.iosim.workloads import mixed_workload
+
+
+def engine(policy, layout=None, **kw):
+    return AccessEngine(layout or DCode(7), num_stripes=4,
+                        write_policy=policy, **kw)
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            engine("yolo")
+
+    def test_small_write_rmw_cheaper(self):
+        # 1 element: RMW touches 3 cells twice; reconstruct reads the
+        # other 34 data cells and rewrites 15 cells
+        rmw = engine("rmw").write_accesses(0, 1).cost
+        rec = engine("reconstruct").write_accesses(0, 1).cost
+        assert rmw < rec
+
+    def test_near_full_stripe_reconstruct_cheaper(self):
+        layout = DCode(7)
+        n = layout.num_data_cells - 1  # all but one element of a stripe
+        rmw = engine("rmw").write_accesses(0, n).cost
+        rec = engine("reconstruct").write_accesses(0, n).cost
+        assert rec < rmw
+
+    def test_adaptive_is_min_everywhere(self):
+        for length in (1, 5, 15, 25, 34):
+            rmw = engine("rmw").write_accesses(0, length).cost
+            rec = engine("reconstruct").write_accesses(0, length).cost
+            ada = engine("adaptive").write_accesses(0, length).cost
+            assert ada == min(rmw, rec), length
+
+    def test_full_stripe_write_identical_under_all_policies(self):
+        layout = DCode(5)
+        costs = {
+            policy: AccessEngine(layout, num_stripes=2,
+                                 write_policy=policy)
+            .write_accesses(0, layout.num_data_cells).cost
+            for policy in AccessEngine.WRITE_POLICIES
+        }
+        assert len(set(costs.values())) == 1
+
+    def test_reconstruct_reads_only_untouched_data(self):
+        layout = DCode(5)
+        eng = engine("reconstruct", layout=layout)
+        sets = eng.write_io_sets(0, 3)
+        _, reads, writes = sets[0]
+        assert all(layout.is_data(c) for c in reads)
+        assert not any(c in reads for c in writes if layout.is_data(c))
+
+    def test_reads_can_exceed_writes_under_reconstruct(self):
+        # the write-policy breaks the RMW invariant reads <= writes
+        loads = engine("reconstruct").write_accesses(0, 1)
+        assert loads.reads.sum() > loads.writes.sum()
+
+
+class TestWorkloadLevel:
+    @pytest.mark.parametrize("code", ("dcode", "xcode", "rdp"))
+    def test_adaptive_never_worse_on_real_workloads(self, code):
+        layout = make_code(code, 7)
+        wl = mixed_workload(layout.num_data_cells * 16,
+                            np.random.default_rng(8), num_ops=150)
+        rmw = io_cost(run_workload(layout, wl, num_stripes=16))
+        adaptive_engine = AccessEngine(layout, num_stripes=16,
+                                       write_policy="adaptive")
+        ada = io_cost(adaptive_engine.run(wl))
+        assert ada <= rmw

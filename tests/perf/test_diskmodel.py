@@ -1,0 +1,67 @@
+"""Disk service-time model tests."""
+
+import pytest
+
+from repro.perf.diskmodel import (
+    SAVVIO_10K3,
+    DiskParameters,
+    disk_service_time_ms,
+)
+
+
+class TestParameters:
+    def test_savvio_defaults(self):
+        assert SAVVIO_10K3.rpm == 10_000
+        assert SAVVIO_10K3.rotational_latency_ms == pytest.approx(3.0)
+        assert SAVVIO_10K3.positioning_ms == pytest.approx(6.8)
+
+    def test_transfer_time_scales_with_element(self):
+        small = DiskParameters(element_bytes=512 * 1024)
+        assert SAVVIO_10K3.element_transfer_ms == pytest.approx(
+            2 * small.element_transfer_ms
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskParameters(seek_ms=-1)
+        with pytest.raises(ValueError):
+            DiskParameters(rpm=0)
+        with pytest.raises(ValueError):
+            DiskParameters(transfer_mb_per_s=0)
+        with pytest.raises(ValueError):
+            DiskParameters(gap_ms=-0.1)
+
+
+class TestServiceTime:
+    def test_empty_batch_is_free(self):
+        assert disk_service_time_ms([]) == 0.0
+
+    def test_single_element(self):
+        t = disk_service_time_ms([5])
+        assert t == pytest.approx(
+            SAVVIO_10K3.positioning_ms + SAVVIO_10K3.element_transfer_ms
+        )
+
+    def test_contiguous_run_has_one_positioning(self):
+        t = disk_service_time_ms([3, 4, 5])
+        assert t == pytest.approx(
+            SAVVIO_10K3.positioning_ms + 3 * SAVVIO_10K3.element_transfer_ms
+        )
+
+    def test_gap_adds_head_switch(self):
+        contiguous = disk_service_time_ms([0, 1, 2])
+        gapped = disk_service_time_ms([0, 1, 9])
+        assert gapped == pytest.approx(contiguous + SAVVIO_10K3.gap_ms)
+
+    def test_duplicates_served_from_cache(self):
+        assert disk_service_time_ms([4, 4, 4]) == disk_service_time_ms([4])
+
+    def test_order_independent(self):
+        assert disk_service_time_ms([9, 1, 5]) == disk_service_time_ms(
+            [1, 5, 9]
+        )
+
+    def test_monotone_in_batch_size(self):
+        t1 = disk_service_time_ms(list(range(5)))
+        t2 = disk_service_time_ms(list(range(10)))
+        assert t2 > t1

@@ -1,0 +1,88 @@
+"""Read-speed experiment harness tests (Figures 6/7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import DCode, HCode, RDP, XCode, make_code
+from repro.perf.experiments import (
+    data_disk_columns,
+    degraded_read_experiment,
+    normal_read_experiment,
+)
+
+
+class TestNormalExperiment:
+    def test_result_fields(self, rng):
+        r = normal_read_experiment(DCode(5), rng, num_requests=50)
+        assert r.code == "dcode"
+        assert r.mode == "normal"
+        assert r.num_disks == 5
+        assert len(r.speeds) == 50
+        assert r.speed_mb_per_s == pytest.approx(float(np.mean(r.speeds)))
+
+    def test_average_per_disk(self, rng):
+        r = normal_read_experiment(DCode(5), rng, num_requests=20)
+        assert r.average_speed_per_disk == pytest.approx(
+            r.speed_mb_per_s / 5
+        )
+
+    def test_deterministic_under_seed(self):
+        a = normal_read_experiment(
+            DCode(7), np.random.default_rng(4), num_requests=30
+        )
+        b = normal_read_experiment(
+            DCode(7), np.random.default_rng(4), num_requests=30
+        )
+        assert a.speeds == b.speeds
+
+    def test_dcode_equals_xcode_in_normal_mode(self):
+        """§V-B: identical data layouts, identical normal read speed."""
+        d = normal_read_experiment(
+            DCode(7), np.random.default_rng(9), num_requests=100
+        )
+        x = normal_read_experiment(
+            XCode(7), np.random.default_rng(9), num_requests=100
+        )
+        assert d.speed_mb_per_s == pytest.approx(x.speed_mb_per_s)
+
+
+class TestDegradedExperiment:
+    def test_failure_cases_are_data_disks(self):
+        layout = RDP(5)
+        cols = data_disk_columns(layout)
+        assert cols == list(range(4))  # both parity disks excluded
+
+    def test_dcode_every_disk_is_a_case(self):
+        assert data_disk_columns(DCode(5)) == list(range(5))
+
+    def test_result_aggregates_cases(self, rng):
+        layout = DCode(5)
+        r = degraded_read_experiment(layout, rng, num_requests_per_case=10)
+        assert r.mode == "degraded"
+        assert len(r.speeds) == len(data_disk_columns(layout))
+
+    def test_explicit_failure_cases(self, rng):
+        r = degraded_read_experiment(
+            DCode(5), rng, num_requests_per_case=10, failure_cases=[0, 1]
+        )
+        assert len(r.speeds) == 2
+
+    def test_degraded_slower_than_normal(self):
+        layout = DCode(7)
+        normal = normal_read_experiment(
+            layout, np.random.default_rng(2), num_requests=100
+        )
+        degraded = degraded_read_experiment(
+            layout, np.random.default_rng(2), num_requests_per_case=30
+        )
+        assert degraded.speed_mb_per_s < normal.speed_mb_per_s
+
+    def test_dcode_beats_xcode_degraded(self):
+        """§V-C headline: shared horizontal parities win degraded reads."""
+        d = degraded_read_experiment(
+            DCode(7), np.random.default_rng(6), num_requests_per_case=60
+        )
+        x = degraded_read_experiment(
+            XCode(7), np.random.default_rng(6), num_requests_per_case=60
+        )
+        assert d.speed_mb_per_s > x.speed_mb_per_s

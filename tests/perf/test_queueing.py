@@ -1,0 +1,106 @@
+"""Queueing-simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.codes import DCode, XCode
+from repro.iosim.engine import AccessEngine
+from repro.perf.queueing import (
+    ArrayQueueSimulator,
+    ArrivingRequest,
+    latency_under_load,
+    poisson_requests,
+)
+from repro.perf.timing import ArrayTimingModel
+
+
+@pytest.fixture
+def engine():
+    return AccessEngine(DCode(7), num_stripes=8)
+
+
+class TestSingleRequest:
+    def test_idle_latency_matches_timing_model(self, engine):
+        sim = ArrayQueueSimulator(engine)
+        stats = sim.run([ArrivingRequest(0.0, 3, 10)])
+        reference = ArrayTimingModel(engine).request_time_ms(3, 10)
+        assert stats.latencies_ms[0] == pytest.approx(reference)
+
+    def test_makespan_and_payload(self, engine):
+        sim = ArrayQueueSimulator(engine)
+        stats = sim.run([ArrivingRequest(5.0, 0, 4)])
+        assert stats.makespan_ms > 5.0
+        assert stats.payload_mb == pytest.approx(
+            4 * sim.params.element_bytes / 1e6
+        )
+
+
+class TestQueueingBehaviour:
+    def test_back_to_back_requests_queue(self, engine):
+        sim = ArrayQueueSimulator(engine)
+        # two identical requests at t=0: the second waits for the first
+        stats = sim.run([
+            ArrivingRequest(0.0, 0, 10),
+            ArrivingRequest(0.0, 0, 10),
+        ])
+        assert stats.latencies_ms[1] > stats.latencies_ms[0]
+
+    def test_widely_spaced_requests_do_not_queue(self, engine):
+        sim = ArrayQueueSimulator(engine)
+        stats = sim.run([
+            ArrivingRequest(0.0, 0, 10),
+            ArrivingRequest(10_000.0, 0, 10),
+        ])
+        assert stats.latencies_ms[0] == pytest.approx(stats.latencies_ms[1])
+
+    def test_latency_grows_with_load(self, engine):
+        light = latency_under_load(engine, rate_per_s=5, num_requests=200)
+        heavy = latency_under_load(engine, rate_per_s=40, num_requests=200)
+        assert heavy.mean_latency_ms > light.mean_latency_ms
+
+    def test_unsorted_arrivals_rejected(self, engine):
+        sim = ArrayQueueSimulator(engine)
+        with pytest.raises(ValueError):
+            sim.run([ArrivingRequest(5.0, 0, 1), ArrivingRequest(0.0, 0, 1)])
+
+
+class TestStats:
+    def test_percentiles_ordered(self, engine):
+        stats = latency_under_load(engine, rate_per_s=20, num_requests=300)
+        assert stats.percentile_ms(50) <= stats.percentile_ms(95) \
+            <= stats.percentile_ms(99)
+
+    def test_percentile_validation(self, engine):
+        stats = latency_under_load(engine, rate_per_s=20, num_requests=50)
+        with pytest.raises(ValueError):
+            stats.percentile_ms(101)
+
+    def test_poisson_stream_reproducible(self, engine):
+        a = poisson_requests(engine, 10, 50, np.random.default_rng(3))
+        b = poisson_requests(engine, 10, 50, np.random.default_rng(3))
+        assert a == b
+
+
+class TestDegradedUnderLoad:
+    def test_degraded_dcode_beats_degraded_xcode(self):
+        """The Figure-7 contrast amplified by queueing delay."""
+        d = latency_under_load(
+            AccessEngine(DCode(7), num_stripes=8, failed_disk=0),
+            rate_per_s=20, num_requests=300,
+        )
+        x = latency_under_load(
+            AccessEngine(XCode(7), num_stripes=8, failed_disk=0),
+            rate_per_s=20, num_requests=300,
+        )
+        assert d.mean_latency_ms < x.mean_latency_ms
+
+    def test_degraded_slower_than_healthy_under_load(self):
+        healthy = latency_under_load(
+            AccessEngine(DCode(7), num_stripes=8),
+            rate_per_s=20, num_requests=300,
+        )
+        degraded = latency_under_load(
+            AccessEngine(DCode(7), num_stripes=8, failed_disk=0),
+            rate_per_s=20, num_requests=300,
+        )
+        assert degraded.mean_latency_ms > healthy.mean_latency_ms

@@ -1,0 +1,80 @@
+"""Array timing-model tests."""
+
+import pytest
+
+from repro.codes import DCode, RDP
+from repro.iosim.engine import AccessEngine
+from repro.perf.diskmodel import SAVVIO_10K3, DiskParameters
+from repro.perf.timing import ArrayTimingModel
+
+
+@pytest.fixture
+def model():
+    return ArrayTimingModel(AccessEngine(DCode(7), num_stripes=8))
+
+
+class TestRequestTime:
+    def test_single_element_request(self, model):
+        t = model.request_time_ms(0, 1)
+        assert t == pytest.approx(
+            SAVVIO_10K3.positioning_ms + SAVVIO_10K3.element_transfer_ms
+        )
+
+    def test_parallel_row_read_costs_one_element_per_disk(self, model):
+        # 7 elements of row 0 land one per disk: time == single-element time
+        assert model.request_time_ms(0, 7) == pytest.approx(
+            model.request_time_ms(0, 1)
+        )
+
+    def test_time_is_max_over_disks(self, model):
+        # 8 elements: one disk now holds 2 — time steps up by one transfer
+        t7 = model.request_time_ms(0, 7)
+        t8 = model.request_time_ms(0, 8)
+        assert t8 > t7
+
+    def test_length_validation(self, model):
+        with pytest.raises(ValueError):
+            model.request_time_ms(0, 0)
+
+
+class TestSpeed:
+    def test_speed_positive_and_finite(self, model):
+        for length in (1, 5, 20):
+            s = model.read_speed_mb_per_s(0, length)
+            assert 0 < s < 10_000
+
+    def test_longer_reads_have_higher_throughput(self, model):
+        # positioning amortises over more payload
+        assert model.read_speed_mb_per_s(0, 20) > model.read_speed_mb_per_s(
+            0, 1
+        )
+
+    def test_average_per_disk(self, model):
+        s = model.read_speed_mb_per_s(0, 10)
+        assert model.average_speed_per_disk(s) == pytest.approx(s / 7)
+
+    def test_more_data_disks_raise_speed(self):
+        # RDP spreads the same run over fewer disks than D-Code — slower
+        d = ArrayTimingModel(AccessEngine(DCode(7), num_stripes=8))
+        r = ArrayTimingModel(AccessEngine(RDP(7), num_stripes=8))
+        assert d.read_speed_mb_per_s(0, 20) > r.read_speed_mb_per_s(0, 20)
+
+    def test_custom_parameters_respected(self):
+        fast = DiskParameters(seek_ms=0.0, rpm=100_000,
+                              transfer_mb_per_s=1000.0)
+        engine = AccessEngine(DCode(5), num_stripes=4)
+        slow_model = ArrayTimingModel(engine)
+        fast_model = ArrayTimingModel(engine, fast)
+        assert fast_model.read_speed_mb_per_s(0, 5) > \
+            slow_model.read_speed_mb_per_s(0, 5)
+
+
+class TestDegradedTiming:
+    def test_degraded_requests_are_slower(self):
+        healthy = ArrayTimingModel(AccessEngine(DCode(7), num_stripes=8))
+        degraded = ArrayTimingModel(
+            AccessEngine(DCode(7), num_stripes=8, failed_disk=0)
+        )
+        # a read over the failed disk must pay reconstruction reads
+        assert degraded.read_speed_mb_per_s(0, 10) < \
+            healthy.read_speed_mb_per_s(0, 10)

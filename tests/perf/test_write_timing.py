@@ -1,0 +1,89 @@
+"""Partial-stripe-write timing tests (extension experiment)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import DCode, HCode, RDP, XCode, make_code
+from repro.iosim.engine import AccessEngine
+from repro.perf.experiments import partial_write_experiment
+from repro.perf.timing import ArrayTimingModel
+
+
+@pytest.fixture
+def model():
+    return ArrayTimingModel(AccessEngine(DCode(7), num_stripes=8))
+
+
+class TestWriteRequestTime:
+    def test_positive_and_has_two_phases(self, model):
+        t = model.write_request_time_ms(0, 3)
+        # RMW: at least one read positioning + one write positioning
+        assert t > 2 * model.params.positioning_ms
+
+    def test_full_stripe_write_skips_read_phase(self):
+        layout = DCode(5)
+        model = ArrayTimingModel(AccessEngine(layout, num_stripes=8))
+        full = layout.num_data_cells
+        t_full = model.write_request_time_ms(0, full)
+        # a full-stripe write has no read phase, so per-payload it beats
+        # an RMW of the same span minus one element
+        t_partial = model.write_request_time_ms(0, full - 1)
+        assert t_full < t_partial + model.params.element_transfer_ms * 2
+
+    def test_write_speed_consistent(self, model):
+        t = model.write_request_time_ms(0, 4)
+        s = model.write_speed_mb_per_s(0, 4)
+        assert s == pytest.approx(
+            4 * model.params.element_bytes / 1e6 / (t / 1e3)
+        )
+
+    def test_length_validated(self, model):
+        with pytest.raises(ValueError):
+            model.write_request_time_ms(0, 0)
+
+
+class TestWriteIOSets:
+    def test_sets_match_access_counts(self):
+        engine = AccessEngine(DCode(7), num_stripes=4)
+        sets = engine.write_io_sets(3, 6)
+        loads = engine.write_accesses(3, 6)
+        total_reads = sum(len(r) for _, r, _ in sets)
+        total_writes = sum(len(w) for _, _, w in sets)
+        assert total_reads == loads.reads.sum()
+        assert total_writes == loads.writes.sum()
+
+    def test_failed_disk_dropped_from_sets(self):
+        engine = AccessEngine(DCode(7), num_stripes=4, failed_disk=2)
+        for _, reads, writes in engine.write_io_sets(0, 10):
+            assert all(c.col != 2 for c in reads)
+            assert all(c.col != 2 for c in writes)
+
+
+class TestWriteExperiment:
+    def test_result_mode(self, rng):
+        r = partial_write_experiment(DCode(5), rng, num_requests=30)
+        assert r.mode == "write"
+        assert r.speed_mb_per_s > 0
+
+    def test_ordering_matches_cost_argument(self):
+        """Fewer parity groups touched -> faster RMW: D-Code > X-Code;
+        RDP's two dedicated parity disks bottleneck every write."""
+        speeds = {}
+        for cls, p in ((RDP, 7), (XCode, 7), (DCode, 7), (HCode, 7)):
+            r = partial_write_experiment(
+                cls(p), np.random.default_rng(5), num_requests=200
+            )
+            speeds[r.code] = r.speed_mb_per_s
+        assert speeds["dcode"] > speeds["xcode"]
+        assert speeds["dcode"] > speeds["rdp"]
+        # H-Code's raison d'être: optimal partial stripe writes
+        assert speeds["hcode"] > speeds["dcode"]
+
+    def test_deterministic(self):
+        a = partial_write_experiment(
+            DCode(5), np.random.default_rng(1), num_requests=40
+        )
+        b = partial_write_experiment(
+            DCode(5), np.random.default_rng(1), num_requests=40
+        )
+        assert a.speeds == b.speeds

@@ -1,0 +1,149 @@
+"""Property-based tests for the extension subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.codes import make_code
+from repro.codes.blaum_roth import BlaumRothCode
+from repro.codes.liberation import LiberationCode
+from repro.codes.shorten import make_shortened, shorten, shortenable_columns
+from repro.codec.encoder import StripeCodec
+from repro.codec.gauss import GaussianDecoder, can_recover
+from repro.iosim.trace import load_trace, save_trace
+from repro.iosim.workloads import workload_from_ratio
+from repro.perf.diskmodel import DiskParameters, disk_service_time_ms
+from repro.perf.queueing import ArrayQueueSimulator, ArrivingRequest
+from repro.iosim.engine import AccessEngine
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+seeds = st.integers(0, 2**32 - 1)
+
+
+class TestBitmatrixCodecs:
+    @given(w=st.sampled_from((5, 7)), seed=seeds, data=st.data())
+    @settings(max_examples=25, **COMMON)
+    def test_liberation_round_trip(self, w, seed, data):
+        codec = LiberationCode(w, element_size=w * 4)
+        payload = np.random.default_rng(seed).integers(
+            0, 256, (codec.k, codec.element_size), dtype=np.uint8
+        )
+        stripe = codec.encode(payload)
+        erased = data.draw(
+            st.lists(st.integers(0, codec.num_disks - 1),
+                     min_size=0, max_size=2, unique=True)
+        )
+        damaged = stripe.copy()
+        for d in erased:
+            damaged[d] = 0
+        codec.decode(damaged, erased)
+        assert np.array_equal(damaged, stripe)
+
+    @given(p=st.sampled_from((5, 7)), k=st.integers(2, 4), seed=seeds)
+    @settings(max_examples=20, **COMMON)
+    def test_blaum_roth_shortened_round_trip(self, p, k, seed):
+        codec = BlaumRothCode(p, k=k, element_size=(p - 1) * 4)
+        payload = np.random.default_rng(seed).integers(
+            0, 256, (k, codec.element_size), dtype=np.uint8
+        )
+        stripe = codec.encode(payload)
+        damaged = stripe.copy()
+        damaged[0] = 0
+        damaged[k] = 0
+        codec.decode(damaged, [0, k])
+        assert np.array_equal(damaged, stripe)
+
+
+class TestShorteningProperties:
+    @given(p=st.sampled_from((5, 7)), data=st.data(), seed=seeds)
+    @settings(max_examples=25, **COMMON)
+    def test_any_legal_shortening_stays_recoverable(self, p, data, seed):
+        layout = make_code("rdp", p)
+        candidates = shortenable_columns(layout)
+        drops = data.draw(
+            st.lists(st.sampled_from(candidates), min_size=0,
+                     max_size=len(candidates) - 1, unique=True)
+        )
+        short = shorten(layout, drops)
+        # spot-check a random double failure instead of the full grid
+        f1 = data.draw(st.integers(0, short.cols - 1))
+        f2 = data.draw(st.integers(0, short.cols - 1))
+        if f1 != f2:
+            assert can_recover(short, [f1, f2])
+        # and a random payload survives that failure
+        codec = StripeCodec(short, element_size=16)
+        truth = codec.random_stripe(np.random.default_rng(seed))
+        stripe = truth.copy()
+        cols = sorted({f1, f2})
+        codec.erase_columns(stripe, cols)
+        GaussianDecoder(codec).decode_columns(stripe, cols)
+        assert np.array_equal(stripe, truth)
+
+    @given(disks=st.integers(4, 20))
+    @settings(max_examples=17, **COMMON)
+    def test_make_shortened_hits_exact_width(self, disks):
+        assert make_shortened("rdp", disks).cols == disks
+
+
+class TestTraceProperties:
+    @given(seed=seeds, frac=st.floats(0.0, 1.0), n=st.integers(1, 60))
+    @settings(max_examples=25, **COMMON)
+    def test_save_load_round_trip(self, tmp_path_factory, seed, frac, n):
+        wl = workload_from_ratio(
+            "w", frac, 500, np.random.default_rng(seed), num_ops=n
+        )
+        path = tmp_path_factory.mktemp("traces") / "t.csv"
+        save_trace(wl, path)
+        assert load_trace(path).operations == wl.operations
+
+
+class TestQueueingProperties:
+    @given(
+        gaps=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=12),
+        seed=seeds,
+    )
+    @settings(max_examples=25, **COMMON)
+    def test_latency_at_least_idle_service(self, gaps, seed):
+        """Queueing can only add delay, never remove service time."""
+        engine = AccessEngine(make_code("dcode", 5), num_stripes=4)
+        sim = ArrayQueueSimulator(engine)
+        rng = np.random.default_rng(seed)
+        t = 0.0
+        reqs = []
+        for g in gaps:
+            t += g
+            reqs.append(ArrivingRequest(
+                t, int(rng.integers(0, engine.address_space)),
+                int(rng.integers(1, 10)),
+            ))
+        stats = sim.run(reqs)
+        from repro.perf.timing import ArrayTimingModel
+
+        model = ArrayTimingModel(engine)
+        for req, lat in zip(reqs, stats.latencies_ms):
+            idle = model.request_time_ms(req.start, req.length)
+            assert lat >= idle - 1e-9
+
+    @given(
+        offsets=st.lists(st.integers(0, 200), min_size=0, max_size=30),
+    )
+    @settings(max_examples=50, **COMMON)
+    def test_service_time_monotone_under_superset(self, offsets):
+        base = disk_service_time_ms(offsets)
+        extended = disk_service_time_ms(offsets + [999])
+        assert extended >= base
+
+    @given(
+        seek=st.floats(0.0, 20.0),
+        rpm=st.integers(1000, 20000),
+    )
+    @settings(max_examples=30, **COMMON)
+    def test_parameters_shift_service_time(self, seek, rpm):
+        params = DiskParameters(seek_ms=seek, rpm=rpm)
+        t = disk_service_time_ms([0], params)
+        assert t == pytest.approx(
+            seek + 0.5 * 60_000 / rpm + params.element_transfer_ms
+        )

@@ -1,0 +1,97 @@
+"""Stateful property testing of the RAID-6 volume (hypothesis rules).
+
+Hypothesis drives arbitrary interleavings of writes, failures, rebuilds,
+latent errors and scrubs against a shadow array; invariants are checked
+after every step.  This complements the fixed-seed fault campaign with
+minimised counter-examples when something breaks.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.array import RAID6Volume
+from repro.codes import DCode
+
+ELEMENT = 8
+
+
+class VolumeMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.volume = RAID6Volume(DCode(5), num_stripes=2,
+                                  element_size=ELEMENT)
+        self.shadow = np.zeros((self.volume.num_elements, ELEMENT),
+                               dtype=np.uint8)
+        self.failed = set()
+        self.latent = 0
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(start=st.integers(0, 29), n=st.integers(1, 6),
+          fill=st.integers(0, 255))
+    def write(self, start, n, fill):
+        n = min(n, self.volume.num_elements - start)
+        data = np.full((n, ELEMENT), fill, dtype=np.uint8)
+        self.volume.write(start, data)
+        self.shadow[start:start + n] = data
+
+    @rule(disk=st.integers(0, 4))
+    @precondition(lambda self: len(self.failed) < 2)
+    def fail_disk(self, disk):
+        if disk in self.failed or self.latent:
+            return
+        self.volume.fail_disk(disk)
+        self.failed.add(disk)
+
+    @rule()
+    @precondition(lambda self: len(self.failed) > 0)
+    def rebuild_one(self):
+        disk = sorted(self.failed)[0]
+        self.volume.replace_and_rebuild(disk)
+        self.failed.discard(disk)
+
+    @rule(disk=st.integers(0, 4), stripe=st.integers(0, 1),
+          row=st.integers(0, 4))
+    @precondition(lambda self: not self.failed and self.latent == 0)
+    def inject_latent(self, disk, stripe, row):
+        self.volume.inject_latent_error(disk, stripe, row)
+        self.latent += 1
+
+    @rule()
+    @precondition(lambda self: not self.failed)
+    def scrub_repair(self):
+        self.volume.scrub_and_repair()
+        self.latent = 0
+
+    # -- invariants ---------------------------------------------------------
+
+    @invariant()
+    def reads_match_shadow(self):
+        if not hasattr(self, "volume"):
+            return
+        got = self.volume.read(0, self.volume.num_elements)
+        assert np.array_equal(got, self.shadow)
+
+    @invariant()
+    def parity_clean_when_healthy(self):
+        if not hasattr(self, "volume"):
+            return
+        if not self.failed and self.latent == 0:
+            assert self.volume.scrub() == []
+
+
+TestVolumeStateMachine = VolumeMachine.TestCase
+TestVolumeStateMachine.settings = settings(
+    max_examples=15,
+    stateful_step_count=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)

@@ -1,0 +1,98 @@
+"""Single-failure recovery-planner tests, incl. the ~25 % saving claim."""
+
+import numpy as np
+import pytest
+
+from repro.codes import DCode, XCode, make_code
+from repro.recovery.planner import (
+    conventional_plan,
+    hybrid_plan,
+    recovery_read_savings,
+)
+
+
+class TestPlanValidity:
+    @pytest.mark.parametrize("name", ("dcode", "xcode", "rdp", "hcode", "hdp"))
+    def test_plans_cover_all_lost_cells(self, name, small_prime):
+        layout = make_code(name, small_prime)
+        for failed in range(layout.cols):
+            for plan in (
+                conventional_plan(layout, failed),
+                hybrid_plan(layout, failed),
+            ):
+                recovered = {cell for cell, _ in plan.choices}
+                assert recovered == set(layout.cells_in_column(failed))
+
+    @pytest.mark.parametrize("name", ("dcode", "xcode", "hdp"))
+    def test_plans_read_only_surviving_cells(self, name, small_prime):
+        layout = make_code(name, small_prime)
+        for failed in range(layout.cols):
+            plan = hybrid_plan(layout, failed)
+            assert all(c.col != failed for c in plan.reads)
+
+    def test_each_choice_is_a_covering_group(self):
+        layout = DCode(7)
+        plan = hybrid_plan(layout, 3)
+        for cell, group in plan.choices:
+            assert cell in group.cells
+
+    def test_invalid_column_rejected(self):
+        with pytest.raises(IndexError):
+            hybrid_plan(DCode(5), 5)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            conventional_plan(DCode(5), 0, family="bogus")
+
+
+class TestOptimality:
+    def test_hybrid_never_worse_than_conventional(self, small_prime):
+        for name in ("dcode", "xcode"):
+            layout = make_code(name, small_prime)
+            for failed in range(layout.cols):
+                conv = conventional_plan(layout, failed)
+                hyb = hybrid_plan(layout, failed)
+                assert hyb.num_reads <= conv.num_reads
+
+    def test_local_search_close_to_exhaustive(self):
+        # force the local-search path and compare against the exact optimum
+        layout = DCode(11)
+        exact = hybrid_plan(layout, 0)
+        approx = hybrid_plan(
+            layout, 0, exhaustive_limit=1,
+            rng=np.random.default_rng(1), local_search_iterations=4000,
+        )
+        assert approx.num_reads <= exact.num_reads * 1.15
+
+    @pytest.mark.parametrize("p", (11, 13))
+    def test_savings_approach_25_percent(self, p):
+        """§III-D via Xu et al.: hybrid recovery cuts ~25 % of reads."""
+        layout = DCode(p)
+        savings = np.mean(
+            [recovery_read_savings(layout, f) for f in range(layout.cols)]
+        )
+        assert 0.15 <= savings <= 0.30
+
+    @pytest.mark.parametrize("p", (5, 7, 11, 13))
+    def test_dcode_inherits_xcode_recovery_cost(self, p):
+        """Theorem 1 consequence: reordering preserves recovery I/O."""
+        d, x = DCode(p), XCode(p)
+        d_reads = sorted(hybrid_plan(d, f).num_reads for f in range(p))
+        x_reads = sorted(hybrid_plan(x, f).num_reads for f in range(p))
+        assert d_reads == x_reads
+
+
+class TestPlanAccounting:
+    def test_reads_on_disk_sums_to_total(self):
+        layout = XCode(7)
+        plan = hybrid_plan(layout, 2)
+        assert sum(
+            plan.reads_on_disk(c) for c in range(layout.cols)
+        ) == plan.num_reads
+
+    def test_conventional_family_preference_respected(self):
+        layout = DCode(7)
+        plan = conventional_plan(layout, 0, family="horizontal")
+        for cell, group in plan.choices:
+            if layout.is_data(cell):
+                assert group.family == "horizontal"

@@ -1,0 +1,89 @@
+"""CLI tests (direct main() invocation, output via capsys)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLayout:
+    def test_layout_prints_grid(self, capsys):
+        assert main(["layout", "dcode", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "dcode" in out
+        assert "storage efficiency: 0.7143" in out
+        assert "D D D D D D D" in out
+
+    def test_layout_bad_prime(self, capsys):
+        assert main(["layout", "dcode", "9"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_layout_unknown_code_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["layout", "nope", "7"])
+
+
+class TestFeatures:
+    def test_default_table(self, capsys):
+        assert main(["features", "--primes", "5", "--codes", "dcode",
+                     "rdp"]) == 0
+        out = capsys.readouterr().out
+        assert "dcode" in out and "rdp" in out and "enc/el" in out
+
+
+class TestFigures:
+    def test_fig4_small(self, capsys):
+        assert main([
+            "fig4", "read-only", "--primes", "5", "--codes", "rdp",
+            "dcode", "--ops", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "load balancing factor" in out
+        assert "30.00" in out  # RDP read-only infinity clip
+
+    def test_fig5_small(self, capsys):
+        assert main([
+            "fig5", "read-write-mixed", "--primes", "5", "--codes",
+            "dcode", "--ops", "40",
+        ]) == 0
+        assert "total I/O cost" in capsys.readouterr().out
+
+    def test_fig6_small(self, capsys):
+        assert main([
+            "fig6", "--primes", "5", "--codes", "dcode", "xcode",
+            "--ops", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6(a)" in out and "Figure 6(b)" in out
+
+    def test_fig7_small(self, capsys):
+        assert main([
+            "fig7", "--primes", "5", "--codes", "dcode", "--ops", "40",
+        ]) == 0
+        assert "Figure 7(a)" in capsys.readouterr().out
+
+    def test_fig4_requires_workload(self):
+        with pytest.raises(SystemExit):
+            main(["fig4"])
+
+    def test_chart_flag_renders_bars(self, capsys):
+        assert main([
+            "fig4", "read-only", "--primes", "5", "--codes", "rdp",
+            "dcode", "--ops", "40", "--chart",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out
+        assert "lower = better balanced" in out
+
+
+class TestRecovery:
+    def test_recovery_table(self, capsys):
+        assert main(["recovery", "--primes", "5", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "conventional" in out
+        assert "dcode" in out and "xcode" in out
+
+
+class TestParser:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

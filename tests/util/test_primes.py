@@ -1,0 +1,80 @@
+"""Unit tests for repro.util.primes."""
+
+import pytest
+
+from repro.util.primes import (
+    is_prime,
+    iter_primes,
+    next_prime,
+    previous_prime,
+    primes_in_range,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for q in (2, 3, 5, 7, 11, 13, 17, 19, 23):
+            assert is_prime(q)
+
+    def test_small_composites(self):
+        for q in (4, 6, 8, 9, 10, 12, 15, 21, 25, 49):
+            assert not is_prime(q)
+
+    def test_below_two(self):
+        assert not is_prime(1)
+        assert not is_prime(0)
+        assert not is_prime(-7)
+
+    def test_large_prime_and_composite(self):
+        assert is_prime(7919)
+        assert not is_prime(7917)  # 3 * 7 * 13 * 29
+
+    def test_square_of_prime_rejected(self):
+        # regression guard for the f*f <= n boundary
+        assert not is_prime(169)
+        assert is_prime(167)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            is_prime(True)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            is_prime(7.0)
+
+
+class TestNextPrevious:
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(13) == 17
+        assert next_prime(14) == 17
+
+    def test_previous_prime(self):
+        assert previous_prime(3) == 2
+        assert previous_prime(14) == 13
+        assert previous_prime(13) == 11
+
+    def test_previous_prime_exhausted(self):
+        with pytest.raises(ValueError):
+            previous_prime(2)
+
+    def test_round_trip(self):
+        for q in (5, 7, 11, 13):
+            assert previous_prime(next_prime(q)) == next_prime(q - 1) \
+                or is_prime(q)
+
+
+class TestRanges:
+    def test_primes_in_range(self):
+        assert primes_in_range(5, 14) == [5, 7, 11, 13]
+
+    def test_empty_range(self):
+        assert primes_in_range(24, 29) == []
+
+    def test_lower_clamp(self):
+        assert primes_in_range(-10, 6) == [2, 3, 5]
+
+    def test_iter_primes(self):
+        gen = iter_primes(5)
+        assert [next(gen) for _ in range(4)] == [5, 7, 11, 13]

@@ -1,0 +1,80 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    require,
+    require_index,
+    require_positive,
+    require_prime,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "unused")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken invariant"):
+            require(False, "broken invariant")
+
+
+class TestRequireType:
+    def test_single_type(self):
+        require_type(3, int, "x")
+        with pytest.raises(TypeError, match="x must be int"):
+            require_type("3", int, "x")
+
+    def test_type_union(self):
+        require_type(b"", (bytes, bytearray), "buf")
+        with pytest.raises(TypeError, match="bytes | bytearray"):
+            require_type(3, (bytes, bytearray), "buf")
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(1, "n")
+        require_positive(10**9, "n")
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            require_positive(bad, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            require_positive(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            require_positive(1.0, "n")
+
+
+class TestRequireIndex:
+    def test_in_range(self):
+        require_index(0, 5, "i")
+        require_index(4, 5, "i")
+
+    @pytest.mark.parametrize("bad", [-1, 5, 100])
+    def test_out_of_range(self, bad):
+        with pytest.raises(IndexError):
+            require_index(bad, 5, "i")
+
+
+class TestRequirePrime:
+    def test_accepts_evaluation_primes(self):
+        for q in (5, 7, 11, 13):
+            require_prime(q, "p", minimum=5)
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValueError):
+            require_prime(3, "p", minimum=5)
+
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            require_prime(9, "p", minimum=5)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            require_prime(7.0, "p")
