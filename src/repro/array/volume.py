@@ -28,6 +28,7 @@ import numpy as np
 from repro.array.disk import SimDisk
 from repro.array.mapping import AddressMapper
 from repro.codes.base import Cell, CodeLayout
+from repro.codec.batch import blank_batch, encode_batch
 from repro.codec.decoder import ChainDecoder
 from repro.codec.encoder import StripeCodec, _toposort_groups
 from repro.codec.gauss import GaussianDecoder
@@ -306,8 +307,40 @@ class RAID6Volume:
         for k in range(count):
             loc = self.mapper.locate(start + k)
             by_stripe.setdefault(loc.stripe, []).append((loc.cell, data[k]))
+        # Full-stripe writes share one encode plan — run them through the
+        # batched codec in a single pass; everything else (RMW patches,
+        # reconstruct-writes) keeps the per-stripe controller paths.
+        full: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]] = []
+        rest: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]] = []
         for stripe, items in by_stripe.items():
+            if len(items) == self.layout.num_data_cells:
+                full.append((stripe, items))
+            else:
+                rest.append((stripe, items))
+        if len(full) > 1:
+            self._full_stripe_write_batched(full)
+        else:
+            rest = full + rest
+        for stripe, items in rest:
             self._write_stripe_batch(stripe, items)
+
+    def _full_stripe_write_batched(
+        self, entries: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]]
+    ) -> None:
+        """Encode every full-stripe write of one request queue together."""
+        buf = blank_batch(self.codec, len(entries))
+        for i, (_, items) in enumerate(entries):
+            for cell, value in items:
+                buf[i, cell.row, cell.col] = value
+        encode_batch(self.codec, buf)
+        for i, (stripe, _) in enumerate(entries):
+            failed_cols = tuple(
+                sorted(
+                    self.mapper.col_on_disk(stripe, f)
+                    for f in self.failed_disks
+                )
+            )
+            self._store_stripe(stripe, buf[i], skip_cols=failed_cols)
 
     def _write_stripe_batch(
         self, stripe: int, items: List[Tuple[Cell, np.ndarray]]

@@ -8,20 +8,40 @@ encode / decode / update operations on numpy stripe buffers.
   works for every XOR code, including EVENODD's adjuster coupling.
 * :mod:`~repro.codec.update` — read-modify-write delta updates of single
   data elements (the paper's update-complexity path).
+* :mod:`~repro.codec.plan` — compiled gather-XOR execution plans (flat
+  index schedules cached per ``(layout, element_size)``).
+* :mod:`~repro.codec.batch` — the batched multi-stripe API
+  (``encode_batch`` / ``decode_batch`` / ``update_batch``).
 """
 
+from repro.codec.batch import (
+    blank_batch,
+    decode_batch,
+    encode_batch,
+    random_batch,
+    update_batch,
+)
 from repro.codec.decoder import ChainDecoder, RecoveryStep, can_chain_recover
 from repro.codec.encoder import StripeCodec
 from repro.codec.gauss import GaussianDecoder, can_recover
+from repro.codec.plan import CompiledPlans, XorPlan, compiled_plans
 from repro.codec.update import apply_update, update_footprint
 
 __all__ = [
     "ChainDecoder",
+    "CompiledPlans",
     "GaussianDecoder",
     "RecoveryStep",
     "StripeCodec",
+    "XorPlan",
     "apply_update",
+    "blank_batch",
     "can_chain_recover",
     "can_recover",
+    "compiled_plans",
+    "decode_batch",
+    "encode_batch",
+    "random_batch",
+    "update_batch",
     "update_footprint",
 ]

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.codes.base import Cell, CodeLayout, ParityGroup, column_failure_cells
 from repro.codec.encoder import StripeCodec
+from repro.codec.plan import flat_stripe_view
 from repro.exceptions import DecodeError, FaultToleranceExceeded
 from repro.util.xor import xor_blocks
 
@@ -138,11 +139,18 @@ def can_chain_recover(layout: CodeLayout, failed_cols: Sequence[int]) -> bool:
 
 
 class ChainDecoder:
-    """Execute chain-recovery schedules against stripe buffers."""
+    """Execute chain-recovery schedules against stripe buffers.
 
-    def __init__(self, codec: StripeCodec) -> None:
+    Schedules run as compiled gather-XOR plans by default (memoised per
+    schedule through the codec's :class:`~repro.codec.plan.CompiledPlans`);
+    ``naive=True`` keeps the original per-step Python walk for
+    cross-validation.
+    """
+
+    def __init__(self, codec: StripeCodec, naive: bool = False) -> None:
         self.codec = codec
         self.layout = codec.layout
+        self.naive = naive
         self._column_plans: Dict[Tuple[int, ...], List[RecoveryStep]] = {}
 
     def plan_for_columns(self, failed_cols: Sequence[int]) -> List[RecoveryStep]:
@@ -193,10 +201,27 @@ class ChainDecoder:
         self._execute(stripe, plan)
         return plan
 
-    def _execute(self, stripe: np.ndarray, plan: List[RecoveryStep]) -> None:
-        for step in plan:
-            blocks = [stripe[c.row, c.col] for c in step.reads]
-            xor_blocks(blocks, out=stripe[step.cell.row, step.cell.col])
+    def _execute(
+        self,
+        stripe: np.ndarray,
+        plan: List[RecoveryStep],
+        naive: "bool | None" = None,
+    ) -> None:
+        if not plan:
+            return
+        if naive if naive is not None else self.naive:
+            for step in plan:
+                blocks = [stripe[c.row, c.col] for c in step.reads]
+                xor_blocks(blocks, out=stripe[step.cell.row, step.cell.col])
+            return
+        xplan = self.codec.plans.schedule_plan(plan)
+        flat = flat_stripe_view(stripe, xplan.num_cells)
+        if flat is None:
+            buf = np.ascontiguousarray(stripe)
+            xplan.execute(buf.reshape(xplan.num_cells, -1))
+            stripe[...] = buf
+        else:
+            xplan.execute(flat)
 
     def reads_per_disk(self, plan: List[RecoveryStep]) -> Dict[int, int]:
         """How many element reads each surviving disk serves for a plan.

@@ -14,57 +14,51 @@ dependency order, computed once at construction.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 
+from repro.codec.plan import (
+    CompiledPlans,
+    compiled_plans,
+    flat_stripe_view,
+    toposort_groups,
+)
 from repro.codes.base import Cell, CodeLayout, ParityGroup
 from repro.exceptions import GeometryError, InconsistentStripeError
 from repro.util.validation import require_positive
 from repro.util.xor import xor_blocks
 
-
-def _toposort_groups(layout: CodeLayout) -> List[ParityGroup]:
-    """Order parity groups so every group's parity *members* come first.
-
-    A group depends on another when it covers the other's parity cell.  All
-    layouts in this library have acyclic dependencies (a cycle would make
-    the code non-computable); a cycle raises :class:`GeometryError`.
-    """
-    parity_owner: Dict[Cell, ParityGroup] = {g.parity: g for g in layout.groups}
-    order: List[ParityGroup] = []
-    state: Dict[Cell, int] = {}  # 0 = visiting, 1 = done
-
-    def visit(group: ParityGroup) -> None:
-        mark = state.get(group.parity)
-        if mark == 1:
-            return
-        if mark == 0:
-            raise GeometryError(
-                f"cyclic parity dependency through {group.parity} in "
-                f"{layout.name}"
-            )
-        state[group.parity] = 0
-        for member in group.members:
-            dep = parity_owner.get(member)
-            if dep is not None:
-                visit(dep)
-        state[group.parity] = 1
-        order.append(group)
-
-    for g in layout.groups:
-        visit(g)
-    return order
+# Toposort now lives in repro.codec.plan (iterative DFS); the historical
+# private name is kept because the update/volume/iosim layers import it.
+_toposort_groups = toposort_groups
 
 
 class StripeCodec:
-    """Encode/verify/erase stripes of a given layout at a given element size."""
+    """Encode/verify/erase stripes of a given layout at a given element size.
 
-    def __init__(self, layout: CodeLayout, element_size: int = 4096) -> None:
+    Encoding runs a compiled gather-XOR plan (:mod:`repro.codec.plan`) by
+    default; ``naive=True`` keeps the original per-group Python walk as a
+    cross-validation reference for the equivalence tests.
+    """
+
+    def __init__(
+        self,
+        layout: CodeLayout,
+        element_size: int = 4096,
+        naive: bool = False,
+    ) -> None:
         require_positive(element_size, "element_size")
         self.layout = layout
         self.element_size = element_size
+        self.naive = naive
         self._encode_order = _toposort_groups(layout)
+        self._plans = compiled_plans(layout, element_size)
+
+    @property
+    def plans(self) -> CompiledPlans:
+        """The compiled plans shared by this ``(layout, element_size)``."""
+        return self._plans
 
     # -- buffers -------------------------------------------------------------
 
@@ -114,12 +108,29 @@ class StripeCodec:
 
     # -- encode / verify -------------------------------------------------------
 
-    def encode(self, stripe: np.ndarray) -> np.ndarray:
-        """Fill every parity cell from the data cells, in place."""
+    def encode(self, stripe: np.ndarray, naive: "bool | None" = None) -> np.ndarray:
+        """Fill every parity cell from the data cells, in place.
+
+        ``naive`` overrides the codec's default execution mode for this
+        call (compiled gather-XOR vs the reference group walk).
+        """
         self._check_shape(stripe)
-        for group in self._encode_order:
-            blocks = [stripe[m.row, m.col] for m in group.members]
-            xor_blocks(blocks, out=stripe[group.parity.row, group.parity.col])
+        if naive if naive is not None else self.naive:
+            for group in self._encode_order:
+                blocks = [stripe[m.row, m.col] for m in group.members]
+                xor_blocks(
+                    blocks, out=stripe[group.parity.row, group.parity.col]
+                )
+            return stripe
+        flat = flat_stripe_view(stripe, self._plans.encode.num_cells)
+        if flat is None:
+            buf = np.ascontiguousarray(stripe)
+            self._plans.encode.execute(
+                buf.reshape(self._plans.encode.num_cells, self.element_size)
+            )
+            stripe[...] = buf
+        else:
+            self._plans.encode.execute(flat)
         return stripe
 
     def parity_ok(self, stripe: np.ndarray) -> bool:

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.codes.base import Cell, CodeLayout
 from repro.codec.encoder import StripeCodec, _toposort_groups
+from repro.codec.plan import flat_stripe_view
 from repro.exceptions import GeometryError
 from repro.util.xor import xor_into
 
@@ -29,12 +30,18 @@ def apply_update(
     stripe: np.ndarray,
     cell: Cell,
     new_value: np.ndarray,
+    naive: "bool | None" = None,
 ) -> Tuple[Cell, ...]:
     """Overwrite ``cell`` with ``new_value`` and patch parity, in place.
 
     Returns the parity cells that were modified.  Equivalent to re-encoding
     the stripe but touches only the RMW footprint, which is what a real
     array controller would do for a small write.
+
+    The default path executes the cell's compiled update plan — one scatter
+    XOR of the delta into the cell and its footprint parities (every touched
+    parity changes by exactly ``old ^ new`` over GF(2)); ``naive=True`` runs
+    the original delta-propagation walk for cross-validation.
     """
     layout = codec.layout
     if not layout.is_data(cell):
@@ -46,10 +53,18 @@ def apply_update(
     delta = np.bitwise_xor(stripe[cell.row, cell.col], new_value)
     if not delta.any():
         return ()  # no-op write: nothing to patch
-    stripe[cell.row, cell.col] = new_value
 
+    if not (naive if naive is not None else codec.naive):
+        indices, touched = codec.plans.update_plan(cell)
+        flat = flat_stripe_view(stripe, layout.rows * layout.cols)
+        if flat is not None:
+            flat[indices] = flat[indices] ^ delta
+            return touched
+        # non-viewable stripe: fall through to the per-cell walk below
+
+    stripe[cell.row, cell.col] = new_value
     deltas: Dict[Cell, np.ndarray] = {cell: delta}
-    touched = []
+    touched_list = []
     for group in _toposort_groups(layout):
         gdelta = None
         for member in group.members:
@@ -63,8 +78,8 @@ def apply_update(
         if gdelta is not None and gdelta.any():
             xor_into(stripe[group.parity.row, group.parity.col], gdelta)
             deltas[group.parity] = gdelta
-            touched.append(group.parity)
-    return tuple(touched)
+            touched_list.append(group.parity)
+    return tuple(touched_list)
 
 
 def update_footprint(layout: CodeLayout, cell: Cell) -> Tuple[Cell, ...]:

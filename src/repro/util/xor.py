@@ -17,8 +17,12 @@ import numpy as np
 def as_element(buf: "np.ndarray | bytes | bytearray", name: str = "buffer") -> np.ndarray:
     """Return ``buf`` as a 1-D contiguous ``uint8`` numpy view.
 
-    Accepts bytes-like objects (copied, since bytes are immutable) and numpy
-    arrays (viewed, never copied, when already uint8 and contiguous).
+    Zero-copy for every accepted type: bytes-like objects are wrapped with
+    :func:`np.frombuffer` directly (the result is read-only for immutable
+    ``bytes``, writable — and aliasing the input — for ``bytearray`` /
+    writable ``memoryview``), and uint8 numpy arrays are viewed, copied
+    only when non-contiguous.  Callers that need to mutate a view of an
+    immutable buffer must copy explicitly.
     """
     if isinstance(buf, np.ndarray):
         if buf.dtype != np.uint8:
@@ -26,7 +30,7 @@ def as_element(buf: "np.ndarray | bytes | bytearray", name: str = "buffer") -> n
         arr = np.ascontiguousarray(buf).reshape(-1)
         return arr
     if isinstance(buf, (bytes, bytearray, memoryview)):
-        return np.frombuffer(bytes(buf), dtype=np.uint8)
+        return np.frombuffer(buf, dtype=np.uint8)
     raise TypeError(
         f"{name} must be bytes-like or a uint8 ndarray, got {type(buf).__name__}"
     )

@@ -22,6 +22,26 @@ class TestAsElement:
         view = as_element(src)
         assert view.base is src or view is src
 
+    def test_bytes_input_is_zero_copy_view(self):
+        buf = b"\x10\x20\x30\x40"
+        arr = as_element(buf)
+        assert arr.base is buf  # frombuffer view, no intermediate copy
+        assert not arr.flags.writeable  # immutable source stays immutable
+
+    def test_bytearray_input_aliases_buffer(self):
+        buf = bytearray(b"\x01\x02\x03")
+        arr = as_element(buf)
+        assert arr.flags.writeable
+        arr[0] = 0xFF
+        assert buf[0] == 0xFF  # view, not a copy
+
+    def test_memoryview_input(self):
+        buf = bytearray(b"\x05\x06")
+        arr = as_element(memoryview(buf))
+        assert list(arr) == [5, 6]
+        arr[1] = 9
+        assert buf[1] == 9
+
     def test_wrong_dtype_rejected(self):
         with pytest.raises(TypeError):
             as_element(np.zeros(4, dtype=np.float64))
