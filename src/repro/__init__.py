@@ -51,7 +51,19 @@ from repro.exceptions import (
     DecodeError,
     FaultToleranceExceeded,
     InconsistentStripeError,
+    LatentSectorError,
     ReproError,
+    SimulatedCrashError,
+    TransientIOError,
+    UnrecoverableStripeError,
+)
+from repro.faults import (
+    ErrorPolicy,
+    FaultInjector,
+    FaultRates,
+    FaultSpec,
+    HealthState,
+    RebuildCursor,
 )
 from repro.iosim import (
     AccessEngine,
@@ -87,16 +99,26 @@ __all__ = [
     "DCode",
     "DecodeError",
     "DiskParameters",
+    "ErrorPolicy",
     "EvenOdd",
+    "FaultInjector",
+    "FaultRates",
+    "FaultSpec",
     "FaultToleranceExceeded",
     "GaussianDecoder",
     "GeneralReedSolomon",
     "HCode",
     "HDPCode",
+    "HealthState",
     "InconsistentStripeError",
+    "LatentSectorError",
     "LiberationCode",
     "LocalReconstructionCode",
     "Operation",
+    "RebuildCursor",
+    "SimulatedCrashError",
+    "TransientIOError",
+    "UnrecoverableStripeError",
     "PCode",
     "ParityGroup",
     "RAID6Volume",

@@ -9,7 +9,7 @@ counters — and refuses I/O once failed, the way a dead spindle would.
 from __future__ import annotations
 
 import enum
-from typing import Set
+from typing import Callable, Optional, Set
 
 import numpy as np
 
@@ -38,6 +38,13 @@ class SimDisk:
         self._bad_sectors: Set[int] = set()
         self.read_count = 0
         self.write_count = 0
+        #: Optional fault-injection hook, called as ``hook(disk, op,
+        #: offset)`` before every read/write.  The hook may raise (to fail
+        #: the op) or mutate the disk (``mark_bad``/``fail``) — see
+        #: :class:`repro.faults.FaultInjector`.  ``None`` disables it.
+        self.fault_hook: Optional[
+            Callable[["SimDisk", str, int], None]
+        ] = None
 
     # -- I/O --------------------------------------------------------------
 
@@ -47,6 +54,8 @@ class SimDisk:
         Raises :class:`LatentSectorError` when the sector was marked bad —
         the medium-error path RAID scrubbing exists to catch.
         """
+        if self.fault_hook is not None:
+            self.fault_hook(self, "read", offset)
         self._check_live(offset)
         self.read_count += 1
         if offset in self._bad_sectors:
@@ -59,6 +68,8 @@ class SimDisk:
         A write to a bad sector remaps it (real drives reallocate on
         write), clearing the latent error.
         """
+        if self.fault_hook is not None:
+            self.fault_hook(self, "write", offset)
         self._check_live(offset)
         if data.shape != (self.element_size,) or data.dtype != np.uint8:
             raise GeometryError(

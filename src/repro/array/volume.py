@@ -7,21 +7,33 @@ This is the substrate the paper's storage scenarios run on: a set of
 life-cycle:
 
 * normal reads, and degraded reads that reconstruct on the fly;
+* **self-healing I/O** (`docs/robustness.md`): transient errors are
+  retried with backoff, latent sector errors hit during normal reads are
+  reconstructed from parity and remapped inline, and disks that keep
+  erroring are escalated to FAILED by the
+  :class:`~repro.faults.policy.ErrorPolicy`;
 * writes with the real controller data paths — full-stripe encode,
   partial-stripe read-modify-write with parity-delta patching, and
   reconstruct-write when running degraded;
-* failure injection for up to two disks, replacement, and rebuild
-  (single-disk rebuild uses the hybrid recovery planner to fetch the
-  minimum number of elements — the ~25 % saving of §III-D);
-* scrubbing (parity verification across the whole volume).
+* failure injection for up to two disks, replacement, and rebuild —
+  either blocking (:meth:`RAID6Volume.replace_and_rebuild`) or
+  incremental via a resumable :class:`~repro.faults.health.RebuildCursor`
+  that interleaves with foreground traffic (single-disk rebuild uses the
+  hybrid recovery planner to fetch the minimum number of elements — the
+  ~25 % saving of §III-D);
+* scrubbing (parity verification across the whole volume) and
+  write-hole repair (:meth:`RAID6Volume.resync_stripes`) after a
+  simulated crash.
 
-Disk read/write counters make every claimed I/O saving observable, which
-the integration tests exploit.
+Any stripe that has lost more than the code tolerates raises a typed
+:class:`~repro.exceptions.UnrecoverableStripeError` naming the stripe,
+never a raw decoder or disk exception.  Disk read/write counters make
+every claimed I/O saving observable, which the integration tests exploit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,13 +47,48 @@ from repro.codec.gauss import GaussianDecoder
 from repro.exceptions import (
     AddressError,
     DecodeError,
+    DiskFailedError,
     FaultToleranceExceeded,
     InconsistentStripeError,
     LatentSectorError,
+    TransientIOError,
+    UnrecoverableStripeError,
 )
+from repro.faults.health import HealthState, RebuildCursor
+from repro.faults.policy import ErrorCounters, ErrorPolicy, HealEvent
 from repro.recovery.planner import hybrid_plan
 from repro.util.validation import require, require_positive
 from repro.util.xor import xor_into
+
+#: Errors that make a single element unreadable without killing the disk.
+_CELL_ERRORS = (LatentSectorError, TransientIOError)
+
+
+class ScrubReport(Dict[int, List[Cell]]):
+    """Result of :meth:`RAID6Volume.scrub_and_repair`.
+
+    Behaves exactly like the historical ``{stripe: [repaired cells]}``
+    mapping, with the scrub's I/O accounting attached:
+    ``elements_read`` (successful element fetches), ``elements_written``
+    (repair rewrites) and ``stripes_scanned``.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.elements_read = 0
+        self.elements_written = 0
+        self.stripes_scanned = 0
+
+    @property
+    def repaired_count(self) -> int:
+        return sum(len(cells) for cells in self.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScrubReport stripes={self.stripes_scanned} "
+            f"repaired={self.repaired_count} reads={self.elements_read} "
+            f"writes={self.elements_written}>"
+        )
 
 
 class RAID6Volume:
@@ -53,6 +100,7 @@ class RAID6Volume:
         num_stripes: int = 64,
         element_size: int = 4096,
         rotate: bool = False,
+        policy: Optional[ErrorPolicy] = None,
     ) -> None:
         require_positive(num_stripes, "num_stripes")
         self.layout = layout
@@ -62,6 +110,12 @@ class RAID6Volume:
             SimDisk(i, self.mapper.disk_capacity, element_size)
             for i in range(layout.cols)
         ]
+        self.policy = policy if policy is not None else ErrorPolicy()
+        self.error_counters = ErrorCounters(layout.cols)
+        #: Audit trail of self-healing actions (see
+        #: :class:`~repro.faults.policy.HealEvent`).
+        self.heal_log: List[HealEvent] = []
+        self._rebuild: Optional[RebuildCursor] = None
         self._chain = ChainDecoder(self.codec)
         self._gauss = GaussianDecoder(self.codec)
         self._encode_order = _toposort_groups(layout)
@@ -81,6 +135,20 @@ class RAID6Volume:
     def failed_disks(self) -> Tuple[int, ...]:
         return tuple(d.disk_id for d in self.disks if d.failed)
 
+    @property
+    def health(self) -> HealthState:
+        """HEALTHY / DEGRADED / REBUILDING (see ``docs/robustness.md``)."""
+        if self._rebuild is not None and self._rebuild.active:
+            return HealthState.REBUILDING
+        if self.failed_disks:
+            return HealthState.DEGRADED
+        return HealthState.HEALTHY
+
+    @property
+    def rebuild_cursor(self) -> Optional[RebuildCursor]:
+        """The active incremental rebuild, if any."""
+        return self._rebuild
+
     def io_counters(self) -> Dict[int, Tuple[int, int]]:
         """disk id -> (reads, writes)."""
         return {d.disk_id: (d.read_count, d.write_count) for d in self.disks}
@@ -92,35 +160,59 @@ class RAID6Volume:
 
     # -- failure lifecycle -----------------------------------------------------
 
+    def _vulnerable_disks(self) -> Tuple[int, ...]:
+        """Disks the redundancy is currently covering for: failed disks
+        plus the target of an in-flight rebuild (its unrebuilt region is
+        as good as failed)."""
+        out = set(self.failed_disks)
+        if self._rebuild is not None and self._rebuild.active:
+            out.add(self._rebuild.disk)
+        return tuple(sorted(out))
+
     def fail_disk(self, disk: int) -> None:
-        """Kill a disk.  At most two may be down at once."""
+        """Kill a disk.  At most two may be down (or rebuilding) at once."""
         require(0 <= disk < len(self.disks), f"no disk {disk}")
         if self.disks[disk].failed:
             return
-        if len(self.failed_disks) >= 2:
+        others = set(self._vulnerable_disks()) - {disk}
+        if len(others) >= 2:
             raise FaultToleranceExceeded(
-                "RAID-6 already has two failed disks"
+                "RAID-6 already has two failed or rebuilding disks"
             )
+        rebuild = self._rebuild
+        if rebuild is not None and rebuild.active and rebuild.disk == disk:
+            # the replacement died mid-rebuild: back to square one
+            rebuild.abort()
         self.disks[disk].fail()
 
+    def start_rebuild(self, disk: int, batch: int = 8) -> RebuildCursor:
+        """Swap in a blank disk and return a resumable rebuild cursor.
+
+        The volume enters REBUILDING; foreground reads and writes keep
+        working throughout (degraded for stripes the cursor has not
+        reached yet).  Drive the cursor with
+        :meth:`~repro.faults.health.RebuildCursor.step` or
+        :meth:`~repro.faults.health.RebuildCursor.run`.
+        """
+        require(self.disks[disk].failed, f"disk {disk} is not failed")
+        require(self._rebuild is None or not self._rebuild.active,
+                "a rebuild is already in progress")
+        self.disks[disk].replace()
+        cursor = RebuildCursor(self, disk, batch=batch)
+        self._rebuild = cursor
+        return cursor
+
     def replace_and_rebuild(self, disk: int) -> int:
-        """Swap in a blank disk and reconstruct its contents.
+        """Swap in a blank disk and reconstruct its contents (blocking).
 
         Returns the number of elements read during the rebuild.  With a
         single failure the hybrid planner drives the reads; with a double
         failure the chain (or Gaussian) decoder rebuilds this disk's share.
+        Equivalent to ``start_rebuild(disk).run()``.
         """
-        require(self.disks[disk].failed, f"disk {disk} is not failed")
-        other_failed = [f for f in self.failed_disks if f != disk]
-        reads_before = sum(d.read_count for d in self.disks)
-        self.disks[disk].replace()
-
-        for stripe in range(self.mapper.num_stripes):
-            if other_failed:
-                self._rebuild_stripe_double(stripe, disk, other_failed[0])
-            else:
-                self._rebuild_stripe_single(stripe, disk)
-        return sum(d.read_count for d in self.disks) - reads_before
+        return self.start_rebuild(
+            disk, batch=self.mapper.num_stripes
+        ).run()
 
     def _rebuild_stripe_single(self, stripe: int, disk: int) -> None:
         col = self.mapper.col_on_disk(stripe, disk)
@@ -129,9 +221,11 @@ class RAID6Volume:
         try:
             for cell in plan.reads:
                 cache[cell] = self._read_cell(stripe, cell)
-        except LatentSectorError:
-            # a medium error inside the minimal read set: fall back to a
-            # full reconstruct of the stripe, which tolerates extra losses
+        except _CELL_ERRORS + (DiskFailedError,):
+            # a medium error inside the minimal read set (or a disk died
+            # under it): escalate to a full reconstruct of the stripe,
+            # which tolerates the extra loss (RAID-6 still has a second
+            # parity family in hand)
             buf = self._load_stripe(stripe, missing_cols=(col,))
             for cell in self.layout.cells_in_column(col):
                 self._write_cell(stripe, cell, buf[cell.row, cell.col])
@@ -163,45 +257,56 @@ class RAID6Volume:
         offset = stripe * self.layout.rows + row
         self.disks[disk].mark_bad(offset)
 
-    def scrub_and_repair(self) -> Dict[int, List[Cell]]:
+    def scrub_and_repair(self) -> ScrubReport:
         """Find latent sector errors volume-wide and rewrite them.
 
-        Returns ``{stripe: [repaired cells]}``.  Requires no failed disks
-        (like :meth:`scrub`); raises :class:`InconsistentStripeError` if a
-        stripe's parity still disagrees after repair (silent corruption —
-        never auto-fixed because the bad cell cannot be located).
+        Returns a :class:`ScrubReport` — a ``{stripe: [repaired cells]}``
+        mapping carrying the scrub's read/write accounting.  Each stripe
+        is loaded exactly once: the same buffer serves error detection,
+        repair and the post-repair parity check.  Requires a healthy
+        array (like :meth:`scrub`); raises
+        :class:`InconsistentStripeError` if a stripe's parity still
+        disagrees after repair (silent corruption — never auto-fixed
+        because the bad cell cannot be located).
         """
-        require(not self.failed_disks,
-                "cannot scrub with failed disks present")
-        repaired: Dict[int, List[Cell]] = {}
+        require(self.health is HealthState.HEALTHY,
+                "cannot scrub with failed or rebuilding disks present")
+        report = ScrubReport()
         for stripe in range(self.mapper.num_stripes):
+            report.stripes_scanned += 1
+            buf = self.codec.blank_stripe()
             bad: List[Cell] = []
             for col in range(self.layout.cols):
                 for cell in self.layout.cells_in_column(col):
                     try:
-                        self._read_cell(stripe, cell)
-                    except LatentSectorError:
+                        buf[cell.row, cell.col] = self._read_cell(
+                            stripe, cell
+                        )
+                        report.elements_read += 1
+                    except _CELL_ERRORS:
                         bad.append(cell)
             if bad:
-                buf = self._load_stripe(stripe, missing_cols=())
+                self._decode_cells_checked(stripe, buf, bad)
                 for cell in bad:
                     self._write_cell(stripe, cell, buf[cell.row, cell.col])
-                repaired[stripe] = bad
-            buf = self._load_stripe(stripe, missing_cols=())
+                    report.elements_written += 1
+                report[stripe] = bad
+            # the repaired buffer is byte-identical to what a re-read
+            # would return, so verify parity against it directly
             if not self.codec.parity_ok(buf):
                 raise InconsistentStripeError(
                     f"stripe {stripe} parity mismatch after repair"
                 )
-        return repaired
+        return report
 
     def scrub(self) -> List[int]:
         """Verify parity of every stripe; returns inconsistent stripe ids.
 
         Requires a healthy array — parity cannot be checked through a
-        failed disk.
+        failed disk or an unrebuilt region.
         """
-        require(not self.failed_disks,
-                "cannot scrub with failed disks present")
+        require(self.health is HealthState.HEALTHY,
+                "cannot scrub with failed or rebuilding disks present")
         bad = []
         for stripe in range(self.mapper.num_stripes):
             buf = self._load_stripe(stripe, missing_cols=())
@@ -209,12 +314,40 @@ class RAID6Volume:
                 bad.append(stripe)
         return bad
 
+    def resync_stripes(self, stripes: Iterable[int]) -> int:
+        """Recompute parity of ``stripes`` from their data cells.
+
+        The write-hole repair: after a crash tears a partial-stripe
+        write, the data cells on disk are a valid (if torn) state but
+        parity may not match.  Re-encoding from data restores internal
+        consistency so the interrupted write can be replayed.  Requires a
+        healthy array.  Returns the number of stripes resynced.
+        """
+        require(self.health is HealthState.HEALTHY,
+                "cannot resync with failed or rebuilding disks present")
+        count = 0
+        for stripe in sorted(set(stripes)):
+            require(0 <= stripe < self.mapper.num_stripes,
+                    f"no stripe {stripe}")
+            buf = self.codec.blank_stripe()
+            for cell in self.layout.data_cells:
+                buf[cell.row, cell.col] = self._read_cell(stripe, cell)
+            self.codec.encode(buf)
+            for cell in self.layout.parity_cells:
+                self._write_cell(stripe, cell, buf[cell.row, cell.col])
+            count += 1
+        return count
+
     # -- reads ---------------------------------------------------------------
 
     def read(self, start: int, count: int) -> np.ndarray:
         """Read ``count`` logical elements starting at ``start``.
 
-        Transparently reconstructs elements on failed disks.
+        Transparently reconstructs elements on failed disks and in the
+        unrebuilt region of an incremental rebuild.  Latent sector errors
+        encountered on live disks are healed inline: the element is
+        rebuilt from parity and the bad sector rewritten (policy
+        ``heal_latent_on_read``).
         """
         require_positive(count, "count")
         if start < 0 or start + count > self.num_elements:
@@ -223,15 +356,15 @@ class RAID6Volume:
                 f"{self.num_elements} elements"
             )
         out = np.empty((count, self.element_size), dtype=np.uint8)
-        failed = set(self.failed_disks)
         # group the range per stripe so reconstruction decodes once
         by_stripe: Dict[int, List[Tuple[int, Cell]]] = {}
         for k in range(count):
             loc = self.mapper.locate(start + k)
             by_stripe.setdefault(loc.stripe, []).append((k, loc.cell))
         for stripe, items in by_stripe.items():
+            stale = self._stale_disks(stripe)
             lost_cols = {
-                self.mapper.col_on_disk(stripe, f) for f in failed
+                self.mapper.col_on_disk(stripe, f) for f in stale
             }
             needs_repair = any(
                 cell.col in lost_cols for _, cell in items
@@ -241,18 +374,22 @@ class RAID6Volume:
                     for k, cell in items:
                         out[k] = self._read_cell(stripe, cell)
                     continue
-                except LatentSectorError:
+                except _CELL_ERRORS + (DiskFailedError,):
                     pass  # medium error: reconstruct the stripe below
-            elif self._degraded_read_via_plan(stripe, items, out):
+            elif self._degraded_read_via_plan(stripe, items, out, stale):
                 continue
-            buf = self._load_stripe(
+            buf, healed = self._load_stripe_report(
                 stripe, missing_cols=tuple(sorted(lost_cols))
             )
+            if healed:
+                self._heal_cells(stripe, healed, buf)
             for k, cell in items:
                 out[k] = buf[cell.row, cell.col]
         return out
 
-    def _degraded_read_via_plan(self, stripe, items, out) -> bool:
+    def _degraded_read_via_plan(
+        self, stripe, items, out, stale: Tuple[int, ...]
+    ) -> bool:
         """Serve a degraded stripe read by executing the access engine's
         minimal read plan (the same plan the Figure-6/7 simulations
         price, so real disk counters match the model by construction).
@@ -261,14 +398,16 @@ class RAID6Volume:
         when the pattern needs algebraic decoding or a fetch trips over a
         latent sector error.
         """
-        plan = self._read_planner().plan_for(stripe, [c for _, c in items])
+        plan = self._read_planner(stale).plan_for(
+            stripe, [c for _, c in items]
+        )
         if plan.recipe is None:
             return False
         cache: Dict[Cell, np.ndarray] = {}
         try:
             for cell in sorted(plan.fetch):
                 cache[cell] = self._read_cell(stripe, cell)
-        except LatentSectorError:
+        except _CELL_ERRORS + (DiskFailedError,):
             return False
         for step in plan.recipe:
             acc = np.zeros(self.element_size, dtype=np.uint8)
@@ -279,8 +418,10 @@ class RAID6Volume:
             out[k] = cache[cell]
         return True
 
-    def _read_planner(self) -> "_VolumeReadPlanner":
-        state = self.failed_disks
+    def _read_planner(
+        self, stale: Optional[Tuple[int, ...]] = None
+    ) -> "_VolumeReadPlanner":
+        state = self.failed_disks if stale is None else stale
         planner = getattr(self, "_planner_cache", None)
         if planner is None or planner.failed != state:
             planner = _VolumeReadPlanner(self, state)
@@ -324,6 +465,15 @@ class RAID6Volume:
         for stripe, items in rest:
             self._write_stripe_batch(stripe, items)
 
+    def _stale_cols(self, stripe: int) -> Tuple[int, ...]:
+        """Layout columns of ``stripe`` that must not be trusted/written."""
+        return tuple(
+            sorted(
+                self.mapper.col_on_disk(stripe, f)
+                for f in self._stale_disks(stripe)
+            )
+        )
+
     def _full_stripe_write_batched(
         self, entries: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]]
     ) -> None:
@@ -334,23 +484,14 @@ class RAID6Volume:
                 buf[i, cell.row, cell.col] = value
         encode_batch(self.codec, buf)
         for i, (stripe, _) in enumerate(entries):
-            failed_cols = tuple(
-                sorted(
-                    self.mapper.col_on_disk(stripe, f)
-                    for f in self.failed_disks
-                )
+            self._store_stripe(
+                stripe, buf[i], skip_cols=self._stale_cols(stripe)
             )
-            self._store_stripe(stripe, buf[i], skip_cols=failed_cols)
 
     def _write_stripe_batch(
         self, stripe: int, items: List[Tuple[Cell, np.ndarray]]
     ) -> None:
-        failed_cols = tuple(
-            sorted(
-                self.mapper.col_on_disk(stripe, f)
-                for f in self.failed_disks
-            )
-        )
+        failed_cols = self._stale_cols(stripe)
         if len(items) == self.layout.num_data_cells:
             self._full_stripe_write(stripe, items, failed_cols)
         elif failed_cols:
@@ -358,12 +499,16 @@ class RAID6Volume:
         else:
             try:
                 self._rmw_write(stripe, items)
-            except LatentSectorError:
-                # RMW tripped over a medium error while fetching old
-                # values: reconstruct the stripe (the loader decodes the
-                # unreadable cells), apply the batch, re-encode.  Any cells
-                # the aborted RMW already wrote simply get rewritten.
-                self._reconstruct_write(stripe, items, failed_cols)
+            except _CELL_ERRORS + (DiskFailedError,):
+                # RMW tripped over a medium error (or a disk died under
+                # it) while fetching old values: reconstruct the stripe
+                # (the loader decodes the unreadable cells), apply the
+                # batch, re-encode.  Any cells the aborted RMW already
+                # wrote simply get rewritten; stale columns are
+                # recomputed because the failure state may have changed.
+                self._reconstruct_write(
+                    stripe, items, self._stale_cols(stripe)
+                )
 
     def _full_stripe_write(self, stripe, items, failed_cols) -> None:
         buf = self.codec.blank_stripe()
@@ -406,15 +551,133 @@ class RAID6Volume:
                 self._write_cell(stripe, group.parity, old)
                 deltas[group.parity] = gdelta
 
+    # -- self-healing disk I/O ----------------------------------------------
+
+    def _stale_disks(self, stripe: int) -> Tuple[int, ...]:
+        """Disks that cannot serve ``stripe``: failed ones, plus the
+        rebuild target for stripes the cursor has not reached."""
+        out = [d.disk_id for d in self.disks if d.failed]
+        rebuild = self._rebuild
+        if (
+            rebuild is not None
+            and rebuild.active
+            and not rebuild.covers(stripe)
+            and rebuild.disk not in out
+        ):
+            out.append(rebuild.disk)
+        return tuple(sorted(out))
+
+    def _disk_read(self, disk_id: int, offset: int) -> np.ndarray:
+        """One element read under the retry/escalation policy."""
+        disk = self.disks[disk_id]
+        attempts = self.policy.max_retries + 1
+        for attempt in range(attempts):
+            try:
+                value = disk.read(offset)
+            except TransientIOError:
+                self._note_error(disk_id, "transient")
+                if attempt == attempts - 1:
+                    raise
+                self.error_counters.backoff_ms += (
+                    self.policy.backoff_ms * (2 ** attempt)
+                )
+            except LatentSectorError:
+                self._note_error(disk_id, "latent")
+                raise
+            else:
+                if attempt:
+                    self.heal_log.append(
+                        HealEvent("retry_ok", disk_id, offset=offset,
+                                  detail=f"read after {attempt} retries")
+                    )
+                return value
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _disk_write(self, disk_id: int, offset: int,
+                    value: np.ndarray) -> None:
+        """One element write under the retry policy.
+
+        A write racing a disk death is dropped (and logged): the disk is
+        gone, the data stays recoverable from the surviving columns —
+        exactly what a controller does when a spindle dies mid-flush.
+        """
+        disk = self.disks[disk_id]
+        attempts = self.policy.max_retries + 1
+        for attempt in range(attempts):
+            try:
+                disk.write(offset, value)
+            except TransientIOError:
+                self._note_error(disk_id, "transient")
+                if attempt == attempts - 1:
+                    raise
+                self.error_counters.backoff_ms += (
+                    self.policy.backoff_ms * (2 ** attempt)
+                )
+            except DiskFailedError:
+                self.heal_log.append(
+                    HealEvent("dropped_write", disk_id, offset=offset)
+                )
+                return
+            else:
+                if attempt:
+                    self.heal_log.append(
+                        HealEvent("retry_ok", disk_id, offset=offset,
+                                  detail=f"write after {attempt} retries")
+                    )
+                return
+
+    def _note_error(self, disk_id: int, kind: str) -> None:
+        """Count an error; escalate a flaky disk to FAILED past threshold."""
+        counters = self.error_counters
+        counters.note(disk_id, kind)
+        if (
+            counters.total(disk_id) >= self.policy.escalate_after
+            and disk_id not in counters.escalated
+            and not self.disks[disk_id].failed
+            and len(set(self._vulnerable_disks()) - {disk_id}) < 2
+        ):
+            counters.escalated.append(disk_id)
+            self.heal_log.append(
+                HealEvent("escalate", disk_id,
+                          detail=f"{counters.total(disk_id)} errors")
+            )
+            self.fail_disk(disk_id)
+
+    def _heal_cells(
+        self, stripe: int, cells: Sequence[Cell], buf: np.ndarray
+    ) -> None:
+        """Rewrite reconstructed cells over their (bad) sectors.
+
+        Writing remaps the sector on the simulated disk exactly like a
+        real drive's reallocation, so the next read succeeds without
+        reconstruction.
+        """
+        if not self.policy.heal_latent_on_read:
+            return
+        for cell in cells:
+            loc = self.mapper.locate_cell(stripe, cell)
+            if self.disks[loc.disk].failed:
+                continue
+            try:
+                self._disk_write(
+                    loc.disk, loc.offset, buf[cell.row, cell.col]
+                )
+            except TransientIOError:
+                continue  # best-effort: the scrubber will catch it later
+            self.heal_log.append(
+                HealEvent("remap", loc.disk, stripe=stripe,
+                          offset=loc.offset)
+            )
+
     # -- stripe buffer I/O ---------------------------------------------------------
 
     def _read_cell(self, stripe: int, cell: Cell) -> np.ndarray:
         loc = self.mapper.locate_cell(stripe, cell)
-        return self.disks[loc.disk].read(loc.offset)
+        return self._disk_read(loc.disk, loc.offset)
 
     def _write_cell(self, stripe: int, cell: Cell, value: np.ndarray) -> None:
         loc = self.mapper.locate_cell(stripe, cell)
-        self.disks[loc.disk].write(loc.offset, value)
+        self._disk_write(loc.disk, loc.offset, value)
 
     def _load_stripe(
         self, stripe: int, missing_cols: Sequence[int]
@@ -426,9 +689,18 @@ class RAID6Volume:
         while reading.  Both are decoded together at cell granularity, so
         e.g. one failed disk plus a medium error elsewhere still recovers.
         """
+        return self._load_stripe_report(stripe, missing_cols)[0]
+
+    def _load_stripe_report(
+        self, stripe: int, missing_cols: Sequence[int]
+    ) -> Tuple[np.ndarray, List[Cell]]:
+        """Like :meth:`_load_stripe`, also reporting the cells that were
+        reconstructed *beyond* ``missing_cols`` — the latent/transient
+        casualties the read path may want to heal in place."""
         buf = self.codec.blank_stripe()
         missing = set(missing_cols)
         lost: List[Cell] = []
+        extra: List[Cell] = []
         for col in range(self.layout.cols):
             if col in missing:
                 lost.extend(self.layout.cells_in_column(col))
@@ -436,11 +708,30 @@ class RAID6Volume:
             for cell in self.layout.cells_in_column(col):
                 try:
                     buf[cell.row, cell.col] = self._read_cell(stripe, cell)
-                except LatentSectorError:
+                except _CELL_ERRORS:
+                    lost.append(cell)
+                    extra.append(cell)
+                except DiskFailedError:
+                    # the disk died underneath us (injected mid-read):
+                    # treat the whole cell as lost, same as a failed col
                     lost.append(cell)
         if lost:
+            self._decode_cells_checked(stripe, buf, lost)
+        return buf, extra
+
+    def _decode_cells_checked(
+        self, stripe: int, buf: np.ndarray, lost: List[Cell]
+    ) -> None:
+        """Decode ``lost`` cells of ``stripe``; failures become typed
+        :class:`UnrecoverableStripeError` naming the stripe instead of
+        raw decoder exceptions."""
+        try:
             self._decode_cells(buf, lost)
-        return buf
+        except DecodeError as exc:
+            unrecovered = exc.unrecovered or tuple(lost)
+            raise UnrecoverableStripeError(
+                stripe, cells=unrecovered, reason=str(exc)
+            ) from exc
 
     def _decode_cells(self, buf: np.ndarray, lost: List[Cell]) -> None:
         """Chain-decode when possible, Gaussian otherwise."""
@@ -466,14 +757,16 @@ class RAID6Volume:
         return (
             f"<RAID6Volume {self.layout.name} p={self.layout.p} "
             f"{len(self.disks)} disks x {self.mapper.disk_capacity} "
-            f"elements, failed={list(self.failed_disks)}>"
+            f"elements, health={self.health.value} "
+            f"failed={list(self.failed_disks)}>"
         )
 
 
 class _VolumeReadPlanner:
     """Bridges the volume to the access engine's degraded read planning.
 
-    Built lazily per failure state; delegates to
+    Built lazily per failure state (failed disks plus the stale rebuild
+    target); delegates to
     :meth:`repro.iosim.engine.AccessEngine._plan_stripe_read` with the
     volume's exact geometry (stripes, rotation, failed disks).
     """

@@ -31,8 +31,56 @@ class InconsistentStripeError(ReproError):
     """Parity does not match data — silent corruption, never auto-repaired."""
 
 
+class UnrecoverableStripeError(DecodeError):
+    """A stripe lost more elements than its code can decode.
+
+    Raised by the volume's stripe loader (and therefore by degraded
+    reads, rebuilds and scrubs) instead of surfacing raw decoder or disk
+    errors; identifies the stripe and the cells that stayed lost.
+    """
+
+    def __init__(self, stripe: int, cells=(), reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"stripe {stripe} is unrecoverable "
+            f"({len(tuple(cells))} cells lost){detail}",
+            unrecovered=cells,
+        )
+        self.stripe = stripe
+
+
 class DiskFailedError(ReproError):
     """An I/O was issued against a disk marked failed."""
+
+
+class TransientIOError(ReproError):
+    """A read or write failed transiently; a retry may succeed.
+
+    This is the controller-retryable fault class (bus glitches, command
+    timeouts) as opposed to :class:`LatentSectorError`, which persists
+    until the sector is rewritten.
+    """
+
+    def __init__(self, disk_id: int, op: str, offset: int):
+        super().__init__(
+            f"transient {op} error on disk {disk_id} at offset {offset}"
+        )
+        self.disk_id = disk_id
+        self.op = op
+        self.offset = offset
+
+
+class SimulatedCrashError(ReproError):
+    """The fault injector crashed the array mid-operation (power loss).
+
+    Whatever operation was in flight is torn: some elements written, the
+    rest (including parity updates) lost.  Recovery is the write-hole
+    protocol — resync parity, then replay the interrupted write.
+    """
+
+    def __init__(self, op_index: int):
+        super().__init__(f"simulated crash at disk op {op_index}")
+        self.op_index = op_index
 
 
 class LatentSectorError(ReproError):

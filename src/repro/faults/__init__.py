@@ -1,0 +1,56 @@
+"""Fault model, self-healing policy and chaos testing for the array layer.
+
+The subsystem has four parts (see ``docs/robustness.md``):
+
+* :mod:`repro.faults.injector` — a deterministic, seed-driven
+  :class:`FaultInjector` that hooks into every simulated disk and fires
+  scheduled or probabilistic faults: transient I/O errors, latent sector
+  errors, whole-disk death, slow-disk latency (exported to the timing
+  model) and mid-write crash points;
+* :mod:`repro.faults.policy` — the controller's error-escalation ladder
+  (:class:`ErrorPolicy`): bounded retry with backoff, inline
+  reconstruct-and-remap for medium errors, per-disk error counters that
+  proactively fail a flaky disk;
+* :mod:`repro.faults.health` — the volume health state machine
+  (:class:`HealthState`) and the resumable incremental
+  :class:`RebuildCursor`;
+* :mod:`repro.faults.chaos` — a seeded chaos harness
+  (:func:`run_chaos`) that drives randomized fault schedules against any
+  registry code and checks byte-exact integrity throughout (imported
+  lazily — pull it via ``repro.faults.run_chaos`` or the submodule).
+"""
+
+from repro.faults.health import HealthState, RebuildCursor
+from repro.faults.injector import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultRates,
+    FaultSpec,
+)
+from repro.faults.policy import ErrorCounters, ErrorPolicy, HealEvent
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosResult",
+    "ErrorCounters",
+    "ErrorPolicy",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultRates",
+    "FaultSpec",
+    "HealEvent",
+    "HealthState",
+    "RebuildCursor",
+    "run_chaos",
+]
+
+
+def __getattr__(name):
+    # chaos imports the volume (which imports this package), so it loads
+    # lazily to keep the import graph acyclic
+    if name in ("run_chaos", "ChaosResult", "ChaosRunner"):
+        from repro.faults import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,403 @@
+"""Seeded chaos harness: randomized fault schedules against live volumes.
+
+:func:`run_chaos` builds a :class:`~repro.array.volume.RAID6Volume` over
+any registry code, attaches a :class:`~repro.faults.injector.
+FaultInjector`, and drives a seeded random schedule of foreground I/O
+interleaved with faults: transient-error bursts, latent sector errors,
+whole-disk deaths, incremental rebuilds, scrubs and mid-write crashes.
+
+The harness is an *oracle*, not just a smoke test.  It maintains a shadow
+copy of every logical element and, before each verification read,
+computes the per-stripe damage level (distinct columns lost to failed
+disks, the unrebuilt region of an active rebuild, and outstanding bad
+sectors).  The contract it enforces:
+
+* damage ≤ 2 columns in every stripe of the range → the read **must**
+  succeed and match the shadow byte-exactly;
+* damage > 2 somewhere → the read may still succeed (cell-level decoding
+  can beat the column bound) — in which case it must match — or it must
+  raise a *typed* error (:class:`~repro.exceptions.
+  UnrecoverableStripeError` / :class:`~repro.exceptions.
+  FaultToleranceExceeded` / :class:`~repro.exceptions.DecodeError`),
+  never a raw crash or silent corruption.
+
+Every action is appended to :attr:`ChaosResult.events` and every fired
+fault to :attr:`ChaosResult.fault_log`; both are pure data, so running
+the same ``(code, p, seed)`` twice must produce identical logs — the
+deterministic-replay property the chaos tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.array.volume import RAID6Volume
+from repro.codes.registry import make_code
+from repro.exceptions import (
+    DecodeError,
+    DiskFailedError,
+    FaultToleranceExceeded,
+    ReproError,
+    SimulatedCrashError,
+    UnrecoverableStripeError,
+)
+from repro.faults.health import HealthState
+from repro.faults.injector import (
+    FaultEvent,
+    FaultInjector,
+    FaultRates,
+    FaultSpec,
+)
+
+#: Errors a schedule is allowed to surface when damage exceeds tolerance.
+TYPED_ERRORS = (UnrecoverableStripeError, FaultToleranceExceeded,
+                DecodeError)
+
+
+@dataclass
+class ChaosResult:
+    """Outcome and replay record of one chaos schedule."""
+
+    code: str
+    p: int
+    seed: int
+    steps: int
+    #: Harness actions: ``(step, kind, *int params)`` — replay-comparable.
+    events: List[Tuple] = field(default_factory=list)
+    #: Faults fired by the injector, in order.
+    fault_log: Tuple[FaultEvent, ...] = ()
+    verifications: int = 0
+    integrity_violations: int = 0
+    typed_errors: int = 0
+    heals: int = 0
+    rebuild_steps: int = 0
+    escalations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.integrity_violations == 0
+
+    def kinds_seen(self) -> frozenset:
+        """Every distinct event/fault kind the schedule exercised."""
+        return frozenset(e[1] for e in self.events) | frozenset(
+            f.kind for f in self.fault_log
+        )
+
+
+class ChaosRunner:
+    """One seeded schedule against one volume.  See :func:`run_chaos`."""
+
+    def __init__(
+        self,
+        code: str = "dcode",
+        p: int = 7,
+        seed: int = 0,
+        num_stripes: int = 4,
+        element_size: int = 16,
+        transient_rate: float = 0.005,
+    ) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.volume = RAID6Volume(
+            make_code(code, p), num_stripes=num_stripes,
+            element_size=element_size,
+        )
+        self.injector = FaultInjector(
+            seed=seed + 1, rates=FaultRates(transient=transient_rate)
+        ).attach(self.volume)
+        self.shadow = np.zeros(
+            (self.volume.num_elements, element_size), dtype=np.uint8
+        )
+        self.result = ChaosResult(code=code, p=p, seed=seed, steps=0)
+        self._step = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def _note(self, kind: str, *params: int) -> None:
+        self.result.events.append((self._step, kind) + params)
+
+    def _alive(self) -> List[int]:
+        return [d.disk_id for d in self.volume.disks if not d.failed]
+
+    def _per_stripe(self) -> int:
+        return self.volume.layout.num_data_cells
+
+    def _stripes_of(self, start: int, count: int) -> List[int]:
+        per = self._per_stripe()
+        return sorted({(start + k) // per for k in range(count)})
+
+    def _damage(self, stripe: int) -> int:
+        """Distinct damaged columns of ``stripe`` right now."""
+        volume = self.volume
+        rows = volume.layout.rows
+        cols = {
+            volume.mapper.col_on_disk(stripe, f)
+            for f in volume.failed_disks
+        }
+        cursor = volume.rebuild_cursor
+        if cursor is not None and cursor.active and \
+                not cursor.covers(stripe):
+            cols.add(volume.mapper.col_on_disk(stripe, cursor.disk))
+        for disk in volume.disks:
+            if disk.failed:
+                continue
+            if any(off // rows == stripe for off in disk.bad_sectors):
+                cols.add(volume.mapper.col_on_disk(stripe, disk.disk_id))
+        return len(cols)
+
+    def _repair_stripes(self, stripes) -> None:
+        """Restore whole stripes from the shadow (the operator's
+        restore-from-backup move once a stripe is past tolerance)."""
+        per = self._per_stripe()
+        for stripe in sorted(set(stripes)):
+            self.volume.write(
+                stripe * per, self.shadow[stripe * per:(stripe + 1) * per]
+            )
+        self._note("repair", *sorted(set(stripes)))
+
+    def _apply_write(self, start: int, data: np.ndarray) -> None:
+        """Write-through with typed-error recovery."""
+        try:
+            self.volume.write(start, data)
+        except TYPED_ERRORS:
+            self.result.typed_errors += 1
+            self.shadow[start:start + len(data)] = data
+            self._repair_stripes(self._stripes_of(start, len(data)))
+            return
+        self.shadow[start:start + len(data)] = data
+
+    # -- schedule events ---------------------------------------------------
+
+    def ev_write(self) -> None:
+        n = int(self.rng.integers(1, 9))
+        start = int(self.rng.integers(0, self.volume.num_elements - n + 1))
+        data = self.rng.integers(
+            0, 256, (n, self.volume.element_size), dtype=np.uint8
+        )
+        self._note("write", start, n, int(data.sum()))
+        self._apply_write(start, data)
+
+    def ev_verify(self) -> None:
+        vol = self.volume
+        n = int(self.rng.integers(1, min(16, vol.num_elements) + 1))
+        start = int(self.rng.integers(0, vol.num_elements - n + 1))
+        stripes = self._stripes_of(start, n)
+        max_damage = max(self._damage(s) for s in stripes)
+        self._note("verify", start, n, max_damage)
+        self.result.verifications += 1
+        try:
+            got = vol.read(start, n)
+        except TYPED_ERRORS:
+            if max_damage <= 2:
+                self.result.integrity_violations += 1
+                self._note("violation_unexpected_error", start, n)
+            else:
+                self.result.typed_errors += 1
+                self._repair_stripes(stripes)
+            return
+        if not np.array_equal(got, self.shadow[start:start + n]):
+            self.result.integrity_violations += 1
+            self._note("violation_data_mismatch", start, n)
+
+    def ev_latent(self) -> None:
+        alive = self._alive()
+        if not alive:
+            return
+        disk = int(self.rng.choice(alive))
+        stripe = int(self.rng.integers(self.volume.mapper.num_stripes))
+        row = int(self.rng.integers(self.volume.layout.rows))
+        self._note("latent", disk, stripe, row)
+        self.volume.inject_latent_error(disk, stripe, row)
+
+    def ev_transient_burst(self) -> None:
+        alive = self._alive()
+        if not alive:
+            return
+        disk = int(self.rng.choice(alive))
+        count = int(
+            self.rng.integers(1, self.volume.policy.max_retries + 1)
+        )
+        self._note("transient_burst", disk, count)
+        self.injector.arm(
+            FaultSpec("transient", at_op=self.injector.ops, disk=disk,
+                      count=count)
+        )
+
+    def ev_kill(self) -> None:
+        alive = self._alive()
+        if not alive:
+            return
+        victim = int(self.rng.choice(alive))
+        vulnerable = set(self.volume._vulnerable_disks()) - {victim}
+        self._note("kill", victim, len(vulnerable))
+        try:
+            self.volume.fail_disk(victim)
+        except FaultToleranceExceeded:
+            self.result.typed_errors += 1
+
+    def ev_rebuild(self) -> None:
+        vol = self.volume
+        cursor = vol.rebuild_cursor
+        try:
+            if cursor is not None and cursor.active:
+                n = int(self.rng.integers(1, 3))
+                self._note("rebuild_step", cursor.disk, cursor.pos, n)
+                self.result.rebuild_steps += 1
+                cursor.step(n)
+            elif vol.failed_disks:
+                disk = int(self.rng.choice(vol.failed_disks))
+                self._note("rebuild_start", disk)
+                vol.start_rebuild(disk, batch=1)
+        except TYPED_ERRORS as exc:
+            self.result.typed_errors += 1
+            stripe = getattr(exc, "stripe", None)
+            self._repair_stripes(
+                [stripe] if stripe is not None
+                else range(vol.mapper.num_stripes)
+            )
+
+    def ev_scrub(self) -> None:
+        vol = self.volume
+        if vol.health is not HealthState.HEALTHY:
+            return
+        self._note("scrub")
+        try:
+            vol.scrub_and_repair()
+        except UnrecoverableStripeError as exc:
+            self.result.typed_errors += 1
+            self._repair_stripes([exc.stripe])
+        except DiskFailedError:
+            pass  # escalation failed a flaky disk mid-scrub; scrub aborts
+
+    def ev_crash(self) -> None:
+        vol = self.volume
+        if vol.health is not HealthState.HEALTHY or \
+                any(d.bad_sectors for d in vol.disks):
+            return
+        n = int(self.rng.integers(1, 6))
+        start = int(self.rng.integers(0, vol.num_elements - n + 1))
+        data = self.rng.integers(
+            0, 256, (n, vol.element_size), dtype=np.uint8
+        )
+        at = self.injector.ops + int(self.rng.integers(1, 13))
+        self._note("crash_write", start, n, at)
+        self.injector.arm(FaultSpec("crash", at_op=at))
+        try:
+            vol.write(start, data)
+        except SimulatedCrashError:
+            self.injector.cancel("crash")
+            # write-hole recovery: resync parity of the torn stripes,
+            # then replay the interrupted write (journal semantics)
+            self.shadow[start:start + n] = data
+            stripes = self._stripes_of(start, n)
+            try:
+                if vol.health is HealthState.HEALTHY:
+                    vol.resync_stripes(stripes)
+                    self._note("resync", *stripes)
+                    self._apply_write(start, data)
+                else:
+                    self._repair_stripes(stripes)
+            except DiskFailedError:
+                # a flaky disk escalated mid-recovery; fall back to
+                # restoring the torn stripes wholesale
+                self._repair_stripes(stripes)
+        else:
+            self.injector.cancel("crash")
+            self.shadow[start:start + n] = data
+
+    # -- driving -----------------------------------------------------------
+
+    EVENTS = (
+        ("write", 0.28),
+        ("verify", 0.22),
+        ("latent", 0.10),
+        ("transient_burst", 0.08),
+        ("kill", 0.08),
+        ("rebuild", 0.12),
+        ("scrub", 0.06),
+        ("crash", 0.06),
+    )
+
+    def run(self, steps: int = 40) -> ChaosResult:
+        names = [name for name, _ in self.EVENTS]
+        probs = np.array([w for _, w in self.EVENTS])
+        probs = probs / probs.sum()
+        for step in range(steps):
+            self._step = step
+            name = names[int(self.rng.choice(len(names), p=probs))]
+            getattr(self, f"ev_{name}")()
+        self._settle()
+        self.result.steps = steps
+        self.result.heals = len(self.volume.heal_log)
+        self.result.escalations = len(
+            self.volume.error_counters.escalated
+        )
+        self.result.fault_log = tuple(self.injector.log)
+        return self.result
+
+    def _settle(self) -> None:
+        """Repair everything, then verify the entire volume byte-exactly."""
+        vol = self.volume
+        self._step = -1
+        # The schedule is over: stop injecting new faults and require the
+        # array to converge back to a clean, verifiable state.  Damage
+        # already on disk (bad sectors, failed disks, half-done rebuilds,
+        # accumulated error counters) still has to be worked through.
+        self.injector.detach()
+        for _ in range(500):
+            if vol.health is not HealthState.HEALTHY:
+                cursor = vol.rebuild_cursor
+                try:
+                    if cursor is not None and cursor.active:
+                        cursor.step()
+                    else:
+                        vol.start_rebuild(vol.failed_disks[0], batch=4)
+                except TYPED_ERRORS as exc:
+                    self.result.typed_errors += 1
+                    stripe = getattr(exc, "stripe", None)
+                    self._repair_stripes(
+                        [stripe] if stripe is not None
+                        else range(vol.mapper.num_stripes)
+                    )
+                continue
+            try:
+                vol.scrub_and_repair()
+            except UnrecoverableStripeError as exc:
+                self.result.typed_errors += 1
+                self._repair_stripes([exc.stripe])
+                continue
+            except DiskFailedError:
+                # residual latent errors pushed a flaky disk over the
+                # escalation threshold mid-scrub; rebuild and retry
+                continue
+            break
+        else:  # pragma: no cover - defensive
+            raise ReproError("chaos settle did not converge")
+        self._note("settled")
+        got = vol.read(0, vol.num_elements)
+        self.result.verifications += 1
+        if not np.array_equal(got, self.shadow):
+            self.result.integrity_violations += 1
+            self._note("violation_final_state")
+        if vol.scrub():
+            self.result.integrity_violations += 1
+            self._note("violation_final_parity")
+
+
+def run_chaos(
+    code: str = "dcode",
+    p: int = 7,
+    seed: int = 0,
+    steps: int = 40,
+    num_stripes: int = 4,
+    element_size: int = 16,
+) -> ChaosResult:
+    """Run one seeded chaos schedule; see module docstring for the
+    contract the returned :class:`ChaosResult` reflects."""
+    runner = ChaosRunner(
+        code=code, p=p, seed=seed, num_stripes=num_stripes,
+        element_size=element_size,
+    )
+    return runner.run(steps=steps)

@@ -1,0 +1,98 @@
+"""Error-handling policy for the self-healing volume I/O path.
+
+A real controller does not surface every disk hiccup to the host.  The
+policy layer encodes the standard escalation ladder:
+
+1. **transient errors** — retry in place, up to :attr:`ErrorPolicy.
+   max_retries` times, with (simulated) exponential backoff.  Retries
+   that exhaust are treated like an unreadable element and repaired from
+   parity;
+2. **latent sector errors** on otherwise-healthy reads — reconstruct the
+   element from parity inline, rewrite the bad sector (drives reallocate
+   on write, which remaps it), and log the heal;
+3. **flaky disks** — every error increments the disk's counter; a disk
+   whose count crosses :attr:`ErrorPolicy.escalate_after` is proactively
+   failed (if the array still has redundancy to absorb it), turning an
+   unreliable component into a predictable rebuild.
+
+The volume owns an :class:`ErrorCounters` instance and appends a
+:class:`HealEvent` per action, so tests and operators can audit exactly
+what the controller quietly repaired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class ErrorPolicy:
+    """Knobs of the self-healing ladder."""
+
+    #: Retries after the first failed attempt of a transient op.
+    max_retries: int = 2
+    #: Simulated backoff before retry ``k`` (ms): ``backoff_ms * 2**k``.
+    #: Accrued in :attr:`ErrorCounters.backoff_ms`; never a real sleep.
+    backoff_ms: float = 0.1
+    #: Cumulative per-disk error count that escalates the disk to FAILED.
+    escalate_after: int = 8
+    #: Rewrite (remap) latent sectors healed during normal reads.
+    heal_latent_on_read: bool = True
+
+    def __post_init__(self) -> None:
+        require(self.max_retries >= 0, "max_retries must be >= 0")
+        require(self.backoff_ms >= 0, "backoff_ms must be >= 0")
+        require(self.escalate_after >= 1, "escalate_after must be >= 1")
+
+
+@dataclass(frozen=True)
+class HealEvent:
+    """One self-healing action taken by the volume.
+
+    ``kind`` is one of ``retry_ok`` (a transient op succeeded on retry),
+    ``remap`` (a latent sector was reconstructed and rewritten),
+    ``reconstruct`` (an element was served from parity without a
+    rewrite), ``escalate`` (a flaky disk was proactively failed) or
+    ``dropped_write`` (a write raced a disk death and was discarded —
+    the data stays recoverable from parity).
+    """
+
+    kind: str
+    disk: int
+    stripe: int = -1
+    offset: int = -1
+    detail: str = ""
+
+
+class ErrorCounters:
+    """Per-disk error accounting driving the escalation policy."""
+
+    def __init__(self, num_disks: int) -> None:
+        self.transient = [0] * num_disks
+        self.latent = [0] * num_disks
+        self.escalated: List[int] = []
+        #: Total simulated retry backoff the volume has accrued (ms).
+        self.backoff_ms = 0.0
+
+    def note(self, disk: int, kind: str) -> None:
+        if kind == "transient":
+            self.transient[disk] += 1
+        else:
+            self.latent[disk] += 1
+
+    def total(self, disk: int) -> int:
+        """Cumulative error count of one disk (drives escalation)."""
+        return self.transient[disk] + self.latent[disk]
+
+    def snapshot(self) -> Tuple[Tuple[int, int], ...]:
+        """(transient, latent) per disk — convenient for assertions."""
+        return tuple(zip(self.transient, self.latent))
+
+    def __repr__(self) -> str:
+        return (
+            f"<ErrorCounters transient={self.transient} "
+            f"latent={self.latent} escalated={self.escalated}>"
+        )

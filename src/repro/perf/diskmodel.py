@@ -64,7 +64,9 @@ SAVVIO_10K3 = DiskParameters()
 
 
 def disk_service_time_ms(
-    offsets: Sequence[int], params: DiskParameters = SAVVIO_10K3
+    offsets: Sequence[int],
+    params: DiskParameters = SAVVIO_10K3,
+    extra_ms_per_element: float = 0.0,
 ) -> float:
     """Service time for one disk reading elements at the given offsets.
 
@@ -73,6 +75,11 @@ def disk_service_time_ms(
     from cache — they cost nothing extra.  Consecutive offsets stream;
     each gap between runs costs a head-switch (``gap_ms``); the batch as a
     whole costs one positioning.
+
+    ``extra_ms_per_element`` models a degraded ("slow") drive — media
+    retries, vibration, a dying bearing — as added per-element latency;
+    the fault injector exports exactly this figure per disk
+    (:meth:`repro.faults.FaultInjector.slow_penalties`).
     """
     if len(offsets) == 0:
         return 0.0
@@ -83,5 +90,6 @@ def disk_service_time_ms(
     return (
         params.positioning_ms
         + gaps * params.gap_ms
-        + len(distinct) * params.element_transfer_ms
+        + len(distinct) * (params.element_transfer_ms
+                           + extra_ms_per_element)
     )

@@ -9,7 +9,7 @@ requested payload divided by that time.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.codes.base import CodeLayout
 from repro.iosim.engine import AccessEngine
@@ -18,16 +18,30 @@ from repro.util.validation import require_positive
 
 
 class ArrayTimingModel:
-    """Times read requests for a layout on a modelled disk array."""
+    """Times read requests for a layout on a modelled disk array.
+
+    ``slow_disk_ms`` maps disk id → added per-element service latency,
+    pricing degraded drives; pass
+    :meth:`repro.faults.FaultInjector.slow_penalties` to price the exact
+    slow-disk faults a chaos schedule injected.
+    """
 
     def __init__(
         self,
         engine: AccessEngine,
         params: DiskParameters = SAVVIO_10K3,
+        slow_disk_ms: Optional[Dict[int, float]] = None,
     ) -> None:
         self.engine = engine
         self.layout: CodeLayout = engine.layout
         self.params = params
+        self.slow_disk_ms: Dict[int, float] = dict(slow_disk_ms or {})
+
+    def _service_ms(self, disk: int, offsets: List[int]) -> float:
+        return disk_service_time_ms(
+            offsets, self.params,
+            extra_ms_per_element=self.slow_disk_ms.get(disk, 0.0),
+        )
 
     def request_time_ms(self, start: int, length: int) -> float:
         """Completion time of a read of ``length`` logical elements."""
@@ -41,8 +55,8 @@ class ArrayTimingModel:
         if not per_disk:
             return 0.0
         return max(
-            disk_service_time_ms(offsets, self.params)
-            for offsets in per_disk.values()
+            self._service_ms(disk, offsets)
+            for disk, offsets in per_disk.items()
         )
 
     def read_speed_mb_per_s(self, start: int, length: int) -> float:
@@ -75,13 +89,13 @@ class ArrayTimingModel:
                     stripe * self.layout.rows + cell.row
                 )
         read_ms = max(
-            (disk_service_time_ms(offs, self.params)
-             for offs in read_batches.values()),
+            (self._service_ms(disk, offs)
+             for disk, offs in read_batches.items()),
             default=0.0,
         )
         write_ms = max(
-            (disk_service_time_ms(offs, self.params)
-             for offs in write_batches.values()),
+            (self._service_ms(disk, offs)
+             for disk, offs in write_batches.items()),
             default=0.0,
         )
         return read_ms + write_ms

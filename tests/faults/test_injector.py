@@ -1,0 +1,186 @@
+"""Unit tests of the deterministic fault injector."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.array import SimDisk
+from repro.exceptions import (
+    DiskFailedError,
+    LatentSectorError,
+    SimulatedCrashError,
+    TransientIOError,
+)
+from repro.faults import FaultInjector, FaultRates, FaultSpec
+
+
+def make_array(n=2, capacity=8, element_size=4):
+    """A minimal stand-in for a volume: just the ``disks`` attribute."""
+    disks = [SimDisk(i, capacity, element_size) for i in range(n)]
+    return SimpleNamespace(disks=disks), disks
+
+
+def element(size=4, fill=0):
+    return np.full(size, fill, dtype=np.uint8)
+
+
+class TestScheduledFaults:
+    def test_transient_fires_once_then_clears(self):
+        array, (d0, _) = make_array()
+        inj = FaultInjector(schedule=[
+            FaultSpec("transient", at_op=0, disk=0, op="read")
+        ]).attach(array)
+        with pytest.raises(TransientIOError) as exc:
+            d0.read(0)
+        assert (exc.value.disk_id, exc.value.op) == (0, "read")
+        d0.read(0)  # one-shot: second read is clean
+        assert [e.kind for e in inj.log] == ["transient"]
+
+    def test_burst_fails_consecutive_matching_ops(self):
+        array, (d0, d1) = make_array()
+        FaultInjector(schedule=[
+            FaultSpec("transient", at_op=0, disk=0, op="read", count=3)
+        ]).attach(array)
+        for _ in range(3):
+            with pytest.raises(TransientIOError):
+                d0.read(0)
+            d1.read(0)  # the burst is pinned to disk 0
+        d0.read(0)  # burst exhausted
+
+    def test_spec_pins_disk_and_op(self):
+        array, (d0, d1) = make_array()
+        FaultInjector(schedule=[
+            FaultSpec("transient", at_op=0, disk=1, op="write")
+        ]).attach(array)
+        d0.read(0)
+        d1.read(0)
+        d0.write(0, element())
+        with pytest.raises(TransientIOError):
+            d1.write(0, element())
+
+    def test_latent_marks_spec_offset(self):
+        array, (d0, _) = make_array()
+        FaultInjector(schedule=[
+            FaultSpec("latent", at_op=0, disk=0, offset=5)
+        ]).attach(array)
+        d0.read(0)  # triggering op itself succeeds
+        assert d0.bad_sectors == frozenset({5})
+        with pytest.raises(LatentSectorError):
+            d0.read(5)
+
+    def test_disk_death_kills_the_triggering_op(self):
+        array, (d0, d1) = make_array()
+        FaultInjector(schedule=[
+            FaultSpec("disk_death", at_op=1)
+        ]).attach(array)
+        d0.read(0)
+        with pytest.raises(DiskFailedError):
+            d1.read(0)
+        assert d1.failed and not d0.failed
+
+    def test_slow_disk_accrues_latency(self):
+        array, (d0, d1) = make_array()
+        inj = FaultInjector(schedule=[
+            FaultSpec("slow", at_op=0, disk=0, delay_ms=2.5)
+        ]).attach(array)
+        d0.read(0)  # fires the spec; drag starts on the next op
+        for _ in range(3):
+            d0.read(1)
+        d1.read(0)
+        assert inj.slow_penalties() == {0: 2.5}
+        assert inj.accumulated_delay_ms(0) == pytest.approx(7.5)
+        assert inj.accumulated_delay_ms(1) == 0.0
+
+    def test_crash_raises_with_op_index(self):
+        array, (d0, _) = make_array()
+        FaultInjector(schedule=[
+            FaultSpec("crash", at_op=2)
+        ]).attach(array)
+        d0.read(0)
+        d0.read(0)
+        with pytest.raises(SimulatedCrashError) as exc:
+            d0.read(0)
+        assert exc.value.op_index == 2
+
+    def test_arm_and_cancel(self):
+        array, (d0, _) = make_array()
+        inj = FaultInjector().attach(array)
+        inj.arm(FaultSpec("crash", at_op=100))
+        assert inj.cancel("crash") == 1
+        for _ in range(5):
+            d0.read(0)  # nothing left to fire
+
+    def test_cancel_transient_clears_running_burst(self):
+        array, (d0, _) = make_array()
+        inj = FaultInjector(schedule=[
+            FaultSpec("transient", at_op=0, disk=0, count=5)
+        ]).attach(array)
+        with pytest.raises(TransientIOError):
+            d0.read(0)
+        inj.cancel("transient")
+        d0.read(0)  # burst gone
+
+
+class TestProbabilisticFaults:
+    def _drive(self, seed):
+        array, disks = make_array(n=3, capacity=16)
+        inj = FaultInjector(
+            seed=seed,
+            rates=FaultRates(transient=0.2, latent=0.1, disk_death=0.02),
+        ).attach(array)
+        for k in range(60):
+            disk = disks[k % 3]
+            try:
+                disk.read(k % 16)
+            except (TransientIOError, LatentSectorError, DiskFailedError):
+                pass
+        return inj
+
+    def test_same_seed_same_log(self):
+        a, b = self._drive(11), self._drive(11)
+        assert a.log == b.log
+        assert len(a.log) > 0
+
+    def test_different_seed_different_log(self):
+        assert self._drive(11).log != self._drive(12).log
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultRates(transient=1.5)
+
+
+class TestWiring:
+    def test_attach_twice_rejected(self):
+        array, _ = make_array()
+        inj = FaultInjector().attach(array)
+        with pytest.raises(ValueError):
+            inj.attach(array)
+
+    def test_detach_restores_normal_io(self):
+        array, (d0, _) = make_array()
+        inj = FaultInjector(schedule=[
+            FaultSpec("transient", at_op=0, count=99)
+        ]).attach(array)
+        inj.detach()
+        d0.read(0)
+        assert inj.log == []
+
+    def test_events_filtered_by_kind(self):
+        array, (d0, _) = make_array()
+        inj = FaultInjector(schedule=[
+            FaultSpec("latent", at_op=0, disk=0, offset=1),
+            FaultSpec("slow", at_op=1, disk=0, delay_ms=1.0),
+        ]).attach(array)
+        d0.read(0)
+        d0.read(0)
+        assert [e.kind for e in inj.events()] == ["latent", "slow"]
+        assert [e.kind for e in inj.events("slow")] == ["slow"]
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("meteor")
+        with pytest.raises(ValueError):
+            FaultSpec("transient", op="sideways")
+        with pytest.raises(ValueError):
+            FaultSpec("transient", count=0)

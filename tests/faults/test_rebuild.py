@@ -1,0 +1,248 @@
+"""Health state machine and the incremental, resumable rebuild cursor."""
+
+import numpy as np
+import pytest
+
+from repro.array import RAID6Volume
+from repro.codes import DCode, make_code
+from repro.exceptions import (
+    FaultToleranceExceeded,
+    UnrecoverableStripeError,
+)
+from repro.faults import HealthState
+
+
+NUM_STRIPES = 6
+
+
+@pytest.fixture
+def volume(rng):
+    vol = RAID6Volume(DCode(7), num_stripes=NUM_STRIPES, element_size=16)
+    data = rng.integers(0, 256, (vol.num_elements, 16), dtype=np.uint8)
+    vol.write(0, data)
+    return vol, data
+
+
+class TestHealthStateMachine:
+    def test_lifecycle_transitions(self, volume):
+        vol, data = volume
+        assert vol.health is HealthState.HEALTHY
+        vol.fail_disk(2)
+        assert vol.health is HealthState.DEGRADED
+        cursor = vol.start_rebuild(2, batch=2)
+        assert vol.health is HealthState.REBUILDING
+        assert vol.rebuild_cursor is cursor
+        cursor.run()
+        assert vol.health is HealthState.HEALTHY
+        assert cursor.done and cursor.progress == 1.0
+        assert vol.rebuild_cursor is None
+        assert np.array_equal(vol.read(0, vol.num_elements), data)
+
+    def test_double_failure_stays_degraded_until_second_rebuild(
+        self, volume
+    ):
+        vol, data = volume
+        vol.fail_disk(1)
+        vol.fail_disk(4)
+        vol.start_rebuild(1).run()
+        assert vol.health is HealthState.DEGRADED  # disk 4 still down
+        vol.start_rebuild(4).run()
+        assert vol.health is HealthState.HEALTHY
+        assert np.array_equal(vol.read(0, vol.num_elements), data)
+
+    def test_target_dying_again_aborts_cursor(self, volume):
+        vol, data = volume
+        vol.fail_disk(3)
+        cursor = vol.start_rebuild(3, batch=1)
+        cursor.step()
+        vol.fail_disk(3)  # the replacement dies mid-rebuild
+        assert cursor.aborted and not cursor.active
+        assert vol.health is HealthState.DEGRADED
+        assert vol.rebuild_cursor is None
+        with pytest.raises(ValueError):
+            cursor.step()
+        # a fresh rebuild starts from stripe 0 and completes
+        vol.start_rebuild(3).run()
+        assert vol.health is HealthState.HEALTHY
+        assert np.array_equal(vol.read(0, vol.num_elements), data)
+
+    def test_third_failure_rejected_while_rebuilding(self, volume):
+        vol, _ = volume
+        vol.fail_disk(0)
+        vol.start_rebuild(0, batch=1)  # unrebuilt region counts as down
+        vol.fail_disk(1)
+        with pytest.raises(FaultToleranceExceeded):
+            vol.fail_disk(2)
+
+
+class TestForegroundIOInterleaving:
+    def test_reads_and_writes_succeed_at_every_cursor_position(
+        self, volume, rng
+    ):
+        """The acceptance bar: one stripe per step, and between every
+        pair of steps the full volume is readable byte-exactly and
+        accepts writes that survive to the end."""
+        vol, data = volume
+        vol.fail_disk(2)
+        cursor = vol.start_rebuild(2, batch=1)
+        step = 0
+        while cursor.active:
+            assert np.array_equal(vol.read(0, vol.num_elements), data)
+            # rewrite a window that slides across the rebuilt/stale split
+            start = (step * 5) % (vol.num_elements - 7)
+            fresh = rng.integers(0, 256, (7, 16), dtype=np.uint8)
+            vol.write(start, fresh)
+            data[start:start + 7] = fresh
+            assert np.array_equal(vol.read(start, 7), fresh)
+            cursor.step()
+            step += 1
+        assert step == NUM_STRIPES
+        assert vol.health is HealthState.HEALTHY
+        assert np.array_equal(vol.read(0, vol.num_elements), data)
+        assert vol.scrub() == []
+
+    def test_write_behind_cursor_is_final(self, volume, rng):
+        vol, data = volume
+        per_stripe = vol.layout.num_data_cells
+        vol.fail_disk(2)
+        cursor = vol.start_rebuild(2, batch=1)
+        cursor.step()  # stripe 0 rebuilt
+        fresh = rng.integers(0, 256, (per_stripe, 16), dtype=np.uint8)
+        vol.write(0, fresh)  # lands on the already-rebuilt region
+        data[:per_stripe] = fresh
+        # the replacement disk serves stripe 0 directly: reading it back
+        # costs exactly one element per logical element
+        vol.reset_io_counters()
+        assert np.array_equal(vol.read(0, per_stripe), fresh)
+        reads = vol.io_counters()
+        assert sum(r for r, _ in reads.values()) == per_stripe
+        assert reads[2][0] > 0  # including the replacement itself
+        cursor.run()
+        assert np.array_equal(vol.read(0, vol.num_elements), data)
+
+    def test_write_ahead_of_cursor_skips_stale_column(self, volume, rng):
+        vol, data = volume
+        per_stripe = vol.layout.num_data_cells
+        last = NUM_STRIPES - 1
+        vol.fail_disk(2)
+        cursor = vol.start_rebuild(2, batch=1)
+        cursor.step()  # cursor at stripe 1; the last stripe is stale
+        writes_before = vol.io_counters()[2][1]
+        fresh = rng.integers(0, 256, (per_stripe, 16), dtype=np.uint8)
+        vol.write(last * per_stripe, fresh)
+        data[last * per_stripe:] = fresh
+        # nothing was written to the stale region of the replacement;
+        # the cursor derives it from the new parity when it arrives
+        assert vol.io_counters()[2][1] == writes_before
+        cursor.run()
+        assert np.array_equal(vol.read(0, vol.num_elements), data)
+        assert vol.scrub() == []
+
+
+class TestRebuildAccounting:
+    def test_returned_reads_match_io_counters_single(self, volume):
+        vol, data = volume
+        vol.fail_disk(3)
+        vol.reset_io_counters()
+        n = vol.replace_and_rebuild(3)
+        counters = vol.io_counters()
+        assert n == sum(r for r, _ in counters.values())
+        # the hybrid planner beats conventional all-surviving-cells reads
+        total_cells = len(vol.layout.data_cells) + len(
+            vol.layout.parity_cells
+        )
+        per_stripe_conventional = total_cells - total_cells // len(
+            vol.disks
+        )
+        assert 0 < n < NUM_STRIPES * per_stripe_conventional
+        assert np.array_equal(vol.read(0, vol.num_elements), data)
+
+    def test_returned_reads_match_io_counters_double(self, volume):
+        vol, data = volume
+        vol.fail_disk(1)
+        vol.fail_disk(5)
+        vol.reset_io_counters()
+        n1 = vol.replace_and_rebuild(1)
+        mid = sum(r for r, _ in vol.io_counters().values())
+        assert n1 == mid
+        n2 = vol.replace_and_rebuild(5)
+        assert n1 + n2 == sum(r for r, _ in vol.io_counters().values())
+        assert np.array_equal(vol.read(0, vol.num_elements), data)
+
+    def test_counters_survive_interrupt_and_resume(self, volume):
+        vol, data = volume
+        vol.fail_disk(2)
+        cursor = vol.start_rebuild(2, batch=2)
+        cursor.step()
+        pos, reads, writes = (cursor.pos, cursor.elements_read,
+                              cursor.elements_written)
+        assert pos == 2 and reads > 0 and writes > 0
+        # "interrupt": foreground traffic only, cursor left alone
+        vol.read(0, vol.num_elements)
+        assert (cursor.pos, cursor.elements_read) == (pos, reads)
+        cursor.step()  # resume
+        assert cursor.pos == pos + 2
+        assert cursor.elements_read > reads
+        assert cursor.steps_taken == 2
+        cursor.run()
+        assert cursor.done
+        assert np.array_equal(vol.read(0, vol.num_elements), data)
+
+    def test_step_deltas_sum_to_disk_counters(self, volume):
+        vol, _ = volume
+        vol.fail_disk(0)
+        cursor = vol.start_rebuild(0, batch=1)
+        vol.reset_io_counters()
+        while cursor.active:
+            cursor.step()
+        counters = vol.io_counters()
+        assert cursor.elements_read == sum(
+            r for r, _ in counters.values()
+        )
+        assert cursor.elements_written == sum(
+            w for _, w in counters.values()
+        )
+
+
+class TestRebuildUnderMediumErrors:
+    def test_single_rebuild_escalates_past_latent_error(self, volume):
+        """A latent error inside the minimal read set must not abort the
+        rebuild: the stripe falls back to the full decoder."""
+        vol, data = volume
+        vol.fail_disk(0)
+        for stripe in range(NUM_STRIPES):
+            vol.inject_latent_error(disk=3, stripe=stripe, row=1)
+        cursor = vol.start_rebuild(0, batch=1)
+        cursor.run()
+        assert cursor.done
+        assert np.array_equal(vol.read(0, vol.num_elements), data)
+
+    @pytest.mark.parametrize("name", ("dcode", "rdp", "xcode"))
+    def test_double_rebuild_with_latent_survivor_raises_typed(
+        self, name, rng
+    ):
+        """Two dead columns plus a fully-latent surviving column exceed
+        RAID-6: the rebuild must surface a typed error naming the stripe,
+        and the cursor must stay there for repair-and-resume."""
+        layout = make_code(name, 5)
+        vol = RAID6Volume(layout, num_stripes=3, element_size=16)
+        data = rng.integers(0, 256, (vol.num_elements, 16), dtype=np.uint8)
+        vol.write(0, data)
+        vol.fail_disk(0)
+        vol.fail_disk(1)
+        survivor = 2
+        for row in range(layout.rows):
+            vol.inject_latent_error(disk=survivor, stripe=1, row=row)
+        cursor = vol.start_rebuild(0, batch=1)
+        cursor.step()  # stripe 0 is fine
+        with pytest.raises(UnrecoverableStripeError) as exc:
+            cursor.step()
+        assert exc.value.stripe == 1
+        assert cursor.pos == 1  # parked on the bad stripe
+        # repair the medium errors out of band, then resume to completion
+        for row in range(layout.rows):
+            offset = 1 * layout.rows + row
+            vol.disks[survivor].write(offset, vol.disks[survivor]._store[offset])
+        cursor.run()
+        assert cursor.done
+        assert np.array_equal(vol.read(0, vol.num_elements), data)

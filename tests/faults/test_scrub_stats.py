@@ -1,0 +1,67 @@
+"""Scrub I/O accounting: one stripe load serves detect, repair, verify."""
+
+import numpy as np
+import pytest
+
+from repro.array import RAID6Volume
+from repro.array.volume import ScrubReport
+from repro.codes import DCode
+
+
+@pytest.fixture
+def volume(rng):
+    vol = RAID6Volume(DCode(7), num_stripes=4, element_size=16)
+    data = rng.integers(0, 256, (vol.num_elements, 16), dtype=np.uint8)
+    vol.write(0, data)
+    return vol
+
+
+def cells_per_stripe(vol):
+    return len(vol.layout.data_cells) + len(vol.layout.parity_cells)
+
+
+class TestScrubReport:
+    def test_clean_volume_accounting(self, volume):
+        volume.reset_io_counters()
+        report = volume.scrub_and_repair()
+        total = 4 * cells_per_stripe(volume)
+        assert report == {}  # still the historical mapping
+        assert report.stripes_scanned == 4
+        assert report.elements_read == total
+        assert report.elements_written == 0
+        assert report.repaired_count == 0
+        # exactly one load per stripe hits the disks — the parity check
+        # reuses the same buffer instead of re-reading
+        counters = volume.io_counters()
+        assert sum(r for r, _ in counters.values()) == total
+        assert sum(w for _, w in counters.values()) == 0
+
+    def test_repair_accounting(self, volume):
+        volume.inject_latent_error(disk=2, stripe=0, row=0)
+        volume.inject_latent_error(disk=5, stripe=2, row=3)
+        volume.reset_io_counters()
+        report = volume.scrub_and_repair()
+        total = 4 * cells_per_stripe(volume)
+        assert set(report) == {0, 2}
+        assert report.repaired_count == 2
+        # the two bad sectors raised instead of returning data
+        assert report.elements_read == total - 2
+        assert report.elements_written == 2
+        counters = volume.io_counters()
+        # every cell attempted exactly once (bad ones count as attempts)
+        assert sum(r for r, _ in counters.values()) == total
+        assert sum(w for _, w in counters.values()) == 2
+
+    def test_report_behaves_like_the_old_dict(self, volume):
+        volume.inject_latent_error(disk=1, stripe=3, row=2)
+        report = volume.scrub_and_repair()
+        assert isinstance(report, ScrubReport)
+        assert isinstance(report, dict)
+        assert list(report) == [3]
+        assert len(report[3]) == 1
+        assert volume.scrub_and_repair() == {}
+
+    def test_repr_mentions_accounting(self, volume):
+        report = volume.scrub_and_repair()
+        text = repr(report)
+        assert "reads=" in text and "stripes=4" in text

@@ -1,5 +1,6 @@
 """Array timing-model tests."""
 
+import numpy as np
 import pytest
 
 from repro.codes import DCode, RDP
@@ -78,3 +79,49 @@ class TestDegradedTiming:
         # a read over the failed disk must pay reconstruction reads
         assert degraded.read_speed_mb_per_s(0, 10) < \
             healthy.read_speed_mb_per_s(0, 10)
+
+
+class TestSlowDiskTiming:
+    def test_slow_disk_drags_requests_that_touch_it(self):
+        engine = AccessEngine(DCode(7), num_stripes=8)
+        baseline = ArrayTimingModel(engine)
+        dragging = ArrayTimingModel(engine, slow_disk_ms={0: 5.0})
+        # a full-row read waits for the slowest disk: +5 ms exactly
+        assert dragging.request_time_ms(0, 7) == pytest.approx(
+            baseline.request_time_ms(0, 7) + 5.0
+        )
+
+    def test_requests_avoiding_the_slow_disk_are_unaffected(self):
+        engine = AccessEngine(DCode(7), num_stripes=8)
+        baseline = ArrayTimingModel(engine)
+        dragging = ArrayTimingModel(engine, slow_disk_ms={0: 5.0})
+        for start in range(7):
+            fetch = {
+                engine.physical_disk(stripe, cell.col)
+                for stripe, cells in engine.read_fetch_sets(start, 1)
+                for cell in cells
+            }
+            if 0 not in fetch:
+                assert dragging.request_time_ms(start, 1) == \
+                    pytest.approx(baseline.request_time_ms(start, 1))
+                return
+        pytest.skip("every single-element read touched disk 0")
+
+    def test_injector_penalties_feed_the_model(self, rng):
+        from repro.array import RAID6Volume
+        from repro.faults import FaultInjector, FaultSpec
+
+        vol = RAID6Volume(DCode(7), num_stripes=8, element_size=16)
+        injector = FaultInjector(schedule=[
+            FaultSpec("slow", at_op=0, disk=2, delay_ms=3.0)
+        ]).attach(vol)
+        vol.write(0, rng.integers(0, 256, (vol.num_elements, 16),
+                                  dtype=np.uint8))
+        engine = AccessEngine(DCode(7), num_stripes=8)
+        model = ArrayTimingModel(
+            engine, slow_disk_ms=injector.slow_penalties()
+        )
+        assert model.slow_disk_ms == {2: 3.0}
+        assert model.request_time_ms(0, 7) == pytest.approx(
+            ArrayTimingModel(engine).request_time_ms(0, 7) + 3.0
+        )

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.array",
     "repro.codes",
     "repro.codec",
+    "repro.faults",
     "repro.gf",
     "repro.iosim",
     "repro.perf",
