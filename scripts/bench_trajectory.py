@@ -1,11 +1,13 @@
 #!/usr/bin/env python
-"""Codec throughput trajectory: naive walk vs compiled plans vs batched API.
+"""Perf trajectory: codec paths plus the volume-level I/O stack.
 
 Measures encode / decode / update bandwidth for every evaluation code at
-p=7 and p=13 (element_size=4096), single-stripe and batched, and writes
-``BENCH_codec.json`` at the repo root.  All comparisons are taken in the
-same process run with the same best-of-batches timing, so the speedup
-ratios are internally consistent.
+p=7 and p=13 (element_size=4096), single-stripe and batched, plus the
+array layer (multi-stripe write serial vs batched, legacy vs bulk vs
+zero-copy reads, per-stripe vs coalesced destage, serial vs 4-worker
+parallel RMW), and writes ``BENCH_codec.json`` at the repo root.  All
+comparisons are taken in the same process run with the same
+best-of-batches timing, so the speedup ratios are internally consistent.
 
 Usage::
 
@@ -26,6 +28,8 @@ sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
+from repro.array.cache import StripeCache  # noqa: E402
+from repro.array.volume import RAID6Volume  # noqa: E402
 from repro.codec.batch import encode_batch, random_batch  # noqa: E402
 from repro.codec.decoder import ChainDecoder  # noqa: E402
 from repro.codec.encoder import StripeCodec  # noqa: E402
@@ -38,6 +42,8 @@ CODES = ("rdp", "hcode", "hdp", "xcode", "dcode")
 PRIMES = (7, 13)
 BATCH = 32
 LOOP_BATCHES = (16, 64)
+VOLUME_BATCHES = (16, 32)
+VOLUME_CODE, VOLUME_P = "dcode", 7
 
 
 def best_seconds(fn, inner=50, reps=9):
@@ -119,14 +125,23 @@ def bench_code(name, p, rng):
     }
 
     # -- update: single-element read-modify-write ----------------------------
+    # alternate between two values so every call carries a real delta
+    # (writing the same value twice hits the zero-delta early return and
+    # measures nothing but the delta check)
     cell = layout.data_cells[0]
-    new_value = rng.integers(0, 256, ELEMENT_SIZE, dtype=np.uint8)
-    t_upd_naive = best_seconds(
-        lambda: apply_update(codec, stripe, cell, new_value, naive=True)
+    v0 = stripe[cell.row, cell.col].copy()
+    v1 = np.bitwise_xor(
+        v0, rng.integers(1, 256, ELEMENT_SIZE, dtype=np.uint8)
     )
-    t_upd_compiled = best_seconds(
-        lambda: apply_update(codec, stripe, cell, new_value)
-    )
+    toggle = [v0, v1]
+    state = {"i": 0}
+
+    def run_update(naive):
+        state["i"] ^= 1
+        apply_update(codec, stripe, cell, toggle[state["i"]], naive=naive)
+
+    t_upd_naive = best_seconds(lambda: run_update(True))
+    t_upd_compiled = best_seconds(lambda: run_update(False))
     update = {
         "naive_mb_s": round(mb_per_s(ELEMENT_SIZE, t_upd_naive), 1),
         "compiled_mb_s": round(mb_per_s(ELEMENT_SIZE, t_upd_compiled), 1),
@@ -134,6 +149,157 @@ def bench_code(name, p, rng):
     }
 
     return {"encode": encode, "decode": decode, "update": update}
+
+
+def _legacy_volume_read(volume, start, count):
+    """The pre-pipeline read path: per-stripe walk over per-element I/O."""
+    out = np.empty((count, volume.element_size), dtype=np.uint8)
+    by_stripe = {}
+    for k in range(count):
+        loc = volume.mapper.locate(start + k)
+        by_stripe.setdefault(loc.stripe, []).append((k, loc.cell))
+    for stripe, items in by_stripe.items():
+        volume._serve_stripe_read(stripe, items, out)
+    return out
+
+
+def bench_volume(rng):
+    """Array-level throughput: serial per-stripe vs batched vs parallel.
+
+    The serial baseline drives the historical one-stripe-at-a-time
+    controller paths (per-element disk I/O); the batched numbers go
+    through the tensor write/read fast paths; parallel runs the
+    partial-stripe RMW queue over a 4-worker stripe pipeline.
+    """
+    layout = make_code(VOLUME_CODE, VOLUME_P)
+    per = layout.num_data_cells
+    volume = RAID6Volume(layout, num_stripes=128,
+                         element_size=ELEMENT_SIZE)
+
+    write = {}
+    for batch in VOLUME_BATCHES:
+        data = rng.integers(
+            0, 256, (batch * per, ELEMENT_SIZE), dtype=np.uint8
+        )
+        data_bytes = data.nbytes
+
+        def serial(data=data, batch=batch):
+            for s in range(batch):
+                items = list(
+                    zip(layout.data_cells,
+                        data[s * per:(s + 1) * per])
+                )
+                volume._write_stripe_batch(s, items)
+
+        t_serial = best_seconds(serial, inner=3, reps=5)
+        t_batched = best_seconds(
+            lambda data=data: volume.write(0, data), inner=3, reps=5
+        )
+        write[str(batch)] = {
+            "serial_mb_s": round(mb_per_s(data_bytes, t_serial), 1),
+            "batched_mb_s": round(mb_per_s(data_bytes, t_batched), 1),
+            "speedup_batched_vs_serial": round(t_serial / t_batched, 2),
+        }
+
+    # -- reads: legacy per-element walk vs bulk gather vs zero-copy view ----
+    read_count = 16 * per
+    t_read_legacy = best_seconds(
+        lambda: _legacy_volume_read(volume, 0, read_count), inner=3, reps=5
+    )
+    t_read_bulk = best_seconds(
+        lambda: volume.read(0, read_count), inner=3, reps=5
+    )
+    t_read_view = best_seconds(lambda: volume.read(0, per))
+    read = {
+        "legacy_mb_s": round(
+            mb_per_s(read_count * ELEMENT_SIZE, t_read_legacy), 1
+        ),
+        "bulk_mb_s": round(
+            mb_per_s(read_count * ELEMENT_SIZE, t_read_bulk), 1
+        ),
+        "zero_copy_view_mb_s": round(
+            mb_per_s(per * ELEMENT_SIZE, t_read_view), 1
+        ),
+        "speedup_bulk_vs_legacy": round(t_read_legacy / t_read_bulk, 2),
+    }
+
+    # -- destage: per-stripe _destage loop vs coalesced batch ----------------
+    destage_batch = 16
+    destage_data = rng.integers(
+        0, 256, (destage_batch * per, ELEMENT_SIZE), dtype=np.uint8
+    )
+
+    def destage_per_stripe():
+        cache = StripeCache(volume, max_dirty_stripes=destage_batch)
+        cache.write(0, destage_data)
+        for stripe in list(cache._dirty):
+            cache._destage(stripe)
+
+    def destage_batched():
+        cache = StripeCache(volume, max_dirty_stripes=destage_batch)
+        cache.write(0, destage_data)
+        cache.flush()
+
+    t_destage_serial = best_seconds(destage_per_stripe, inner=3, reps=5)
+    t_destage_batched = best_seconds(destage_batched, inner=3, reps=5)
+    destage = {
+        "per_stripe_mb_s": round(
+            mb_per_s(destage_data.nbytes, t_destage_serial), 1
+        ),
+        "batched_mb_s": round(
+            mb_per_s(destage_data.nbytes, t_destage_batched), 1
+        ),
+        "speedup_batched_vs_per_stripe": round(
+            t_destage_serial / t_destage_batched, 2
+        ),
+    }
+
+    # -- parallel pipeline: the partial-stripe RMW queue, 1 vs 4 workers -----
+    parallel_volume = RAID6Volume(layout, num_stripes=128,
+                                  element_size=ELEMENT_SIZE, workers=4)
+    rmw_stripes = 32
+    rmw_data = rng.integers(
+        0, 256, (rmw_stripes, ELEMENT_SIZE), dtype=np.uint8
+    )
+
+    def rmw(vol):
+        # one element per stripe: pure RMW traffic, no full stripes
+        for s in range(rmw_stripes):
+            vol._write_stripe_batch(
+                s, [(layout.data_cells[0], rmw_data[s])]
+            )
+
+    def rmw_parallel():
+        entries = [
+            (s, [(layout.data_cells[0], rmw_data[s])])
+            for s in range(rmw_stripes)
+        ]
+        parallel_volume._write_rest(entries)
+
+    t_rmw_serial = best_seconds(lambda: rmw(volume), inner=3, reps=5)
+    t_rmw_parallel = best_seconds(rmw_parallel, inner=3, reps=5)
+    parallel = {
+        "workers": 4,
+        "rmw_serial_mb_s": round(
+            mb_per_s(rmw_data.nbytes, t_rmw_serial), 1
+        ),
+        "rmw_parallel_mb_s": round(
+            mb_per_s(rmw_data.nbytes, t_rmw_parallel), 1
+        ),
+        "speedup_parallel_vs_serial": round(
+            t_rmw_serial / t_rmw_parallel, 2
+        ),
+    }
+    parallel_volume.pipeline.close()
+
+    return {
+        "code": VOLUME_CODE,
+        "p": VOLUME_P,
+        "write": write,
+        "read": read,
+        "destage": destage,
+        "parallel": parallel,
+    }
 
 
 def main(argv=None):
@@ -155,7 +321,17 @@ def main(argv=None):
             print(f"benchmarking {name} p={p} ...", flush=True)
             results[name][f"p{p}"] = bench_code(name, p, rng)
 
+    print("benchmarking volume layer ...", flush=True)
+    volume = bench_volume(rng)
+
     dcode_p7 = results["dcode"]["p7"]["encode"]
+    update_speedups = {
+        f"{name}_p{p}": results[name][f"p{p}"]["update"][
+            "speedup_compiled_vs_naive"
+        ]
+        for name in CODES
+        for p in PRIMES
+    }
     report = {
         "meta": {
             "element_size": ELEMENT_SIZE,
@@ -165,6 +341,7 @@ def main(argv=None):
             "method": "min over 9 batches of 50 calls (5x7 for batched)",
         },
         "results": results,
+        "volume": volume,
         "acceptance": {
             "dcode_p7_encode_speedup_vs_naive": dcode_p7[
                 "speedup_compiled_vs_naive"
@@ -172,6 +349,13 @@ def main(argv=None):
             "dcode_p7_batched_vs_looped": dcode_p7[
                 "batched_vs_looped_speedup"
             ],
+            "volume_write_batched_vs_serial": {
+                batch: volume["write"][batch][
+                    "speedup_batched_vs_serial"
+                ]
+                for batch in volume["write"]
+            },
+            "update_compiled_vs_naive_min": min(update_speedups.values()),
         },
     }
     out = pathlib.Path(args.out)
@@ -181,6 +365,12 @@ def main(argv=None):
         "dcode p7 encode speedup: "
         f"{dcode_p7['speedup_compiled_vs_naive']}x, "
         f"batched vs looped: {dcode_p7['batched_vs_looped_speedup']}"
+    )
+    print(
+        "volume write batched vs serial: "
+        f"{report['acceptance']['volume_write_batched_vs_serial']}, "
+        "min update speedup: "
+        f"{report['acceptance']['update_compiled_vs_naive_min']}"
     )
     return 0
 

@@ -14,6 +14,7 @@ from repro.array.disk import DiskState, SimDisk
 from repro.array.integrity import ChecksumStore, IntegrityChecker
 from repro.array.mapping import AddressMapper
 from repro.array.persistence import load_volume, save_volume
+from repro.array.pipeline import StripePipeline, worker_count
 from repro.array.volume import RAID6Volume
 
 __all__ = [
@@ -24,6 +25,8 @@ __all__ = [
     "RAID6Volume",
     "SimDisk",
     "StripeCache",
+    "StripePipeline",
     "load_volume",
     "save_volume",
+    "worker_count",
 ]

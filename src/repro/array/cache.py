@@ -56,19 +56,25 @@ class StripeCache:
                 self._dirty[loc.stripe] = bucket
             bucket[loc.cell] = data[k].copy()
             self._dirty.move_to_end(loc.stripe)
-        while len(self._dirty) > self.max_dirty_stripes:
-            stripe, _ = next(iter(self._dirty.items()))
-            self._destage(stripe)
+        overflow = len(self._dirty) - self.max_dirty_stripes
+        if overflow > 0:
+            # evict the LRU overflow as one coalesced destage batch
+            victims = list(self._dirty)[:overflow]
+            self._destage_many(victims)
 
     # -- read path ------------------------------------------------------------
 
     def read(self, start: int, count: int) -> np.ndarray:
         """Read-through with dirty overlay (read-your-writes)."""
         out = self.volume.read(start, count)
+        copied = out.flags.writeable  # volume may hand out a zero-copy view
         for k in range(count):
             loc = self.volume.mapper.locate(start + k)
             bucket = self._dirty.get(loc.stripe)
             if bucket is not None and loc.cell in bucket:
+                if not copied:
+                    out = out.copy()
+                    copied = True
                 out[k] = bucket[loc.cell]
         return out
 
@@ -84,14 +90,35 @@ class StripeCache:
     def flush(self) -> int:
         """Destage every dirty stripe; returns stripes written."""
         stripes = list(self._dirty)
-        for stripe in stripes:
-            self._destage(stripe)
+        self._destage_many(stripes)
         return len(stripes)
 
     def _destage(self, stripe: int) -> None:
         bucket = self._dirty.pop(stripe)
-        items: List[Tuple[Cell, np.ndarray]] = sorted(
+        self.volume._write_stripe_batch(stripe, self._bucket_items(bucket))
+        self.destage_count += 1
+
+    def _bucket_items(self, bucket) -> List[Tuple[Cell, np.ndarray]]:
+        return sorted(
             bucket.items(), key=lambda kv: self.volume.layout.data_index(kv[0])
         )
-        self.volume._write_stripe_batch(stripe, items)
-        self.destage_count += 1
+
+    def _destage_many(self, stripes: List[int]) -> None:
+        """Coalesced destage: completely dirty stripes flush through the
+        batched codec (one encode tensor + one scatter per disk), partial
+        stripes keep the per-stripe RMW/reconstruct paths — fanned out
+        over the volume's stripe pipeline when it is parallel.  Ordering
+        (and ``destage_count``) match destaging each stripe in turn."""
+        full: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]] = []
+        rest: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]] = []
+        per = self.volume.layout.num_data_cells
+        for stripe in stripes:
+            bucket = self._dirty.pop(stripe)
+            items = self._bucket_items(bucket)
+            (full if len(items) == per else rest).append((stripe, items))
+        if len(full) > 1:
+            self.volume._full_stripe_write_batched(full)
+        else:
+            rest = full + rest
+        self.volume._write_rest(rest)
+        self.destage_count += len(stripes)

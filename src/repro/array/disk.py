@@ -1,14 +1,33 @@
 """Element-addressed simulated disk.
 
-Backing store is one contiguous uint8 numpy array (``capacity`` elements of
-``element_size`` bytes).  The disk counts every element read and write —
-the integration tests and the ablation benchmarks assert against those
+Backing store is a uint8 numpy array (``capacity`` elements of
+``element_size`` bytes) — either privately allocated or a caller-supplied
+view into a shared volume tensor (which is how
+:class:`~repro.array.volume.RAID6Volume` gives stripe-aligned reads a
+zero-copy path).  The disk counts every element read and write — the
+integration tests and the ablation benchmarks assert against those
 counters — and refuses I/O once failed, the way a dead spindle would.
+
+Two I/O granularities are exposed:
+
+* the per-element :meth:`read`/:meth:`write` path, which drives the fault
+  hook, latent-sector and failure machinery one element at a time — the
+  path every fault-injection scenario exercises;
+* the vectorised :meth:`read_block`/:meth:`write_block` path, which
+  serves a whole offset array in one numpy gather/scatter.  It engages
+  only while the fault surface is quiet (no hook for reads and writes, no
+  bad sectors for reads) and silently falls back to the per-element loop
+  otherwise, so batching never changes fault semantics or hook cadence.
+
+Counters take a lock so the parallel stripe pipeline
+(:mod:`repro.array.pipeline`) does not lose increments when worker
+threads hit one disk concurrently.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Callable, Optional, Set
 
 import numpy as np
@@ -27,15 +46,30 @@ class DiskState(enum.Enum):
 class SimDisk:
     """An in-memory disk of ``capacity`` elements."""
 
-    def __init__(self, disk_id: int, capacity: int, element_size: int) -> None:
+    def __init__(
+        self,
+        disk_id: int,
+        capacity: int,
+        element_size: int,
+        store: Optional[np.ndarray] = None,
+    ) -> None:
         require_positive(capacity, "capacity")
         require_positive(element_size, "element_size")
         self.disk_id = disk_id
         self.capacity = capacity
         self.element_size = element_size
         self.state = DiskState.OK
-        self._store = np.zeros((capacity, element_size), dtype=np.uint8)
+        if store is None:
+            store = np.zeros((capacity, element_size), dtype=np.uint8)
+        elif store.shape != (capacity, element_size) or store.dtype != np.uint8:
+            raise GeometryError(
+                f"disk {disk_id}: backing store must be uint8 "
+                f"({capacity}, {element_size}), got {store.dtype} "
+                f"{store.shape}"
+            )
+        self._store = store
         self._bad_sectors: Set[int] = set()
+        self._lock = threading.Lock()
         self.read_count = 0
         self.write_count = 0
         #: Optional fault-injection hook, called as ``hook(disk, op,
@@ -54,13 +88,24 @@ class SimDisk:
         Raises :class:`LatentSectorError` when the sector was marked bad —
         the medium-error path RAID scrubbing exists to catch.
         """
+        return self.read_view(offset).copy()
+
+    def read_view(self, offset: int) -> np.ndarray:
+        """Read one element as a read-only zero-copy view of the store.
+
+        Identical fault/counter semantics to :meth:`read`; the returned
+        view stays valid until the element is rewritten.
+        """
         if self.fault_hook is not None:
             self.fault_hook(self, "read", offset)
         self._check_live(offset)
-        self.read_count += 1
+        with self._lock:
+            self.read_count += 1
         if offset in self._bad_sectors:
             raise LatentSectorError(self.disk_id, offset)
-        return self._store[offset].copy()
+        view = self._store[offset]
+        view.flags.writeable = False
+        return view
 
     def write(self, offset: int, data: np.ndarray) -> None:
         """Write one element.
@@ -76,16 +121,79 @@ class SimDisk:
                 f"disk {self.disk_id}: write must be uint8 of shape "
                 f"({self.element_size},), got {data.dtype} {data.shape}"
             )
-        self.write_count += 1
         self._store[offset] = data
-        self._bad_sectors.discard(offset)
+        with self._lock:
+            self.write_count += 1
+            self._bad_sectors.discard(offset)
+
+    # -- batched I/O -------------------------------------------------------
+
+    def read_block(self, offsets: np.ndarray) -> np.ndarray:
+        """Read many elements as one ``(len(offsets), element_size)`` gather.
+
+        With no fault hook and no bad sectors this is a single numpy
+        fancy-index over the store (one counter bump for the whole
+        block); otherwise it falls back to per-element :meth:`read` so
+        hook cadence and error behaviour stay exactly as in the serial
+        path.
+        """
+        offsets = np.asarray(offsets, dtype=np.intp)
+        if self.fault_hook is None and not self._bad_sectors:
+            self._check_live_block(offsets)
+            with self._lock:
+                self.read_count += int(offsets.size)
+            return self._store[offsets]
+        out = np.empty((len(offsets), self.element_size), dtype=np.uint8)
+        for i, offset in enumerate(offsets):
+            out[i] = self.read(int(offset))
+        return out
+
+    def write_block(self, offsets: np.ndarray, data: np.ndarray) -> None:
+        """Write many elements in one numpy scatter.
+
+        Engages only with no fault hook attached (bad sectors are fine —
+        writes remap them, exactly as per-element writes do); otherwise
+        delegates to per-element :meth:`write` preserving the hook's
+        per-op sequence.
+        """
+        offsets = np.asarray(offsets, dtype=np.intp)
+        if data.shape != (len(offsets), self.element_size) \
+                or data.dtype != np.uint8:
+            raise GeometryError(
+                f"disk {self.disk_id}: block write must be uint8 of shape "
+                f"({len(offsets)}, {self.element_size}), got {data.dtype} "
+                f"{data.shape}"
+            )
+        if self.fault_hook is None:
+            self._check_live_block(offsets)
+            self._store[offsets] = data
+            with self._lock:
+                self.write_count += int(offsets.size)
+                if self._bad_sectors:
+                    self._bad_sectors.difference_update(
+                        int(o) for o in offsets
+                    )
+            return
+        for i, offset in enumerate(offsets):
+            self.write(int(offset), data[i])
+
+    def count_reads(self, n: int) -> None:
+        """Account ``n`` element reads served zero-copy by the volume layer.
+
+        The stripe-aligned read fast path hands out direct views of the
+        backing store without touching the per-element machinery; it still
+        owes the load counters the accesses it served.
+        """
+        with self._lock:
+            self.read_count += int(n)
 
     # -- latent sector errors ---------------------------------------------
 
     def mark_bad(self, offset: int) -> None:
         """Inject a medium error: future reads of ``offset`` fail."""
         require_index(offset, self.capacity, f"disk {self.disk_id} offset")
-        self._bad_sectors.add(offset)
+        with self._lock:
+            self._bad_sectors.add(offset)
 
     @property
     def bad_sectors(self) -> frozenset:
@@ -117,6 +225,17 @@ class SimDisk:
         if self.failed:
             raise DiskFailedError(f"disk {self.disk_id} is failed")
         require_index(offset, self.capacity, f"disk {self.disk_id} offset")
+
+    def _check_live_block(self, offsets: np.ndarray) -> None:
+        if self.failed:
+            raise DiskFailedError(f"disk {self.disk_id} is failed")
+        if offsets.size and (
+            int(offsets.min()) < 0 or int(offsets.max()) >= self.capacity
+        ):
+            raise IndexError(
+                f"disk {self.disk_id}: block offsets outside "
+                f"[0, {self.capacity})"
+            )
 
     def __repr__(self) -> str:
         return (

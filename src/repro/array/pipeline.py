@@ -1,0 +1,120 @@
+"""Concurrent execution of independent per-stripe tasks.
+
+Stripes are the natural unit of parallelism in a RAID array: two requests
+touching different stripes share no cells, no parity, and no disk offsets,
+so a controller can run them on separate cores the way an array spreads
+them over separate spindles.  :class:`StripePipeline` is the scheduler the
+volume layer uses for exactly that — it fans a list of per-stripe tasks
+out over a :class:`~concurrent.futures.ThreadPoolExecutor` whose workers
+spend their time in numpy/C-kernel calls that release the GIL.
+
+Determinism rules:
+
+* results come back in *submission order*, regardless of completion
+  order, so parallel and serial execution produce identical outputs for
+  side-effect-free-per-stripe tasks;
+* when tasks raise, every task still runs to completion and the
+  exception of the **lowest-indexed** failing task is re-raised — the
+  same error the serial loop would have surfaced first;
+* with ``workers <= 1`` (the default when ``REPRO_WORKERS`` is unset)
+  the pipeline degrades to a plain serial loop with zero thread
+  machinery, which keeps seed-driven fault injection bit-reproducible.
+
+The worker count comes from the ``REPRO_WORKERS`` environment variable
+(``0`` or a negative value means "one per CPU"); constructors can
+override it explicitly.  Pools are created lazily on first parallel use,
+so the thousands of short-lived volumes the test-suite builds never pay
+for thread spawn.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment knob naming the stripe-pipeline worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def worker_count(workers: Optional[int] = None) -> int:
+    """Resolve the effective worker count.
+
+    An explicit ``workers`` wins; otherwise ``REPRO_WORKERS`` is
+    consulted (unset/empty/unparsable -> 1, i.e. serial; ``0`` or
+    negative -> one worker per CPU).
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            return 1
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+class StripePipeline:
+    """Ordered fan-out of independent per-stripe tasks over a thread pool."""
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = worker_count(workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this pipeline may run tasks concurrently."""
+        return self.workers > 1
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-stripe",
+                )
+            return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Run ``fn`` over ``items``; results in submission order.
+
+        Serial (plain loop) when the pipeline is serial or there is
+        nothing to overlap.  In parallel mode every task runs to
+        completion even if some raise; the exception of the first
+        (lowest-indexed) failing task is then re-raised, matching what a
+        serial loop would have reported.
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) < 2:
+            return [fn(item) for item in items]
+        futures = [self._executor().submit(fn, item) for item in items]
+        results: List[R] = []
+        first_exc: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
+        return results
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        state = "idle" if self._pool is None else "running"
+        return f"<StripePipeline workers={self.workers} {state}>"

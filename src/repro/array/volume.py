@@ -33,14 +33,16 @@ every claimed I/O saving observable, which the integration tests exploit.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.array.disk import SimDisk
 from repro.array.mapping import AddressMapper
+from repro.array.pipeline import StripePipeline
 from repro.codes.base import Cell, CodeLayout
-from repro.codec.batch import blank_batch, encode_batch
+from repro.codec.batch import blank_batch, decode_batch, encode_batch
 from repro.codec.decoder import ChainDecoder
 from repro.codec.encoder import StripeCodec, _toposort_groups
 from repro.codec.gauss import GaussianDecoder
@@ -101,13 +103,26 @@ class RAID6Volume:
         element_size: int = 4096,
         rotate: bool = False,
         policy: Optional[ErrorPolicy] = None,
+        workers: Optional[int] = None,
     ) -> None:
         require_positive(num_stripes, "num_stripes")
         self.layout = layout
         self.codec = StripeCodec(layout, element_size)
         self.mapper = AddressMapper(layout, num_stripes, rotate=rotate)
+        # All disks share one (capacity, cols, element_size) tensor: disk
+        # ``i`` owns the strided column view ``backing[:, i, :]``.  Flat
+        # element (stripe, row, col) therefore lives at linear index
+        # ``(stripe * rows + row) * cols + col``, which is what lets a
+        # stripe-aligned read of a row-major layout hand out a zero-copy
+        # view (see :meth:`read`).
+        self._backing = np.zeros(
+            (self.mapper.disk_capacity, layout.cols, element_size),
+            dtype=np.uint8,
+        )
+        self._flat_backing = self._backing.reshape(-1, element_size)
         self.disks: List[SimDisk] = [
-            SimDisk(i, self.mapper.disk_capacity, element_size)
+            SimDisk(i, self.mapper.disk_capacity, element_size,
+                    store=self._backing[:, i, :])
             for i in range(layout.cols)
         ]
         self.policy = policy if policy is not None else ErrorPolicy()
@@ -119,6 +134,32 @@ class RAID6Volume:
         self._chain = ChainDecoder(self.codec)
         self._gauss = GaussianDecoder(self.codec)
         self._encode_order = _toposort_groups(layout)
+        #: Per-stripe task scheduler (serial unless REPRO_WORKERS / the
+        #: ``workers`` argument enables threads — docs/performance.md).
+        self.pipeline = StripePipeline(workers)
+        self._policy_lock = threading.RLock()
+        # -- vectorised-geometry tables (docs/performance.md) -------------
+        self._col_rows: List[np.ndarray] = [
+            np.array([c.row for c in layout.cells_in_column(col)],
+                     dtype=np.intp)
+            for col in range(layout.cols)
+        ]
+        self._data_rows = np.array(
+            [c.row for c in layout.data_cells], dtype=np.intp
+        )
+        self._data_cols = np.array(
+            [c.col for c in layout.data_cells], dtype=np.intp
+        )
+        self._full_stripe_col_counts = np.bincount(
+            self._data_cols, minlength=layout.cols
+        )
+        #: Whether logical order is the row-major prefix of the matrix
+        #: (D-Code/X-Code style: data rows on top, parity rows below) —
+        #: the precondition for the zero-copy read view.
+        self._row_major_data = all(
+            cell.row == idx // layout.cols and cell.col == idx % layout.cols
+            for idx, cell in enumerate(layout.data_cells)
+        )
 
     # -- basic properties ---------------------------------------------------
 
@@ -157,6 +198,45 @@ class RAID6Volume:
         """Zero every disk's read/write counters."""
         for d in self.disks:
             d.reset_counters()
+
+    # -- fast-path gating ------------------------------------------------------
+    #
+    # The vectorised tensor paths change neither data nor counters, but
+    # they do change the *order* individual elements touch the disks — so
+    # they only engage while the fault surface is quiet.  The moment a
+    # fault hook is attached (chaos harness, injector tests) everything
+    # drops back to the per-element serial walk, which keeps seed-driven
+    # fault schedules bit-reproducible.  See docs/performance.md.
+
+    def _batch_write_ok(self) -> bool:
+        """Tensor stores allowed: no fault hooks anywhere."""
+        return all(d.fault_hook is None for d in self.disks)
+
+    def _batch_io_ok(self) -> bool:
+        """Tensor loads allowed: no hooks and no latent sectors."""
+        return all(
+            d.fault_hook is None and not d._bad_sectors for d in self.disks
+        )
+
+    def _fast_read_ok(self) -> bool:
+        """Whole-range gather allowed: quiet fault surface, no stale disks."""
+        if self.failed_disks or (
+            self._rebuild is not None and self._rebuild.active
+        ):
+            return False
+        return self._batch_io_ok()
+
+    def _parallel_ok(self) -> bool:
+        """Concurrent per-stripe tasks allowed.
+
+        Requires a parallel pipeline *and* no fault hooks: injected fault
+        schedules are defined over the global disk-op order, which thread
+        interleaving would scramble — the deterministic serial fallback
+        of docs/performance.md.
+        """
+        return self.pipeline.parallel and all(
+            d.fault_hook is None for d in self.disks
+        )
 
     # -- failure lifecycle -----------------------------------------------------
 
@@ -246,6 +326,67 @@ class RAID6Volume:
         for cell in self.layout.cells_in_column(col):
             self._write_cell(stripe, cell, buf[cell.row, cell.col])
 
+    def _rebuild_stripes_batch(
+        self, start: int, end: int, disk: int,
+        other_failed: Optional[int] = None,
+    ) -> int:
+        """Rebuild stripes ``[start, end)`` of ``disk`` in one tensor pass.
+
+        Returns the number of stripes rebuilt, or 0 when the batch
+        preconditions do not hold (rotation, fault hooks, latent sectors,
+        undecodable pattern) and the caller must fall back to the
+        per-stripe walk.  Counter totals match the per-stripe path.
+        """
+        batch = end - start
+        if batch < 2 or self.mapper.rotate or not self._batch_io_ok():
+            return 0
+        stripes = np.arange(start, end, dtype=np.intp)
+        rows = self.layout.rows
+        col = disk  # no rotation: layout column == disk id
+        target = self.disks[disk]
+        if other_failed is None:
+            # single failure: execute the hybrid minimal-read plan once
+            # over the whole stripe range — one gather per source cell
+            plan = hybrid_plan(self.layout, col)
+            cache: Dict[Cell, np.ndarray] = {}
+            for cell in plan.reads:
+                cache[cell] = self.disks[cell.col].read_block(
+                    stripes * rows + cell.row
+                )
+            for cell, group in plan.choices:
+                acc = np.zeros(
+                    (batch, self.element_size), dtype=np.uint8
+                )
+                for other in group.cells:
+                    if other != cell:
+                        np.bitwise_xor(acc, cache[other], out=acc)
+                target.write_block(stripes * rows + cell.row, acc)
+            return batch
+        # double failure: load survivors into a stripe tensor, decode the
+        # two lost columns together, store only this disk's share
+        other_col = other_failed
+        buf = blank_batch(self.codec, batch)
+        for c in range(self.layout.cols):
+            if c in (col, other_col):
+                continue
+            col_rows = self._col_rows[c]
+            offsets = (stripes[:, None] * rows + col_rows[None, :]).ravel()
+            buf[:, col_rows, c, :] = self.disks[c].read_block(
+                offsets
+            ).reshape(batch, len(col_rows), self.element_size)
+        try:
+            decode_batch(self.codec, buf, (col, other_col))
+        except DecodeError:
+            return 0
+        col_rows = self._col_rows[col]
+        offsets = (stripes[:, None] * rows + col_rows[None, :]).ravel()
+        values = buf[:, col_rows, col, :]
+        target.write_block(
+            offsets,
+            np.ascontiguousarray(values.reshape(-1, self.element_size)),
+        )
+        return batch
+
     def inject_latent_error(self, disk: int, stripe: int, row: int) -> None:
         """Mark one element of ``disk`` unreadable (medium error).
 
@@ -307,11 +448,49 @@ class RAID6Volume:
         """
         require(self.health is HealthState.HEALTHY,
                 "cannot scrub with failed or rebuilding disks present")
+        if not self.mapper.rotate and self._batch_io_ok():
+            return self._scrub_batched()
         bad = []
         for stripe in range(self.mapper.num_stripes):
             buf = self._load_stripe(stripe, missing_cols=())
             if not self.codec.parity_ok(buf):
                 bad.append(stripe)
+        return bad
+
+    #: Stripes per tensor chunk in the batched scrub sweep.
+    _SCRUB_CHUNK = 16
+
+    def _scrub_batched(self) -> List[int]:
+        """Parity-verify the volume in tensor chunks.
+
+        Loads each chunk with one gather per disk, re-encodes a copy with
+        :func:`~repro.codec.batch.encode_batch` and flags stripes whose
+        stored bytes differ — equivalent to the per-group parity check
+        (parity is consistent in every group iff it equals the canonical
+        re-encode).  Read counters match the per-stripe sweep.
+        """
+        rows, cols = self.layout.rows, self.layout.cols
+        num_stripes = self.mapper.num_stripes
+        bad: List[int] = []
+        for chunk_start in range(0, num_stripes, self._SCRUB_CHUNK):
+            chunk_end = min(chunk_start + self._SCRUB_CHUNK, num_stripes)
+            batch = chunk_end - chunk_start
+            stripes = np.arange(chunk_start, chunk_end, dtype=np.intp)
+            buf = blank_batch(self.codec, batch)
+            for c in range(cols):
+                col_rows = self._col_rows[c]
+                offsets = (
+                    stripes[:, None] * rows + col_rows[None, :]
+                ).ravel()
+                buf[:, col_rows, c, :] = self.disks[c].read_block(
+                    offsets
+                ).reshape(batch, len(col_rows), self.element_size)
+            enc = buf.copy()
+            encode_batch(self.codec, enc)
+            mismatch = (enc != buf).reshape(batch, -1).any(axis=1)
+            bad.extend(
+                int(stripes[i]) for i in np.nonzero(mismatch)[0]
+            )
         return bad
 
     def resync_stripes(self, stripes: Iterable[int]) -> int:
@@ -348,6 +527,18 @@ class RAID6Volume:
         encountered on live disks are healed inline: the element is
         rebuilt from parity and the bad sector rewritten (policy
         ``heal_latent_on_read``).
+
+        Fast paths (healthy array, no fault hooks):
+
+        * a stripe-aligned full-stripe read of a row-major layout returns
+          a **zero-copy read-only view** of the backing store — no bytes
+          move at all (the view stays current until the range is
+          rewritten; copy it to snapshot);
+        * any other range is served as one vectorised gather per disk.
+
+        Degraded or fault-injected stripes fall back to the per-stripe
+        reconstruction walk, fanned out over the stripe pipeline when
+        ``REPRO_WORKERS`` enables it.
         """
         require_positive(count, "count")
         if start < 0 or start + count > self.num_elements:
@@ -355,37 +546,96 @@ class RAID6Volume:
                 f"read [{start}, {start + count}) outside volume of "
                 f"{self.num_elements} elements"
             )
+        view = self._read_zero_copy(start, count)
+        if view is not None:
+            return view
         out = np.empty((count, self.element_size), dtype=np.uint8)
+        if self._fast_read_ok():
+            self._bulk_read(start, count, out)
+            return out
         # group the range per stripe so reconstruction decodes once
         by_stripe: Dict[int, List[Tuple[int, Cell]]] = {}
         for k in range(count):
             loc = self.mapper.locate(start + k)
             by_stripe.setdefault(loc.stripe, []).append((k, loc.cell))
-        for stripe, items in by_stripe.items():
-            stale = self._stale_disks(stripe)
-            lost_cols = {
-                self.mapper.col_on_disk(stripe, f) for f in stale
-            }
-            needs_repair = any(
-                cell.col in lost_cols for _, cell in items
+        entries = list(by_stripe.items())
+        if len(entries) > 1 and self._parallel_ok():
+            self.pipeline.map(
+                lambda entry: self._serve_stripe_read(*entry, out), entries
             )
-            if not needs_repair:
-                try:
-                    for k, cell in items:
-                        out[k] = self._read_cell(stripe, cell)
-                    continue
-                except _CELL_ERRORS + (DiskFailedError,):
-                    pass  # medium error: reconstruct the stripe below
-            elif self._degraded_read_via_plan(stripe, items, out, stale):
-                continue
-            buf, healed = self._load_stripe_report(
-                stripe, missing_cols=tuple(sorted(lost_cols))
-            )
-            if healed:
-                self._heal_cells(stripe, healed, buf)
-            for k, cell in items:
-                out[k] = buf[cell.row, cell.col]
+        else:
+            for stripe, items in entries:
+                self._serve_stripe_read(stripe, items, out)
         return out
+
+    def _serve_stripe_read(
+        self, stripe: int, items: List[Tuple[int, Cell]], out: np.ndarray
+    ) -> None:
+        """Serve one stripe's share of a read into ``out`` (see read())."""
+        stale = self._stale_disks(stripe)
+        lost_cols = {
+            self.mapper.col_on_disk(stripe, f) for f in stale
+        }
+        needs_repair = any(
+            cell.col in lost_cols for _, cell in items
+        )
+        if not needs_repair:
+            try:
+                for k, cell in items:
+                    out[k] = self._read_cell(stripe, cell)
+                return
+            except _CELL_ERRORS + (DiskFailedError,):
+                pass  # medium error: reconstruct the stripe below
+        elif self._degraded_read_via_plan(stripe, items, out, stale):
+            return
+        buf, healed = self._load_stripe_report(
+            stripe, missing_cols=tuple(sorted(lost_cols))
+        )
+        if healed:
+            self._heal_cells(stripe, healed, buf)
+        for k, cell in items:
+            out[k] = buf[cell.row, cell.col]
+
+    def _read_zero_copy(self, start: int, count: int) -> Optional[np.ndarray]:
+        """Zero-copy view for a stripe-aligned read, or ``None``.
+
+        Engages when the range is exactly one full stripe of data, the
+        layout's logical order is the row-major matrix prefix (data rows
+        above the parity rows, as in D-Code/X-Code), the mapper does not
+        rotate and the fault surface is quiet.  The returned array is
+        read-only and aliases the live backing store.
+        """
+        per = self.layout.num_data_cells
+        if (
+            count != per
+            or start % per
+            or self.mapper.rotate
+            or not self._row_major_data
+            or not self._fast_read_ok()
+        ):
+            return None
+        stripe = start // per
+        base = stripe * self.layout.rows * self.layout.cols
+        view = self._flat_backing[base:base + per]
+        view.flags.writeable = False
+        for col, n in enumerate(self._full_stripe_col_counts):
+            if n:
+                self.disks[col].count_reads(int(n))
+        return view
+
+    def _bulk_read(self, start: int, count: int, out: np.ndarray) -> None:
+        """Healthy-array read as one vectorised gather per disk."""
+        rows, cols = self.layout.rows, self.layout.cols
+        per = self.layout.num_data_cells
+        logical = np.arange(start, start + count)
+        stripes, j = np.divmod(logical, per)
+        c = self._data_cols[j]
+        disks = (c + stripes) % cols if self.mapper.rotate else c
+        offsets = stripes * rows + self._data_rows[j]
+        for d in range(cols):
+            mask = disks == d
+            if mask.any():
+                out[mask] = self.disks[d].read_block(offsets[mask])
 
     def _degraded_read_via_plan(
         self, stripe, items, out, stale: Tuple[int, ...]
@@ -431,7 +681,14 @@ class RAID6Volume:
     # -- writes ----------------------------------------------------------------
 
     def write(self, start: int, data: np.ndarray) -> None:
-        """Write ``data`` (``(count, element_size)`` uint8) at ``start``."""
+        """Write ``data`` (``(count, element_size)`` uint8) at ``start``.
+
+        Fully covered stripes go through the batched codec as one encode
+        tensor and one scatter per disk (when the fault surface is quiet);
+        head/tail partial stripes take the per-stripe controller paths
+        (RMW parity patch, reconstruct-write), fanned out over the stripe
+        pipeline when ``REPRO_WORKERS`` enables it.
+        """
         if data.ndim != 2 or data.shape[1] != self.element_size \
                 or data.dtype != np.uint8:
             raise AddressError(
@@ -444,16 +701,26 @@ class RAID6Volume:
                 f"write [{start}, {start + count}) outside volume of "
                 f"{self.num_elements} elements"
             )
-        by_stripe: Dict[int, List[Tuple[Cell, np.ndarray]]] = {}
-        for k in range(count):
-            loc = self.mapper.locate(start + k)
-            by_stripe.setdefault(loc.stripe, []).append((loc.cell, data[k]))
+        per = self.layout.num_data_cells
+        full0 = -(-start // per)          # first fully covered stripe
+        full1 = (start + count) // per    # one past the last full stripe
+        if full1 - full0 >= 2 and self._batch_write_ok():
+            # tensor fast path: the contiguous run of full stripes
+            # encodes as one batch and stores as one scatter per disk
+            k0 = full0 * per - start
+            k1 = k0 + (full1 - full0) * per
+            self._write_full_stripes_tensor(full0, full1, data[k0:k1])
+            rest = self._group_by_stripe(start, data, range(0, k0))
+            rest += self._group_by_stripe(start, data, range(k1, count))
+            self._write_rest(rest)
+            return
+        by_stripe = self._group_by_stripe(start, data, range(count))
         # Full-stripe writes share one encode plan — run them through the
         # batched codec in a single pass; everything else (RMW patches,
         # reconstruct-writes) keeps the per-stripe controller paths.
         full: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]] = []
         rest: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]] = []
-        for stripe, items in by_stripe.items():
+        for stripe, items in by_stripe:
             if len(items) == self.layout.num_data_cells:
                 full.append((stripe, items))
             else:
@@ -462,8 +729,46 @@ class RAID6Volume:
             self._full_stripe_write_batched(full)
         else:
             rest = full + rest
-        for stripe, items in rest:
-            self._write_stripe_batch(stripe, items)
+        self._write_rest(rest)
+
+    def _group_by_stripe(
+        self, start: int, data: np.ndarray, ks: Iterable[int]
+    ) -> List[Tuple[int, List[Tuple[Cell, np.ndarray]]]]:
+        """Group logical elements ``start + k`` for ``k`` in ``ks`` by stripe."""
+        by_stripe: Dict[int, List[Tuple[Cell, np.ndarray]]] = {}
+        for k in ks:
+            loc = self.mapper.locate(start + k)
+            by_stripe.setdefault(loc.stripe, []).append((loc.cell, data[k]))
+        return list(by_stripe.items())
+
+    def _write_rest(
+        self, entries: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]]
+    ) -> None:
+        """Run partial-stripe writes, concurrently when allowed."""
+        if len(entries) > 1 and self._parallel_ok():
+            self.pipeline.map(
+                lambda entry: self._write_stripe_batch(*entry), entries
+            )
+        else:
+            for stripe, items in entries:
+                self._write_stripe_batch(stripe, items)
+
+    def _write_full_stripes_tensor(
+        self, full0: int, full1: int, data: np.ndarray
+    ) -> None:
+        """Encode and store stripes ``[full0, full1)`` as one tensor pass.
+
+        ``data`` is the contiguous ``(B * num_data_cells, element_size)``
+        logical payload.  Only taken when :meth:`_batch_write_ok` holds.
+        """
+        batch = full1 - full0
+        per = self.layout.num_data_cells
+        buf = blank_batch(self.codec, batch)
+        buf[:, self._data_rows, self._data_cols, :] = data.reshape(
+            batch, per, self.element_size
+        )
+        encode_batch(self.codec, buf)
+        self._store_stripes_tensor(range(full0, full1), buf)
 
     def _stale_cols(self, stripe: int) -> Tuple[int, ...]:
         """Layout columns of ``stripe`` that must not be trusted/written."""
@@ -483,10 +788,51 @@ class RAID6Volume:
             for cell, value in items:
                 buf[i, cell.row, cell.col] = value
         encode_batch(self.codec, buf)
+        if self._batch_write_ok():
+            self._store_stripes_tensor([s for s, _ in entries], buf)
+            return
         for i, (stripe, _) in enumerate(entries):
             self._store_stripe(
                 stripe, buf[i], skip_cols=self._stale_cols(stripe)
             )
+
+    def _store_stripes_tensor(
+        self, stripes: Iterable[int], buf: np.ndarray
+    ) -> None:
+        """Store encoded stripe tensor ``buf`` with one scatter per disk.
+
+        Stripes are grouped by (stale columns, rotation shift) so each
+        group shares disk targets; within a group, each disk receives all
+        of its elements for all stripes in a single
+        :meth:`~repro.array.disk.SimDisk.write_block`.  Caller guarantees
+        :meth:`_batch_write_ok`.
+        """
+        rows, cols = self.layout.rows, self.layout.cols
+        groups: Dict[Tuple[Tuple[int, ...], int],
+                     List[Tuple[int, int]]] = {}
+        for i, stripe in enumerate(stripes):
+            shift = stripe % cols if self.mapper.rotate else 0
+            key = (self._stale_cols(stripe), shift)
+            groups.setdefault(key, []).append((i, stripe))
+        for (skip_cols, shift), pairs in groups.items():
+            skip = set(skip_cols)
+            iarr = np.array([i for i, _ in pairs], dtype=np.intp)
+            sarr = np.array([s for _, s in pairs], dtype=np.intp)
+            for col in range(cols):
+                if col in skip:
+                    continue
+                col_rows = self._col_rows[col]
+                disk = self.disks[(col + shift) % cols]
+                offsets = (
+                    sarr[:, None] * rows + col_rows[None, :]
+                ).ravel()
+                values = buf[iarr[:, None], col_rows[None, :], col, :]
+                disk.write_block(
+                    offsets,
+                    np.ascontiguousarray(
+                        values.reshape(-1, self.element_size)
+                    ),
+                )
 
     def _write_stripe_batch(
         self, stripe: int, items: List[Tuple[Cell, np.ndarray]]
@@ -578,18 +924,20 @@ class RAID6Volume:
                 self._note_error(disk_id, "transient")
                 if attempt == attempts - 1:
                     raise
-                self.error_counters.backoff_ms += (
-                    self.policy.backoff_ms * (2 ** attempt)
-                )
+                with self._policy_lock:
+                    self.error_counters.backoff_ms += (
+                        self.policy.backoff_ms * (2 ** attempt)
+                    )
             except LatentSectorError:
                 self._note_error(disk_id, "latent")
                 raise
             else:
                 if attempt:
-                    self.heal_log.append(
-                        HealEvent("retry_ok", disk_id, offset=offset,
-                                  detail=f"read after {attempt} retries")
-                    )
+                    with self._policy_lock:
+                        self.heal_log.append(
+                            HealEvent("retry_ok", disk_id, offset=offset,
+                                      detail=f"read after {attempt} retries")
+                        )
                 return value
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -610,38 +958,46 @@ class RAID6Volume:
                 self._note_error(disk_id, "transient")
                 if attempt == attempts - 1:
                     raise
-                self.error_counters.backoff_ms += (
-                    self.policy.backoff_ms * (2 ** attempt)
-                )
+                with self._policy_lock:
+                    self.error_counters.backoff_ms += (
+                        self.policy.backoff_ms * (2 ** attempt)
+                    )
             except DiskFailedError:
-                self.heal_log.append(
-                    HealEvent("dropped_write", disk_id, offset=offset)
-                )
+                with self._policy_lock:
+                    self.heal_log.append(
+                        HealEvent("dropped_write", disk_id, offset=offset)
+                    )
                 return
             else:
                 if attempt:
-                    self.heal_log.append(
-                        HealEvent("retry_ok", disk_id, offset=offset,
-                                  detail=f"write after {attempt} retries")
-                    )
+                    with self._policy_lock:
+                        self.heal_log.append(
+                            HealEvent("retry_ok", disk_id, offset=offset,
+                                      detail=f"write after {attempt} retries")
+                        )
                 return
 
     def _note_error(self, disk_id: int, kind: str) -> None:
-        """Count an error; escalate a flaky disk to FAILED past threshold."""
-        counters = self.error_counters
-        counters.note(disk_id, kind)
-        if (
-            counters.total(disk_id) >= self.policy.escalate_after
-            and disk_id not in counters.escalated
-            and not self.disks[disk_id].failed
-            and len(set(self._vulnerable_disks()) - {disk_id}) < 2
-        ):
-            counters.escalated.append(disk_id)
-            self.heal_log.append(
-                HealEvent("escalate", disk_id,
-                          detail=f"{counters.total(disk_id)} errors")
-            )
-            self.fail_disk(disk_id)
+        """Count an error; escalate a flaky disk to FAILED past threshold.
+
+        Serialised by ``_policy_lock`` so pipeline worker threads never
+        race the shared counters, heal log, or escalation decision.
+        """
+        with self._policy_lock:
+            counters = self.error_counters
+            counters.note(disk_id, kind)
+            if (
+                counters.total(disk_id) >= self.policy.escalate_after
+                and disk_id not in counters.escalated
+                and not self.disks[disk_id].failed
+                and len(set(self._vulnerable_disks()) - {disk_id}) < 2
+            ):
+                counters.escalated.append(disk_id)
+                self.heal_log.append(
+                    HealEvent("escalate", disk_id,
+                              detail=f"{counters.total(disk_id)} errors")
+                )
+                self.fail_disk(disk_id)
 
     def _heal_cells(
         self, stripe: int, cells: Sequence[Cell], buf: np.ndarray

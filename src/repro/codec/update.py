@@ -24,6 +24,10 @@ from repro.codec.plan import flat_stripe_view
 from repro.exceptions import GeometryError
 from repro.util.xor import xor_into
 
+#: Update footprints at or below this many rows XOR in place row-by-row
+#: instead of through a fancy-index scatter (see apply_update).
+_SMALL_FOOTPRINT = 16
+
 
 def apply_update(
     codec: StripeCodec,
@@ -58,7 +62,14 @@ def apply_update(
         indices, touched = codec.plans.update_plan(cell)
         flat = flat_stripe_view(stripe, layout.rows * layout.cols)
         if flat is not None:
-            flat[indices] = flat[indices] ^ delta
+            if len(indices) <= _SMALL_FOOTPRINT:
+                # typical RMW footprint (cell + 2-3 parities): in-place
+                # per-row XOR beats the fancy-index scatter, which has to
+                # materialise gather and XOR temporaries
+                for i in indices:
+                    np.bitwise_xor(flat[i], delta, out=flat[i])
+            else:
+                flat[indices] = flat[indices] ^ delta
             return touched
         # non-viewable stripe: fall through to the per-cell walk below
 

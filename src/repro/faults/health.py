@@ -115,6 +115,17 @@ class RebuildCursor:
                 other = [
                     f for f in volume.failed_disks if f != self.disk
                 ]
+                # tensor fast path: rebuild the whole remaining batch in
+                # one pass (engages only on a quiet fault surface — see
+                # docs/performance.md); returns 0 to fall back to the
+                # per-stripe walk below
+                rebuilt = volume._rebuild_stripes_batch(
+                    self.pos, end, self.disk,
+                    other[0] if other else None,
+                )
+                if rebuilt:
+                    self.pos += rebuilt
+                    continue
                 if other:
                     volume._rebuild_stripe_double(
                         self.pos, self.disk, other[0]

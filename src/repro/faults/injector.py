@@ -42,6 +42,7 @@ entire schedule.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -144,6 +145,12 @@ class FaultInjector:
         self._slow: Dict[int, float] = {}
         self._delay_ms: Dict[int, float] = {}
         self._volume = None
+        # The volume's batch/parallel fast paths all disable themselves
+        # while a hook is attached, so injection normally runs serial;
+        # the lock just makes the shared mutable state (op counter, rng,
+        # pending schedule) safe if a hooked disk is ever driven from
+        # pipeline worker threads.
+        self._lock = threading.Lock()
 
     # -- wiring ------------------------------------------------------------
 
@@ -203,6 +210,10 @@ class FaultInjector:
     # -- the hook -------------------------------------------------------------
 
     def _hook(self, disk, op: str, offset: int) -> None:
+        with self._lock:
+            self._hook_locked(disk, op, offset)
+
+    def _hook_locked(self, disk, op: str, offset: int) -> None:
         idx = self.ops
         self.ops += 1
 

@@ -25,7 +25,7 @@ milliseconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -140,6 +140,27 @@ class AccessEngine:
         self._family_rank = {f: i for i, f in enumerate(layout.families())}
         #: cached double-failure chain plans, keyed by layout column pair
         self._double_plans: Dict[Tuple[int, int], object] = {}
+        # -- vectorised-accounting caches (docs/performance.md) -----------
+        # Plans and per-column access counts depend only on the failure
+        # pattern and the wanted cells — never on the stripe id itself —
+        # so they compute once per distinct request shape and replay as
+        # O(cols) numpy adds per stripe.
+        self._plan_cache: Dict[object, "StripeReadPlan"] = {}
+        self._fetch_count_cache: Dict[object, np.ndarray] = {}
+        self._write_count_cache: Dict[
+            object, Tuple[np.ndarray, np.ndarray]
+        ] = {}
+        #: per-column data-cell counts of logical prefix ``data_cells[:j]``
+        #: (row ``j``), used to price healthy reads without touching cells
+        per = layout.num_data_cells
+        onehot = np.zeros((per, layout.cols), dtype=np.int64)
+        onehot[np.arange(per),
+               [c.col for c in layout.data_cells]] = 1
+        self._data_col_prefix = np.vstack(
+            [np.zeros((1, layout.cols), dtype=np.int64),
+             np.cumsum(onehot, axis=0)]
+        )
+        self._data_cells_list = list(layout.data_cells)
 
     # -- addressing -----------------------------------------------------------
 
@@ -181,25 +202,111 @@ class AccessEngine:
     def _range_by_stripe(
         self, start: int, length: int
     ) -> List[Tuple[int, List[Cell]]]:
-        """Split a logical range into per-stripe cell lists, in order."""
+        """Split a logical range into per-stripe cell lists, in order.
+
+        Segment arithmetic (stripe-at-a-time slices of the logical cell
+        order) rather than a per-element walk; adjacent entries landing in
+        the same stripe merge, exactly as the historical element loop did.
+        """
         out: List[Tuple[int, List[Cell]]] = []
-        for logical in range(start, start + length):
-            stripe, cell = self.locate(logical)
+        per = self.layout.num_data_cells
+        space = self.address_space
+        pos = start % space
+        remaining = length
+        while remaining > 0:
+            stripe, j = divmod(pos, per)
+            take = min(per - j, remaining)
+            cells = self._data_cells_list[j:j + take]
             if out and out[-1][0] == stripe:
-                out[-1][1].append(cell)
+                out[-1][1].extend(cells)
             else:
-                out.append((stripe, [cell]))
+                out.append((stripe, list(cells)))
+            pos = (pos + take) % space
+            remaining -= take
         return out
+
+    def _accumulate(
+        self, acc: np.ndarray, counts: np.ndarray, stripe: int
+    ) -> None:
+        """Add per-column ``counts`` of ``stripe`` into per-disk ``acc``."""
+        if self.rotate:
+            acc += np.roll(counts, stripe % self.layout.cols)
+        else:
+            acc += counts
 
     # -- reads ------------------------------------------------------------------
 
     def read_accesses(self, start: int, length: int) -> DiskLoads:
         """Per-disk accesses of one execution of a read ``<S, L, 1>``."""
         loads = DiskLoads.zeros(self.layout.cols)
-        for stripe, fetched in self.read_fetch_sets(start, length):
-            for cell in fetched:
-                loads.reads[self.physical_disk(stripe, cell.col)] += 1
+        if not self.failed_disks and not (
+            # wrap-around onto a single stripe dedups fetched cells —
+            # only the plan-set walk reproduces that
+            self.num_stripes == 1 and length > self.layout.num_data_cells
+        ):
+            self._healthy_read_counts(start, length, loads.reads)
+            return loads
+        for stripe, wanted in self._range_by_stripe(start, length):
+            self._accumulate(
+                loads.reads, self._fetch_counts(stripe, wanted), stripe
+            )
         return loads
+
+    def _healthy_read_counts(
+        self, start: int, length: int, reads: np.ndarray
+    ) -> None:
+        """Healthy-array read accounting without touching a single cell.
+
+        The addressed cells of a stripe segment are a contiguous slice of
+        the logical cell order, so their per-column counts come straight
+        from the prefix table; full stripes in the middle of the range
+        collapse to one multiply (plus, under rotation, a
+        shift-multiplicity product).
+        """
+        per = self.layout.num_data_cells
+        cols = self.layout.cols
+        space = self.address_space
+        prefix = self._data_col_prefix
+        pos = start % space
+        remaining = length
+        # head: the partial tail of the first stripe
+        j = pos % per
+        if j:
+            take = min(per - j, remaining)
+            self._accumulate(reads, prefix[j + take] - prefix[j], pos // per)
+            pos = (pos + take) % space
+            remaining -= take
+        # middle: whole stripes
+        n_full, tail = divmod(remaining, per)
+        if n_full:
+            full = prefix[per]
+            if self.rotate:
+                stripes = (
+                    pos // per + np.arange(n_full)
+                ) % self.num_stripes
+                mult = np.bincount(stripes % cols, minlength=cols)
+                rolled = np.stack(
+                    [np.roll(full, s) for s in range(cols)]
+                )
+                reads += mult @ rolled
+            else:
+                reads += full * n_full
+            pos = (pos + n_full * per) % space
+        # tail: the leading slice of the last stripe
+        if tail:
+            self._accumulate(reads, prefix[tail], pos // per)
+
+    def _fetch_counts(self, stripe: int, wanted: List[Cell]) -> np.ndarray:
+        """Per-column fetch counts of one stripe's (degraded) read plan."""
+        key = (self.failed_columns(stripe), tuple(wanted))
+        counts = self._fetch_count_cache.get(key)
+        if counts is None:
+            plan = self._plan_stripe_read(stripe, wanted)
+            counts = np.bincount(
+                [c.col for c in plan.fetch], minlength=self.layout.cols
+            )
+            self._fetch_count_cache[key] = counts
+        return counts
 
     def read_fetch_sets(
         self, start: int, length: int
@@ -235,6 +342,21 @@ class AccessEngine:
         return set(self._plan_stripe_read(stripe, wanted).fetch)
 
     def _plan_stripe_read(
+        self, stripe: int, wanted: Sequence[Cell]
+    ) -> "StripeReadPlan":
+        """Cached plan lookup: a plan depends only on the stripe's failure
+        pattern and the wanted cells, so distinct request shapes compute
+        once and replay with the stripe id patched in."""
+        key = (self.failed_columns(stripe), tuple(wanted))
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._build_stripe_read_plan(stripe, wanted)
+            self._plan_cache[key] = plan
+        if plan.stripe != stripe:
+            plan = replace(plan, stripe=stripe)
+        return plan
+
+    def _build_stripe_read_plan(
         self, stripe: int, wanted: Sequence[Cell]
     ) -> "StripeReadPlan":
         cols = self.failed_columns(stripe)
@@ -328,12 +450,35 @@ class AccessEngine:
     def write_accesses(self, start: int, length: int) -> DiskLoads:
         """Per-disk accesses of one execution of a write ``<S, L, 1>``."""
         loads = DiskLoads.zeros(self.layout.cols)
-        for stripe, reads, writes in self.write_io_sets(start, length):
-            for cell in reads:
-                loads.reads[self.physical_disk(stripe, cell.col)] += 1
-            for cell in writes:
-                loads.writes[self.physical_disk(stripe, cell.col)] += 1
+        for stripe, targets in self._range_by_stripe(start, length):
+            read_counts, write_counts = self._write_counts(targets)
+            lost = self.failed_columns(stripe)
+            if lost:
+                # cells on failed disks are dropped from both sets, which
+                # in per-column counts is just zeroing those columns
+                read_counts = read_counts.copy()
+                write_counts = write_counts.copy()
+                read_counts[list(lost)] = 0
+                write_counts[list(lost)] = 0
+            self._accumulate(loads.reads, read_counts, stripe)
+            self._accumulate(loads.writes, write_counts, stripe)
         return loads
+
+    def _write_counts(
+        self, targets: List[Cell]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-column (read, write) counts of one stripe's partial write."""
+        key = (self.write_policy, tuple(targets))
+        counts = self._write_count_cache.get(key)
+        if counts is None:
+            reads, writes = self._stripe_write_sets(set(targets))
+            cols = self.layout.cols
+            counts = (
+                np.bincount([c.col for c in reads], minlength=cols),
+                np.bincount([c.col for c in writes], minlength=cols),
+            )
+            self._write_count_cache[key] = counts
+        return counts
 
     def write_io_sets(
         self, start: int, length: int

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.util.validation import require, require_positive
 
 
@@ -81,15 +83,14 @@ def disk_service_time_ms(
     the fault injector exports exactly this figure per disk
     (:meth:`repro.faults.FaultInjector.slow_penalties`).
     """
-    if len(offsets) == 0:
+    offs = np.asarray(offsets, dtype=np.int64)
+    if offs.size == 0:
         return 0.0
-    distinct = sorted(set(offsets))
-    gaps = sum(
-        1 for prev, cur in zip(distinct, distinct[1:]) if cur != prev + 1
-    )
+    distinct = np.unique(offs)
+    gaps = int(np.count_nonzero(np.diff(distinct) != 1))
     return (
         params.positioning_ms
         + gaps * params.gap_ms
-        + len(distinct) * (params.element_transfer_ms
-                           + extra_ms_per_element)
+        + int(distinct.size) * (params.element_transfer_ms
+                                + extra_ms_per_element)
     )

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+import numpy as np
+
 from repro.codes.base import CodeLayout
 from repro.perf.diskmodel import DiskParameters, SAVVIO_10K3, disk_service_time_ms
 from repro.recovery.planner import RecoveryPlan, conventional_plan, hybrid_plan
@@ -43,20 +45,20 @@ def _estimate(
     num_stripes: int,
     params: DiskParameters,
 ) -> RebuildEstimate:
-    per_disk: Dict[int, List[int]] = {}
-    for stripe in range(num_stripes):
-        base = stripe * layout.rows
-        for cell in plan.reads:
-            per_disk.setdefault(cell.col, []).append(base + cell.row)
+    bases = np.arange(num_stripes, dtype=np.int64) * layout.rows
+    per_disk: Dict[int, List[np.ndarray]] = {}
+    for cell in plan.reads:
+        per_disk.setdefault(cell.col, []).append(bases + cell.row)
     read_window = max(
-        (disk_service_time_ms(offs, params) for offs in per_disk.values()),
+        (disk_service_time_ms(np.concatenate(chunks), params)
+         for chunks in per_disk.values()),
         default=0.0,
     )
-    spare_offsets = [
-        stripe * layout.rows + cell.row
-        for stripe in range(num_stripes)
-        for cell in layout.cells_in_column(plan.failed_col)
-    ]
+    spare_rows = np.array(
+        [cell.row for cell in layout.cells_in_column(plan.failed_col)],
+        dtype=np.int64,
+    )
+    spare_offsets = (bases[:, None] + spare_rows[None, :]).ravel()
     write_window = disk_service_time_ms(spare_offsets, params)
     return RebuildEstimate(
         code=layout.name,

@@ -1,0 +1,139 @@
+"""StripeCache batch destaging: ordering, eviction, byte-exactness."""
+
+import numpy as np
+import pytest
+
+from repro.array.cache import StripeCache
+from repro.array.volume import RAID6Volume
+from repro.codes.registry import available_codes, make_code
+
+from tests.conftest import SMALL_PRIMES
+
+
+def _pair(code="dcode", p=5, element_size=32, **kw):
+    volume = RAID6Volume(make_code(code, p), num_stripes=16,
+                         element_size=element_size)
+    return volume, StripeCache(volume, **kw)
+
+
+class TestBatchFlush:
+    def test_flush_destages_every_dirty_stripe(self):
+        volume, cache = _pair()
+        per = volume.layout.num_data_cells
+        data = np.random.default_rng(0).integers(
+            0, 256, (5 * per, 32), dtype=np.uint8
+        )
+        cache.write(0, data)  # five full stripes -> the tensor destage
+        assert cache.flush() == 5
+        assert cache.dirty_stripes == ()
+        assert cache.destage_count == 5
+        assert np.array_equal(volume.read(0, 5 * per), data)
+
+    def test_flush_mixes_full_and_partial_stripes(self):
+        volume, cache = _pair()
+        per = volume.layout.num_data_cells
+        rng = np.random.default_rng(1)
+        full = rng.integers(0, 256, (3 * per, 32), dtype=np.uint8)
+        partial = rng.integers(0, 256, (3, 32), dtype=np.uint8)
+        cache.write(0, full)
+        cache.write(5 * per + 1, partial)  # RMW destage path
+        assert cache.flush() == 4
+        assert np.array_equal(volume.read(0, 3 * per), full)
+        assert np.array_equal(volume.read(5 * per + 1, 3), partial)
+
+    def test_flush_preserves_write_order_per_stripe(self):
+        """Later buffered writes to the same cell win at destage time."""
+        volume, cache = _pair()
+        per = volume.layout.num_data_cells
+        cache.write(0, np.full((2 * per, 32), 1, dtype=np.uint8))
+        cache.write(0, np.full((1, 32), 9, dtype=np.uint8))
+        cache.flush()
+        out = volume.read(0, 1)
+        assert int(out[0, 0]) == 9
+
+    def test_parity_consistent_after_batch_flush(self):
+        volume, cache = _pair()
+        per = volume.layout.num_data_cells
+        cache.write(0, np.random.default_rng(2).integers(
+            0, 256, (6 * per, 32), dtype=np.uint8
+        ))
+        cache.flush()
+        assert volume.scrub() == []
+
+
+class TestEvictionUnderBatchGrouping:
+    def test_single_overflow_destages_one_stripe(self):
+        volume, cache = _pair(max_dirty_stripes=2)
+        per = volume.layout.num_data_cells
+        for stripe in range(3):
+            cache.write(stripe * per, np.full((1, 32), stripe,
+                                              dtype=np.uint8))
+        # LRU (stripe 0) was evicted as a batch of one
+        assert cache.destage_count == 1
+        assert cache.dirty_stripes == (1, 2)
+        assert int(volume.read(0, 1)[0, 0]) == 0
+
+    def test_bulk_overflow_evicts_lru_prefix_in_one_batch(self):
+        volume, cache = _pair(max_dirty_stripes=2)
+        per = volume.layout.num_data_cells
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, (6 * per, 32), dtype=np.uint8)
+        cache.write(0, data)  # six stripes dirty at once, budget 2
+        assert cache.destage_count == 4
+        assert cache.dirty_stripes == (4, 5)
+        assert np.array_equal(volume.read(0, 4 * per), data[: 4 * per])
+
+    def test_touch_refreshes_lru_position(self):
+        volume, cache = _pair(max_dirty_stripes=2)
+        per = volume.layout.num_data_cells
+        cache.write(0, np.full((1, 32), 1, dtype=np.uint8))
+        cache.write(per, np.full((1, 32), 2, dtype=np.uint8))
+        cache.write(1, np.full((1, 32), 3, dtype=np.uint8))  # touch stripe 0
+        cache.write(2 * per, np.full((1, 32), 4, dtype=np.uint8))
+        # stripe 1 (the true LRU) was the eviction victim, not stripe 0
+        assert cache.dirty_stripes == (0, 2)
+
+    def test_read_your_writes_survives_batching(self):
+        volume, cache = _pair(max_dirty_stripes=4)
+        per = volume.layout.num_data_cells
+        data = np.random.default_rng(4).integers(
+            0, 256, (2 * per, 32), dtype=np.uint8
+        )
+        cache.write(0, data)
+        assert np.array_equal(cache.read(0, 2 * per), data)
+
+    def test_read_overlay_never_mutates_a_volume_view(self):
+        """A dirty overlay over a zero-copy volume read must copy first."""
+        volume, cache = _pair()
+        per = volume.layout.num_data_cells
+        volume.write(0, np.zeros((per, 32), dtype=np.uint8))
+        cache.write(0, np.full((1, 32), 5, dtype=np.uint8))
+        out = cache.read(0, per)
+        assert int(out[0, 0]) == 5
+        # the backing store still holds the destaged (old) value
+        assert int(volume.read(0, 1)[0, 0]) == 0
+
+
+class TestBatchedVsPerStripeEquivalence:
+    @pytest.mark.parametrize("code_name", sorted(available_codes()))
+    @pytest.mark.parametrize("p", SMALL_PRIMES)
+    def test_destage_byte_exact(self, code_name, p):
+        """Batched destage lands exactly the bytes per-stripe destage does,
+        for every registry code at p in {5, 7} (ISSUE satellite)."""
+        layout = make_code(code_name, p)
+        rng = np.random.default_rng(sum(map(ord, code_name)) * 100 + p)
+        per = layout.num_data_cells
+        data = rng.integers(0, 256, (7 * per + 5, 32), dtype=np.uint8)
+
+        batched_vol, batched = _pair(code=code_name, p=p)
+        batched.write(per // 2, data)
+        batched.flush()
+
+        serial_vol, serial = _pair(code=code_name, p=p)
+        serial.write(per // 2, data)
+        for stripe in list(serial._dirty):
+            serial._destage(stripe)  # the historical one-at-a-time path
+
+        assert batched.destage_count == serial.destage_count
+        for db, ds in zip(batched_vol.disks, serial_vol.disks):
+            assert np.array_equal(db._store, ds._store)

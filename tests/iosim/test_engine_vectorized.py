@@ -1,0 +1,136 @@
+"""Vectorized access accounting must match the per-cell reference walk."""
+
+import numpy as np
+import pytest
+
+from repro.codes.registry import make_code
+from repro.iosim.engine import AccessEngine, DiskLoads
+
+from tests.conftest import ALL_ARRAY_CODES
+
+
+def _reference_read(engine: AccessEngine, start: int, length: int) -> DiskLoads:
+    """The historical per-cell accumulation over the plan sets."""
+    loads = DiskLoads.zeros(engine.layout.cols)
+    for stripe, fetched in engine.read_fetch_sets(start, length):
+        for cell in fetched:
+            loads.reads[engine.physical_disk(stripe, cell.col)] += 1
+    return loads
+
+
+def _reference_write(engine: AccessEngine, start: int, length: int) -> DiskLoads:
+    loads = DiskLoads.zeros(engine.layout.cols)
+    for stripe, reads, writes in engine.write_io_sets(start, length):
+        for cell in reads:
+            loads.reads[engine.physical_disk(stripe, cell.col)] += 1
+        for cell in writes:
+            loads.writes[engine.physical_disk(stripe, cell.col)] += 1
+    return loads
+
+
+def _reference_range(engine: AccessEngine, start: int, length: int):
+    """The historical element-at-a-time range splitter."""
+    out = []
+    for logical in range(start, start + length):
+        stripe, cell = engine.locate(logical)
+        if out and out[-1][0] == stripe:
+            out[-1][1].append(cell)
+        else:
+            out.append((stripe, [cell]))
+    return out
+
+
+def _engines(layout):
+    cols = layout.cols
+    yield AccessEngine(layout, num_stripes=8)
+    yield AccessEngine(layout, num_stripes=8, rotate=True)
+    yield AccessEngine(layout, num_stripes=8, failed_disk=1)
+    yield AccessEngine(layout, num_stripes=8, failed_disk=cols - 1,
+                       rotate=True)
+    yield AccessEngine(layout, num_stripes=8, failed_disks=(0, 2))
+    yield AccessEngine(layout, num_stripes=8, failed_disks=(1, cols - 1),
+                       rotate=True)
+
+
+class TestRangeSplitter:
+    @pytest.mark.parametrize("code_name", ALL_ARRAY_CODES)
+    def test_matches_element_walk(self, code_name):
+        layout = make_code(code_name, 5)
+        engine = AccessEngine(layout, num_stripes=4)
+        per = layout.num_data_cells
+        space = engine.address_space
+        cases = [(0, 1), (0, per), (3, 2 * per), (per - 1, 2),
+                 (space - 3, 7), (space - 1, space + 5)]
+        for start, length in cases:
+            assert engine._range_by_stripe(start, length) == \
+                _reference_range(engine, start, length)
+
+    def test_single_stripe_wraparound_merges(self):
+        layout = make_code("dcode", 5)
+        engine = AccessEngine(layout, num_stripes=1)
+        per = layout.num_data_cells
+        assert engine._range_by_stripe(3, per + 5) == \
+            _reference_range(engine, 3, per + 5)
+
+
+class TestVectorizedCounts:
+    @pytest.mark.parametrize("code_name", ALL_ARRAY_CODES)
+    def test_read_counts_fuzz(self, code_name):
+        layout = make_code(code_name, 5)
+        rng = np.random.default_rng(sum(map(ord, code_name)))
+        for engine in _engines(layout):
+            space = engine.address_space
+            for _ in range(12):
+                start = int(rng.integers(0, space))
+                length = int(rng.integers(1, 3 * layout.num_data_cells))
+                got = engine.read_accesses(start, length)
+                want = _reference_read(engine, start, length)
+                assert np.array_equal(got.reads, want.reads), \
+                    f"{engine.failed_disks} rotate={engine.rotate} " \
+                    f"<{start},{length}>"
+                assert np.array_equal(got.writes, want.writes)
+
+    @pytest.mark.parametrize("code_name", ALL_ARRAY_CODES)
+    @pytest.mark.parametrize("policy", AccessEngine.WRITE_POLICIES)
+    def test_write_counts_fuzz(self, code_name, policy):
+        layout = make_code(code_name, 5)
+        rng = np.random.default_rng(sum(map(ord, code_name)) + 1)
+        for failed, rotate in (((), False), ((1,), False), ((0, 2), True)):
+            engine = AccessEngine(layout, num_stripes=8,
+                                  failed_disks=failed, rotate=rotate,
+                                  write_policy=policy)
+            space = engine.address_space
+            for _ in range(8):
+                start = int(rng.integers(0, space))
+                length = int(rng.integers(1, 3 * layout.num_data_cells))
+                got = engine.write_accesses(start, length)
+                want = _reference_write(engine, start, length)
+                assert np.array_equal(got.reads, want.reads)
+                assert np.array_equal(got.writes, want.writes)
+
+    def test_single_stripe_wrap_read_dedups(self):
+        """Reads that wrap onto one stripe count each cell once — the
+        historical set semantics the fast path must not break."""
+        layout = make_code("dcode", 5)
+        engine = AccessEngine(layout, num_stripes=1)
+        per = layout.num_data_cells
+        got = engine.read_accesses(0, per + 7)
+        want = _reference_read(engine, 0, per + 7)
+        assert np.array_equal(got.reads, want.reads)
+
+    def test_healthy_long_range_rotation(self):
+        layout = make_code("xcode", 7)
+        engine = AccessEngine(layout, num_stripes=8, rotate=True)
+        got = engine.read_accesses(5, 6 * layout.num_data_cells + 11)
+        want = _reference_read(engine, 5, 6 * layout.num_data_cells + 11)
+        assert np.array_equal(got.reads, want.reads)
+
+    def test_plan_cache_patches_stripe_id(self):
+        layout = make_code("dcode", 5)
+        engine = AccessEngine(layout, num_stripes=8, failed_disk=2)
+        wanted = list(layout.data_cells[:4])
+        first = engine._plan_stripe_read(1, wanted)
+        second = engine._plan_stripe_read(5, wanted)
+        assert first.stripe == 1 and second.stripe == 5
+        assert first.fetch == second.fetch
+        assert first.recipe == second.recipe
