@@ -35,6 +35,7 @@ from repro.codec.decoder import ChainDecoder  # noqa: E402
 from repro.codec.encoder import StripeCodec  # noqa: E402
 from repro.codec.update import apply_update  # noqa: E402
 from repro.codes import make_code  # noqa: E402
+from repro.journal import WriteIntentLog  # noqa: E402
 from repro.util.ckernel import xor_kernel  # noqa: E402
 
 ELEMENT_SIZE = 4096
@@ -302,6 +303,74 @@ def bench_volume(rng):
     }
 
 
+def bench_journal(rng):
+    """Write-intent journal overhead: intent-on vs intent-off throughput.
+
+    Same volume geometry, same payloads, same timing method; the only
+    difference is an attached :class:`WriteIntentLog` (no phase hook, so
+    the tensor fast paths stay on — the production configuration).  The
+    full-stripe numbers bound the cost of the hot batched path, where
+    intents are digest-free buffer views; the RMW numbers include the
+    old-parity digest each partial-write intent snapshots.
+    """
+    layout = make_code(VOLUME_CODE, VOLUME_P)
+    per = layout.num_data_cells
+    batch = 32
+    data = rng.integers(
+        0, 256, (batch * per, ELEMENT_SIZE), dtype=np.uint8
+    )
+    plain = RAID6Volume(layout, num_stripes=128,
+                        element_size=ELEMENT_SIZE)
+    journaled = RAID6Volume(layout, num_stripes=128,
+                            element_size=ELEMENT_SIZE,
+                            journal=WriteIntentLog())
+
+    t_off = best_seconds(lambda: plain.write(0, data), inner=3, reps=5)
+    t_on = best_seconds(lambda: journaled.write(0, data), inner=3, reps=5)
+    full_stripe = {
+        "off_mb_s": round(mb_per_s(data.nbytes, t_off), 1),
+        "on_mb_s": round(mb_per_s(data.nbytes, t_on), 1),
+        "overhead_pct": round((t_on - t_off) / t_off * 100, 1),
+    }
+
+    # alternate payloads so every call carries a real parity delta (the
+    # same value twice would hit the zero-delta early return and measure
+    # only the journal's fixed cost against a no-op)
+    rmw_stripes = 32
+    rmw_a = rng.integers(
+        0, 256, (rmw_stripes, ELEMENT_SIZE), dtype=np.uint8
+    )
+    rmw_b = np.bitwise_xor(
+        rmw_a, rng.integers(1, 256, ELEMENT_SIZE, dtype=np.uint8)
+    )
+    toggles = {id(plain): 0, id(journaled): 0}
+
+    def rmw(vol):
+        toggles[id(vol)] ^= 1
+        data = rmw_b if toggles[id(vol)] else rmw_a
+        for s in range(rmw_stripes):
+            vol._write_stripe_batch(
+                s, [(layout.data_cells[0], data[s])]
+            )
+
+    t_rmw_off = best_seconds(lambda: rmw(plain), inner=3, reps=5)
+    t_rmw_on = best_seconds(lambda: rmw(journaled), inner=3, reps=5)
+    rmw_numbers = {
+        "off_mb_s": round(mb_per_s(rmw_a.nbytes, t_rmw_off), 1),
+        "on_mb_s": round(mb_per_s(rmw_a.nbytes, t_rmw_on), 1),
+        "overhead_pct": round(
+            (t_rmw_on - t_rmw_off) / t_rmw_off * 100, 1
+        ),
+    }
+    return {
+        "code": VOLUME_CODE,
+        "p": VOLUME_P,
+        "batch": batch,
+        "full_stripe": full_stripe,
+        "rmw": rmw_numbers,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -311,9 +380,32 @@ def main(argv=None):
             / "BENCH_codec.json"
         ),
     )
+    parser.add_argument(
+        "--only", choices=("journal",), default=None,
+        help="re-run just one section and merge it into the existing "
+             "report instead of re-benchmarking everything",
+    )
     args = parser.parse_args(argv)
 
     rng = np.random.default_rng(20150527)
+
+    if args.only == "journal":
+        out = pathlib.Path(args.out)
+        report = json.loads(out.read_text()) if out.exists() else {}
+        print("benchmarking journal overhead ...", flush=True)
+        journal = bench_journal(rng)
+        report["journal"] = journal
+        report.setdefault("acceptance", {})[
+            "journal_full_stripe_overhead_pct"
+        ] = journal["full_stripe"]["overhead_pct"]
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+        print(
+            "journal overhead: full-stripe "
+            f"{journal['full_stripe']['overhead_pct']}%, "
+            f"rmw {journal['rmw']['overhead_pct']}%"
+        )
+        return 0
     results = {}
     for name in CODES:
         results[name] = {}
@@ -323,6 +415,8 @@ def main(argv=None):
 
     print("benchmarking volume layer ...", flush=True)
     volume = bench_volume(rng)
+    print("benchmarking journal overhead ...", flush=True)
+    journal = bench_journal(rng)
 
     dcode_p7 = results["dcode"]["p7"]["encode"]
     update_speedups = {
@@ -342,7 +436,11 @@ def main(argv=None):
         },
         "results": results,
         "volume": volume,
+        "journal": journal,
         "acceptance": {
+            "journal_full_stripe_overhead_pct": journal["full_stripe"][
+                "overhead_pct"
+            ],
             "dcode_p7_encode_speedup_vs_naive": dcode_p7[
                 "speedup_compiled_vs_naive"
             ],
@@ -371,6 +469,11 @@ def main(argv=None):
         f"{report['acceptance']['volume_write_batched_vs_serial']}, "
         "min update speedup: "
         f"{report['acceptance']['update_compiled_vs_naive_min']}"
+    )
+    print(
+        "journal overhead: full-stripe "
+        f"{journal['full_stripe']['overhead_pct']}%, "
+        f"rmw {journal['rmw']['overhead_pct']}%"
     )
     return 0
 

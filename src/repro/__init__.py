@@ -51,9 +51,11 @@ from repro.exceptions import (
     DecodeError,
     FaultToleranceExceeded,
     InconsistentStripeError,
+    JournalReplayError,
     LatentSectorError,
     ReproError,
     SimulatedCrashError,
+    TornWriteError,
     TransientIOError,
     UnrecoverableStripeError,
 )
@@ -64,6 +66,11 @@ from repro.faults import (
     FaultSpec,
     HealthState,
     RebuildCursor,
+)
+from repro.journal import (
+    CrashRecovery,
+    WriteIntentLog,
+    recover_on_mount,
 )
 from repro.iosim import (
     AccessEngine,
@@ -96,6 +103,7 @@ __all__ = [
     "Cell",
     "ChainDecoder",
     "CodeLayout",
+    "CrashRecovery",
     "DCode",
     "DecodeError",
     "DiskParameters",
@@ -111,12 +119,14 @@ __all__ = [
     "HDPCode",
     "HealthState",
     "InconsistentStripeError",
+    "JournalReplayError",
     "LatentSectorError",
     "LiberationCode",
     "LocalReconstructionCode",
     "Operation",
     "RebuildCursor",
     "SimulatedCrashError",
+    "TornWriteError",
     "TransientIOError",
     "UnrecoverableStripeError",
     "PCode",
@@ -129,6 +139,7 @@ __all__ = [
     "SimDisk",
     "StripeCodec",
     "WeaverCode",
+    "WriteIntentLog",
     "Workload",
     "WriteOp",
     "XCode",
@@ -145,6 +156,7 @@ __all__ = [
     "normal_read_experiment",
     "read_intensive_workload",
     "read_only_workload",
+    "recover_on_mount",
     "run_workload",
     "shorten",
     "__version__",

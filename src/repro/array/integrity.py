@@ -19,7 +19,7 @@ the ordinary decoder repairs it.  This module provides that layer for
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -61,14 +61,35 @@ class ChecksumStore:
 
 
 class IntegrityChecker:
-    """Attach checksumming to a volume and scrub with error *location*."""
+    """Attach checksumming to a volume and scrub with error *location*.
 
-    def __init__(self, volume: RAID6Volume) -> None:
+    Wraps *both* of the volume's write funnels — per-element
+    ``_write_cell`` and the tensor paths' block scatter
+    ``_disk_write_block`` — so batched bulk writes, cache destages and
+    rebuild sweeps keep the checksum map current exactly like the serial
+    path does.  Pass ``store=`` (e.g. the one
+    :func:`~repro.array.persistence.load_volume` hands back on a v2
+    archive) to resume an existing map instead of re-seeding from the
+    current disk contents.
+    """
+
+    def __init__(
+        self,
+        volume: RAID6Volume,
+        store: Optional[ChecksumStore] = None,
+    ) -> None:
         self.volume = volume
-        self.store = ChecksumStore(volume.element_size)
-        # route every future write through the recorder
+        # route every future write through the recorders
         self._inner_write = volume._write_cell
         volume._write_cell = self._recording_write  # type: ignore[assignment]
+        self._inner_write_block = volume._disk_write_block
+        volume._disk_write_block = (  # type: ignore[assignment]
+            self._recording_write_block
+        )
+        if store is not None:
+            self.store = store
+            return
+        self.store = ChecksumStore(volume.element_size)
         # seed checksums for current contents
         for stripe in range(volume.mapper.num_stripes):
             for col in range(volume.layout.cols):
@@ -86,6 +107,13 @@ class IntegrityChecker:
         self._inner_write(stripe, cell, value)
         loc = self.volume.mapper.locate_cell(stripe, cell)
         self.store.record(loc.disk, loc.offset, value)
+
+    def _recording_write_block(
+        self, disk_id: int, offsets: np.ndarray, data: np.ndarray
+    ) -> None:
+        self._inner_write_block(disk_id, offsets, data)
+        for offset, row in zip(np.asarray(offsets).tolist(), data):
+            self.store.record(disk_id, int(offset), row)
 
     # -- scrubbing -----------------------------------------------------------
 

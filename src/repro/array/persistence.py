@@ -6,31 +6,55 @@ maps, geometry — round-trips through one ``.npz`` archive.  Loading
 re-validates geometry against a freshly built layout, so an archive
 produced by a different code/prime/shape fails loudly instead of serving
 garbage.
+
+Format v2 additionally captures the crash-consistency state: the
+write-intent journal (open intents with their redo payloads and parity
+digests, plus the sequence counter) and an optional block-checksum map.
+A snapshot taken mid-campaign therefore remounts with recovery still
+pending, exactly like NVRAM surviving a power cycle.  v1 archives load
+with an explicit warning that no journal state exists.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.array.disk import DiskState
+from repro.array.integrity import ChecksumStore
 from repro.array.volume import RAID6Volume
+from repro.codes.base import Cell
 from repro.codes.registry import make_code
 from repro.exceptions import ReproError
+from repro.journal.intent import WriteIntent, WriteIntentLog
 
 #: Archive format version — bump on incompatible layout changes.
-FORMAT_VERSION = 1
+#: v2 adds journal + checksum state; v1 archives still load (read-only
+#: compatibility) with a "no journal" warning.
+FORMAT_VERSION = 2
 
 
 class PersistenceError(ReproError):
     """The archive is missing, malformed, or mismatches the geometry."""
 
 
-def save_volume(volume: RAID6Volume, path: Union[str, Path]) -> Path:
-    """Write the volume to ``path`` (``.npz``); returns the path."""
+def save_volume(
+    volume: RAID6Volume,
+    path: Union[str, Path],
+    checksums: Optional[ChecksumStore] = None,
+) -> Path:
+    """Write the volume to ``path`` (``.npz``); returns the path.
+
+    The volume's attached journal (if any) is persisted with it — open
+    intents, redo payloads, sequence counter — so recovery survives the
+    save/load cycle.  ``checksums`` optionally embeds an
+    :class:`~repro.array.integrity.ChecksumStore` snapshot; on load it
+    comes back as ``volume.restored_checksums``.
+    """
     path = Path(path)
     meta = {
         "format": FORMAT_VERSION,
@@ -47,12 +71,46 @@ def save_volume(volume: RAID6Volume, path: Union[str, Path]) -> Path:
     arrays = {
         f"disk_{d.disk_id}": d._store for d in volume.disks
     }
+    journal = volume.journal
+    if journal is not None:
+        open_intents = journal.open_intents()
+        meta["journal"] = {
+            "next_seq": journal.next_seq,
+            "open": [
+                {
+                    "seq": intent.seq,
+                    "stripe": intent.stripe,
+                    "cells": [[c.row, c.col] for c in intent.dirty_cells],
+                    "old_parity_digest": intent.old_parity_digest,
+                    "new_parity_digest": intent.new_parity_digest,
+                }
+                for intent in open_intents
+            ],
+        }
+        for intent in open_intents:
+            payload = intent.payload()
+            arrays[f"intent_{intent.seq}"] = np.stack(
+                [payload[cell] for cell in intent.dirty_cells]
+            )
+    if checksums is not None:
+        meta["checksums"] = [
+            [disk, offset, crc]
+            for (disk, offset), crc in sorted(checksums._sums.items())
+        ]
     np.savez_compressed(path, meta=json.dumps(meta), **arrays)
     return path
 
 
 def load_volume(path: Union[str, Path]) -> RAID6Volume:
-    """Rebuild a volume from an archive written by :func:`save_volume`."""
+    """Rebuild a volume from an archive written by :func:`save_volume`.
+
+    v2 archives come back with their :class:`WriteIntentLog` reattached
+    (``volume.journal``) and any embedded checksum map available as
+    ``volume.restored_checksums``; call
+    :func:`repro.journal.recover_on_mount` next, as a real mount would.
+    v1 archives carry no journal state — loading one warns explicitly
+    that crashed writes (if any) cannot be replayed.
+    """
     path = Path(path)
     if not path.exists():
         raise PersistenceError(f"no archive at {path}")
@@ -61,17 +119,22 @@ def load_volume(path: Union[str, Path]) -> RAID6Volume:
             meta = json.loads(str(archive["meta"]))
         except (KeyError, json.JSONDecodeError) as exc:
             raise PersistenceError(f"{path}: missing/corrupt metadata") from exc
-        if meta.get("format") != FORMAT_VERSION:
+        fmt = meta.get("format")
+        if fmt not in (1, FORMAT_VERSION):
             raise PersistenceError(
-                f"{path}: format {meta.get('format')} unsupported "
-                f"(expected {FORMAT_VERSION})"
+                f"{path}: format {fmt} unsupported "
+                f"(expected 1..{FORMAT_VERSION})"
             )
         layout = make_code(meta["code"], meta["p"])
+        journal: Optional[WriteIntentLog] = None
+        if fmt >= 2 and "journal" in meta:
+            journal = WriteIntentLog()
         volume = RAID6Volume(
             layout,
             num_stripes=meta["num_stripes"],
             element_size=meta["element_size"],
             rotate=meta["rotate"],
+            journal=journal,
         )
         for disk in volume.disks:
             key = f"disk_{disk.disk_id}"
@@ -90,4 +153,46 @@ def load_volume(path: Union[str, Path]) -> RAID6Volume:
                 disk.mark_bad(int(offset))
         for disk_id in meta["failed"]:
             volume.disks[int(disk_id)].state = DiskState.FAILED
+        if fmt == 1:
+            warnings.warn(
+                f"{path}: v1 archive carries no write-intent journal; "
+                f"any write torn before the snapshot cannot be replayed",
+                stacklevel=2,
+            )
+        elif journal is not None:
+            journal.restore(
+                [
+                    _load_intent(archive, path, spec)
+                    for spec in meta["journal"]["open"]
+                ],
+                meta["journal"]["next_seq"],
+            )
+        if fmt >= 2 and "checksums" in meta:
+            store = ChecksumStore(volume.element_size)
+            for disk, offset, crc in meta["checksums"]:
+                store._sums[(int(disk), int(offset))] = int(crc)
+            volume.restored_checksums = store
     return volume
+
+
+def _load_intent(archive, path: Path, spec: dict) -> WriteIntent:
+    """Rebuild one open intent from its metadata + payload array."""
+    key = f"intent_{spec['seq']}"
+    if key not in archive:
+        raise PersistenceError(f"{path}: missing payload {key}")
+    payload = archive[key]
+    cells = [Cell(row, col) for row, col in spec["cells"]]
+    if payload.shape[0] != len(cells):
+        raise PersistenceError(
+            f"{path}: {key} holds {payload.shape[0]} payload rows for "
+            f"{len(cells)} cells"
+        )
+    return WriteIntent(
+        seq=int(spec["seq"]),
+        stripe=int(spec["stripe"]),
+        cells=tuple(
+            (cell, payload[i].copy()) for i, cell in enumerate(cells)
+        ),
+        old_parity_digest=spec.get("old_parity_digest"),
+        new_parity_digest=spec.get("new_parity_digest"),
+    )

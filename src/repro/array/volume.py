@@ -34,6 +34,7 @@ every claimed I/O saving observable, which the integration tests exploit.
 from __future__ import annotations
 
 import threading
+import zlib
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -58,6 +59,7 @@ from repro.exceptions import (
 )
 from repro.faults.health import HealthState, RebuildCursor
 from repro.faults.policy import ErrorCounters, ErrorPolicy, HealEvent
+from repro.journal.intent import WriteIntent, WriteIntentLog
 from repro.recovery.planner import hybrid_plan
 from repro.util.validation import require, require_positive
 from repro.util.xor import xor_into
@@ -104,6 +106,7 @@ class RAID6Volume:
         rotate: bool = False,
         policy: Optional[ErrorPolicy] = None,
         workers: Optional[int] = None,
+        journal: Optional[WriteIntentLog] = None,
     ) -> None:
         require_positive(num_stripes, "num_stripes")
         self.layout = layout
@@ -126,6 +129,16 @@ class RAID6Volume:
             for i in range(layout.cols)
         ]
         self.policy = policy if policy is not None else ErrorPolicy()
+        #: Optional write-intent journal (``docs/robustness.md``, "Crash
+        #: consistency").  When attached, every destructive stripe write
+        #: records an intent before touching disk and commits it after;
+        #: ``None`` keeps the write paths byte- and counter-identical to
+        #: the unjournaled volume.
+        self.journal = journal
+        #: ChecksumStore restored by :func:`~repro.array.persistence.
+        #: load_volume` from a v2 archive (``None`` otherwise); feed it to
+        #: ``IntegrityChecker(volume, store=...)`` to resume verification.
+        self.restored_checksums = None
         self.error_counters = ErrorCounters(layout.cols)
         #: Audit trail of self-healing actions (see
         #: :class:`~repro.faults.policy.HealEvent`).
@@ -149,6 +162,12 @@ class RAID6Volume:
         )
         self._data_cols = np.array(
             [c.col for c in layout.data_cells], dtype=np.intp
+        )
+        self._parity_rows = np.array(
+            [c.row for c in layout.parity_cells], dtype=np.intp
+        )
+        self._parity_cols = np.array(
+            [c.col for c in layout.parity_cells], dtype=np.intp
         )
         self._full_stripe_col_counts = np.bincount(
             self._data_cols, minlength=layout.cols
@@ -208,9 +227,22 @@ class RAID6Volume:
     # drops back to the per-element serial walk, which keeps seed-driven
     # fault schedules bit-reproducible.  See docs/performance.md.
 
+    def _journal_quiet(self) -> bool:
+        """No crash-point phase hook armed on the journal.
+
+        A phase hook (like a disk fault hook) defines crash points over
+        the serial per-element operation order, so the tensor and
+        parallel fast paths stand down while one is attached.  A journal
+        *without* a hook never forces the slow paths.
+        """
+        journal = self.journal
+        return journal is None or journal.phase_hook is None
+
     def _batch_write_ok(self) -> bool:
-        """Tensor stores allowed: no fault hooks anywhere."""
-        return all(d.fault_hook is None for d in self.disks)
+        """Tensor stores allowed: no fault or crash-point hooks anywhere."""
+        return self._journal_quiet() and all(
+            d.fault_hook is None for d in self.disks
+        )
 
     def _batch_io_ok(self) -> bool:
         """Tensor loads allowed: no hooks and no latent sectors."""
@@ -234,7 +266,7 @@ class RAID6Volume:
         interleaving would scramble — the deterministic serial fallback
         of docs/performance.md.
         """
-        return self.pipeline.parallel and all(
+        return self.pipeline.parallel and self._journal_quiet() and all(
             d.fault_hook is None for d in self.disks
         )
 
@@ -343,7 +375,6 @@ class RAID6Volume:
         stripes = np.arange(start, end, dtype=np.intp)
         rows = self.layout.rows
         col = disk  # no rotation: layout column == disk id
-        target = self.disks[disk]
         if other_failed is None:
             # single failure: execute the hybrid minimal-read plan once
             # over the whole stripe range — one gather per source cell
@@ -360,7 +391,7 @@ class RAID6Volume:
                 for other in group.cells:
                     if other != cell:
                         np.bitwise_xor(acc, cache[other], out=acc)
-                target.write_block(stripes * rows + cell.row, acc)
+                self._disk_write_block(disk, stripes * rows + cell.row, acc)
             return batch
         # double failure: load survivors into a stripe tensor, decode the
         # two lost columns together, store only this disk's share
@@ -381,7 +412,8 @@ class RAID6Volume:
         col_rows = self._col_rows[col]
         offsets = (stripes[:, None] * rows + col_rows[None, :]).ravel()
         values = buf[:, col_rows, col, :]
-        target.write_block(
+        self._disk_write_block(
+            disk,
             offsets,
             np.ascontiguousarray(values.reshape(-1, self.element_size)),
         )
@@ -768,7 +800,11 @@ class RAID6Volume:
             batch, per, self.element_size
         )
         encode_batch(self.codec, buf)
+        intents = self._open_full_stripe_intents(
+            list(range(full0, full1)), buf
+        )
         self._store_stripes_tensor(range(full0, full1), buf)
+        self._commit_intents(intents)
 
     def _stale_cols(self, stripe: int) -> Tuple[int, ...]:
         """Layout columns of ``stripe`` that must not be trusted/written."""
@@ -788,13 +824,42 @@ class RAID6Volume:
             for cell, value in items:
                 buf[i, cell.row, cell.col] = value
         encode_batch(self.codec, buf)
+        intents = self._open_full_stripe_intents(
+            [s for s, _ in entries], buf
+        )
         if self._batch_write_ok():
             self._store_stripes_tensor([s for s, _ in entries], buf)
+            self._commit_intents(intents)
             return
         for i, (stripe, _) in enumerate(entries):
             self._store_stripe(
                 stripe, buf[i], skip_cols=self._stale_cols(stripe)
             )
+            if intents:
+                self.journal.commit(intents[i])
+
+    def _open_full_stripe_intents(
+        self, stripes: List[int], buf: np.ndarray
+    ) -> List["WriteIntent"]:
+        """Open one full-stripe intent per encoded stripe of ``buf``.
+
+        Each intent holds its stripe's slice of the private encode buffer
+        by reference (it outlives the intents and is never mutated after
+        encode), so journaling the hot batched path costs only per-stripe
+        bookkeeping — no per-cell payload materialization.
+        """
+        journal = self.journal
+        if journal is None:
+            return []
+        data_cells = self.layout.data_cells
+        return [
+            journal.open_full(stripe, buf[i], data_cells)
+            for i, stripe in enumerate(stripes)
+        ]
+
+    def _commit_intents(self, intents: List["WriteIntent"]) -> None:
+        for intent in intents:
+            self.journal.commit(intent)
 
     def _store_stripes_tensor(
         self, stripes: Iterable[int], buf: np.ndarray
@@ -822,12 +887,12 @@ class RAID6Volume:
                 if col in skip:
                     continue
                 col_rows = self._col_rows[col]
-                disk = self.disks[(col + shift) % cols]
                 offsets = (
                     sarr[:, None] * rows + col_rows[None, :]
                 ).ravel()
                 values = buf[iarr[:, None], col_rows[None, :], col, :]
-                disk.write_block(
+                self._disk_write_block(
+                    (col + shift) % cols,
                     offsets,
                     np.ascontiguousarray(
                         values.reshape(-1, self.element_size)
@@ -835,6 +900,51 @@ class RAID6Volume:
                 )
 
     def _write_stripe_batch(
+        self, stripe: int, items: List[Tuple[Cell, np.ndarray]]
+    ) -> None:
+        """Per-stripe write chokepoint, intent-logged when journaled.
+
+        The intent carries the redo payload (and, for partial writes, a
+        digest of the pre-write parity) so a crash anywhere between the
+        two journal operations is recoverable to the fully-new image.
+        """
+        journal = self.journal
+        if journal is None:
+            self._write_stripe_unjournaled(stripe, items)
+            return
+        old_digest = (
+            None if len(items) == self.layout.num_data_cells
+            else self._parity_store_digest(stripe)
+        )
+        intent = journal.open(stripe, items, old_parity_digest=old_digest)
+        self._write_stripe_unjournaled(stripe, items)
+        journal.commit(intent)
+
+    def _parity_store_digest(self, stripe: int) -> Optional[int]:
+        """CRC-32 chain over ``stripe``'s parity as it sits on disk.
+
+        Controller metadata, not array I/O: reads the backing store
+        directly (uncounted, fault-hook-free) so journaling partial
+        writes does not distort the I/O ledger.  Chaining order matches
+        :func:`repro.journal.recovery.parity_digest`.  Returns ``None``
+        when any parity column is stale — recovery then falls back to
+        ``parity_ok`` alone, which is all a degraded stripe can offer.
+        """
+        stale = self._stale_cols(stripe)
+        if stale and not set(stale).isdisjoint(
+            c.col for c in self.layout.parity_cells
+        ):
+            return None
+        cols = self.layout.cols
+        shift = stripe % cols if self.mapper.rotate else 0
+        offsets = stripe * self.layout.rows + self._parity_rows
+        disks = (self._parity_cols + shift) % cols
+        # one gather + one CRC over the concatenation == the per-cell
+        # chain (zlib.crc32 is a streaming checksum)
+        block = self._backing[offsets, disks, :]
+        return zlib.crc32(np.ascontiguousarray(block))
+
+    def _write_stripe_unjournaled(
         self, stripe: int, items: List[Tuple[Cell, np.ndarray]]
     ) -> None:
         failed_cols = self._stale_cols(stripe)
@@ -872,13 +982,18 @@ class RAID6Volume:
 
     def _rmw_write(self, stripe, items) -> None:
         """Healthy-array partial write: patch parity with XOR deltas."""
+        journal = self.journal
+        wrote = False
         deltas: Dict[Cell, np.ndarray] = {}
         for cell, value in items:
             old = self._read_cell(stripe, cell)
             delta = np.bitwise_xor(old, value)
             if delta.any():
                 deltas[cell] = delta
+                if wrote and journal is not None:
+                    journal.checkpoint("inter_column", stripe)
                 self._write_cell(stripe, cell, value)
+                wrote = True
         if not deltas:
             return
         for group in self._encode_order:
@@ -894,7 +1009,10 @@ class RAID6Volume:
             if gdelta is not None and gdelta.any():
                 old = self._read_cell(stripe, group.parity)
                 xor_into(old, gdelta)
+                if wrote and journal is not None:
+                    journal.checkpoint("inter_column", stripe)
                 self._write_cell(stripe, group.parity, old)
+                wrote = True
                 deltas[group.parity] = gdelta
 
     # -- self-healing disk I/O ----------------------------------------------
@@ -912,6 +1030,18 @@ class RAID6Volume:
         ):
             out.append(rebuild.disk)
         return tuple(sorted(out))
+
+    def _disk_write_block(
+        self, disk_id: int, offsets: np.ndarray, data: np.ndarray
+    ) -> None:
+        """Funnel for every batched (tensor-path) disk scatter.
+
+        All `write_block` stores issued by the volume go through here so
+        integrity tooling can observe them the way it wraps
+        :meth:`_write_cell` — see
+        :class:`repro.array.integrity.IntegrityChecker`.
+        """
+        self.disks[disk_id].write_block(offsets, data)
 
     def _disk_read(self, disk_id: int, offset: int) -> np.ndarray:
         """One element read under the retry/escalation policy."""
@@ -1103,11 +1233,16 @@ class RAID6Volume:
         self, stripe: int, buf: np.ndarray, skip_cols: Sequence[int] = ()
     ) -> None:
         skip = set(skip_cols)
+        journal = self.journal
+        wrote = False
         for col in range(self.layout.cols):
             if col in skip:
                 continue
+            if wrote and journal is not None:
+                journal.checkpoint("inter_column", stripe)
             for cell in self.layout.cells_in_column(col):
                 self._write_cell(stripe, cell, buf[cell.row, cell.col])
+            wrote = True
 
     def __repr__(self) -> str:
         return (

@@ -6,7 +6,9 @@ Gives the reproduction a shell-friendly surface:
 * ``features`` — the §III-D feature table;
 * ``fig4`` / ``fig5`` — the I/O-load series for one workload class;
 * ``fig6`` / ``fig7`` — the read-speed series on the disk timing model;
-* ``recovery`` — single-failure hybrid-vs-conventional read counts.
+* ``recovery`` — single-failure hybrid-vs-conventional read counts;
+* ``crash`` — the crash-point fuzzing campaign (tear journaled writes
+  at every protocol phase, remount, recover, verify).
 
 Every command prints the same tables the benchmark suite writes to
 ``benchmarks/results/``; sizes are configurable so quick looks stay quick.
@@ -196,6 +198,28 @@ def cmd_recovery(args) -> int:
     return 0
 
 
+def cmd_crash(args) -> int:
+    from repro.faults.chaos import run_crash_points
+
+    failures = 0
+    for code in args.codes:
+        for p in args.primes:
+            results = run_crash_points(code, p, seed=args.seed)
+            bad = [r for r in results if not r.ok]
+            failures += len(bad)
+            by_cls = {}
+            for r in results:
+                for cls, n in r.classifications.items():
+                    by_cls[cls] = by_cls.get(cls, 0) + n
+            status = "ok" if not bad else f"{len(bad)} VIOLATIONS"
+            print(f"{code:<8}p={p:<3}{len(results):>4} trials  "
+                  f"{status:<14}{by_cls}")
+            for r in bad:
+                print(f"    FAIL {r.pattern}/{r.phase}"
+                      f"@{r.occurrence}: {r.violations} stripes broken")
+    return 0 if failures == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -244,6 +268,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--primes", nargs="+", type=int,
                        default=list(EVALUATION_PRIMES))
     p_rec.set_defaults(func=cmd_recovery)
+
+    p_crash = sub.add_parser(
+        "crash", help="crash-point fuzzing campaign (write-hole recovery)"
+    )
+    p_crash.add_argument("--codes", nargs="+", default=["dcode"],
+                         choices=sorted(available_codes()))
+    p_crash.add_argument("--primes", nargs="+", type=int, default=[5, 7])
+    p_crash.add_argument("--seed", type=int, default=2015)
+    p_crash.set_defaults(func=cmd_crash)
 
     return parser
 

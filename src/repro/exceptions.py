@@ -94,5 +94,43 @@ class LatentSectorError(ReproError):
         self.offset = offset
 
 
+class TornWriteError(ReproError):
+    """A crashed write left a stripe in a state recovery cannot resolve.
+
+    Raised by :class:`~repro.journal.recovery.CrashRecovery` when an open
+    write intent meets a stripe whose surviving cells cannot be trusted —
+    e.g. a non-dirty data cell is lost *and* the parity it would decode
+    from is itself torn.  Names the stripe and the intent's sequence
+    number so the operator knows exactly which update was lost.
+    """
+
+    def __init__(self, stripe: int, seq: int, reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"torn write on stripe {stripe} (intent seq {seq}) cannot be "
+            f"resolved to a consistent image{detail}"
+        )
+        self.stripe = stripe
+        self.seq = seq
+
+
+class JournalReplayError(ReproError):
+    """Replaying a journaled write intent failed mid-recovery.
+
+    Wraps the underlying error (decoder failure, disk death under the
+    replay, ...) and names the stripe and intent sequence number, so a
+    recovery driver can report precisely which intent did not land.
+    """
+
+    def __init__(self, stripe: int, seq: int, reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"journal replay of stripe {stripe} (intent seq {seq}) "
+            f"failed{detail}"
+        )
+        self.stripe = stripe
+        self.seq = seq
+
+
 class AddressError(ReproError, ValueError):
     """A logical address or length falls outside the volume."""

@@ -16,8 +16,10 @@ The subsystem has four parts (see ``docs/robustness.md``):
   :class:`RebuildCursor`;
 * :mod:`repro.faults.chaos` — a seeded chaos harness
   (:func:`run_chaos`) that drives randomized fault schedules against any
-  registry code and checks byte-exact integrity throughout (imported
-  lazily — pull it via ``repro.faults.run_chaos`` or the submodule).
+  registry code and checks byte-exact integrity throughout, plus the
+  crash-point fuzzing campaign (:func:`run_crash_points`) that tears
+  journaled writes at every protocol phase and verifies recovery
+  (imported lazily — pull them via ``repro.faults`` or the submodule).
 """
 
 from repro.faults.health import HealthState, RebuildCursor
@@ -31,8 +33,10 @@ from repro.faults.injector import (
 from repro.faults.policy import ErrorCounters, ErrorPolicy, HealEvent
 
 __all__ = [
+    "CRASH_PATTERNS",
     "FAULT_KINDS",
     "ChaosResult",
+    "CrashPointResult",
     "ErrorCounters",
     "ErrorPolicy",
     "FaultEvent",
@@ -43,13 +47,15 @@ __all__ = [
     "HealthState",
     "RebuildCursor",
     "run_chaos",
+    "run_crash_points",
 ]
 
 
 def __getattr__(name):
     # chaos imports the volume (which imports this package), so it loads
     # lazily to keep the import graph acyclic
-    if name in ("run_chaos", "ChaosResult", "ChaosRunner"):
+    if name in ("run_chaos", "ChaosResult", "ChaosRunner",
+                "run_crash_points", "CrashPointResult", "CRASH_PATTERNS"):
         from repro.faults import chaos
 
         return getattr(chaos, name)

@@ -30,10 +30,11 @@ deterministic-replay property the chaos tests assert.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.array.cache import StripeCache
 from repro.array.volume import RAID6Volume
 from repro.codes.registry import make_code
 from repro.exceptions import (
@@ -51,6 +52,8 @@ from repro.faults.injector import (
     FaultRates,
     FaultSpec,
 )
+from repro.journal.intent import JOURNAL_PHASES, WriteIntentLog
+from repro.journal.recovery import CrashRecovery
 
 #: Errors a schedule is allowed to surface when damage exceeds tolerance.
 TYPED_ERRORS = (UnrecoverableStripeError, FaultToleranceExceeded,
@@ -401,3 +404,238 @@ def run_chaos(
         element_size=element_size,
     )
     return runner.run(steps=steps)
+
+
+# -- crash-point fuzzing ------------------------------------------------------
+
+#: Write patterns the crash-point campaign tears (each exercises a
+#: different journaled write path): a healthy-array RMW, a single full-
+#: stripe write, a multi-stripe span (partial + full + partial), and a
+#: coalesced cache destage.
+CRASH_PATTERNS: Tuple[str, ...] = ("rmw", "full", "multi", "destage")
+
+
+@dataclass
+class CrashPointResult:
+    """One crash trial: tear at a phase occurrence, remount, verify.
+
+    ``violations`` counts stripes whose post-recovery image broke the
+    atomicity contract (neither fully-old nor fully-new; open intent not
+    rolled fully forward; parity dirty after recovery).
+    """
+
+    code: str
+    p: int
+    seed: int
+    pattern: str
+    phase: str
+    #: Which occurrence of ``phase`` the crash fired at (1-based), and
+    #: how many occurrences the un-crashed write produces in total.
+    occurrence: int
+    phase_count: int
+    crashed: bool = False
+    #: Intents still open when the "power" went out.
+    open_at_crash: int = 0
+    classifications: Dict[str, int] = field(default_factory=dict)
+    replayed: int = 0
+    recovery_reads: int = 0
+    recovery_writes: int = 0
+    violations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+
+class _PhaseCrasher:
+    """Counts occurrences of one journal phase; crashes at the n-th."""
+
+    def __init__(self, phase: str, occurrence: Optional[int] = None):
+        self.phase = phase
+        self.occurrence = occurrence
+        self.count = 0
+
+    def __call__(self, phase: str, stripe: int) -> None:
+        if phase != self.phase:
+            return
+        self.count += 1
+        if self.occurrence is not None and self.count == self.occurrence:
+            raise SimulatedCrashError(self.count)
+
+
+class _CrashCampaign:
+    """Seeded crash-point sweep for one ``(code, p)``.
+
+    For every write pattern and journal phase, the campaign first counts
+    how many times the phase fires during the un-crashed write (a dry run
+    on an identical volume — the serial op order is deterministic), then
+    replays the write on fresh volumes crashing at the first, middle and
+    last occurrence.  After each crash it "remounts" (drops the hook,
+    runs :class:`~repro.journal.recovery.CrashRecovery`) and checks the
+    result against the shadow oracle:
+
+    * a stripe whose intent was open at the crash must be fully-NEW;
+    * any other stripe the write touched must be fully-old or fully-new
+      (an intent may have committed before the crash), never mixed;
+    * untouched stripes must be byte-identical to the old image;
+    * a full scrub must come back clean.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        p: int,
+        seed: int = 0,
+        num_stripes: int = 4,
+        element_size: int = 16,
+    ) -> None:
+        self.code = code
+        self.p = p
+        self.seed = seed
+        self.num_stripes = num_stripes
+        self.element_size = element_size
+
+    def _fresh_volume(self) -> Tuple[RAID6Volume, np.ndarray]:
+        vol = RAID6Volume(
+            make_code(self.code, self.p),
+            num_stripes=self.num_stripes,
+            element_size=self.element_size,
+            journal=WriteIntentLog(),
+        )
+        rng = np.random.default_rng([self.seed, 0xC8A5])
+        base = rng.integers(
+            0, 256, (vol.num_elements, self.element_size), dtype=np.uint8
+        )
+        vol.write(0, base)
+        return vol, base
+
+    def _pattern_ops(
+        self, vol: RAID6Volume, pattern: str
+    ) -> List[Tuple[int, np.ndarray]]:
+        """Logical ``(start, data)`` writes of one pattern (seeded)."""
+        per = vol.layout.num_data_cells
+        rng = np.random.default_rng(
+            [self.seed, CRASH_PATTERNS.index(pattern)]
+        )
+
+        def payload(n: int) -> np.ndarray:
+            return rng.integers(
+                0, 256, (n, self.element_size), dtype=np.uint8
+            )
+
+        if pattern == "rmw":
+            return [(per, payload(max(1, per // 3)))]
+        if pattern == "full":
+            return [(per, payload(per))]
+        if pattern == "multi":
+            # tail of stripe 0, all of stripe 1, head of stripe 2
+            start = per // 2
+            return [(start, payload(min(2 * per, vol.num_elements - start)))]
+        # destage: several stripes dirtied through the write-back cache,
+        # torn while flush() coalesces them
+        return [
+            (0, payload(per)),            # stripe 0 fills completely
+            (per, payload(per)),          # stripe 1 fills completely
+            (2 * per, payload(per // 2 or 1)),  # stripe 2 stays partial
+        ]
+
+    def _apply(
+        self, vol: RAID6Volume, pattern: str,
+        ops: List[Tuple[int, np.ndarray]],
+    ) -> None:
+        if pattern == "destage":
+            cache = StripeCache(vol, max_dirty_stripes=len(ops) + 1)
+            for start, data in ops:
+                cache.write(start, data)
+            cache.flush()
+            return
+        for start, data in ops:
+            vol.write(start, data)
+
+    def _count_phase(self, pattern: str, phase: str) -> int:
+        """Dry-run the pattern and count the phase's occurrences."""
+        vol, _ = self._fresh_volume()
+        counter = _PhaseCrasher(phase)
+        vol.journal.phase_hook = counter
+        self._apply(vol, pattern, self._pattern_ops(vol, pattern))
+        return counter.count
+
+    def _trial(
+        self, pattern: str, phase: str, occurrence: int, count: int
+    ) -> CrashPointResult:
+        result = CrashPointResult(
+            code=self.code, p=self.p, seed=self.seed, pattern=pattern,
+            phase=phase, occurrence=occurrence, phase_count=count,
+        )
+        vol, base = self._fresh_volume()
+        ops = self._pattern_ops(vol, pattern)
+        per = vol.layout.num_data_cells
+        old = base.copy()
+        new = base.copy()
+        touched = set()
+        for start, data in ops:
+            new[start:start + len(data)] = data
+            touched.update(
+                (start + k) // per for k in range(len(data))
+            )
+        vol.journal.phase_hook = _PhaseCrasher(phase, occurrence)
+        try:
+            self._apply(vol, pattern, ops)
+        except SimulatedCrashError:
+            result.crashed = True
+        open_stripes = {i.stripe for i in vol.journal.open_intents()}
+        result.open_at_crash = len(open_stripes)
+        # -- remount: hook gone (the crash is over), replay the journal
+        vol.journal.phase_hook = None
+        report = CrashRecovery(vol).run()
+        result.classifications = report.classifications()
+        result.replayed = report.replayed
+        result.recovery_reads = report.elements_read
+        result.recovery_writes = report.elements_written
+        # -- shadow-oracle verification
+        got = vol.read(0, vol.num_elements)
+        for stripe in range(vol.mapper.num_stripes):
+            sl = slice(stripe * per, (stripe + 1) * per)
+            g = got[sl]
+            if stripe in open_stripes:
+                good = np.array_equal(g, new[sl])
+            elif stripe in touched:
+                good = (np.array_equal(g, new[sl])
+                        or np.array_equal(g, old[sl]))
+            else:
+                good = np.array_equal(g, old[sl])
+            if not good:
+                result.violations += 1
+        if vol.scrub():
+            result.violations += 1
+        return result
+
+    def run(self) -> List[CrashPointResult]:
+        results: List[CrashPointResult] = []
+        for pattern in CRASH_PATTERNS:
+            for phase in JOURNAL_PHASES:
+                count = self._count_phase(pattern, phase)
+                if count == 0:
+                    continue
+                occurrences = sorted({1, (count + 1) // 2, count})
+                for occurrence in occurrences:
+                    results.append(
+                        self._trial(pattern, phase, occurrence, count)
+                    )
+        return results
+
+
+def run_crash_points(
+    code: str = "dcode",
+    p: int = 7,
+    seed: int = 0,
+    num_stripes: int = 4,
+    element_size: int = 16,
+) -> List[CrashPointResult]:
+    """Crash-point fuzzing campaign: tear every journal phase, recover,
+    verify.  See :class:`_CrashCampaign` for the exact contract; the
+    campaign is deterministic in ``(code, p, seed)``."""
+    return _CrashCampaign(
+        code, p, seed=seed, num_stripes=num_stripes,
+        element_size=element_size,
+    ).run()

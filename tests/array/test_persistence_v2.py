@@ -1,0 +1,136 @@
+"""Format-v2 persistence: journal + checksum round-trip, v1 compat."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.array.integrity import ChecksumStore, IntegrityChecker
+from repro.array.persistence import FORMAT_VERSION, load_volume, save_volume
+from repro.array.volume import RAID6Volume
+from repro.codes.registry import make_code
+from repro.exceptions import SimulatedCrashError
+from repro.journal import WriteIntentLog, recover_on_mount
+
+ELEMENT_SIZE = 16
+
+
+def crashed_volume():
+    """A journaled volume with one write torn mid-stripe, plus the image
+    the pending recovery must produce."""
+    vol = RAID6Volume(
+        make_code("dcode", 5), num_stripes=3,
+        element_size=ELEMENT_SIZE, journal=WriteIntentLog(),
+    )
+    rng = np.random.default_rng(8)
+    base = rng.integers(
+        0, 256, (vol.num_elements, ELEMENT_SIZE), dtype=np.uint8
+    )
+    vol.write(0, base)
+    new = rng.integers(0, 256, (3, ELEMENT_SIZE), dtype=np.uint8)
+
+    def crash(phase, stripe):
+        if phase == "inter_column":
+            raise SimulatedCrashError(0)
+
+    vol.journal.phase_hook = crash
+    with pytest.raises(SimulatedCrashError):
+        vol.write(0, new)
+    vol.journal.phase_hook = None
+    expect = base.copy()
+    expect[0:3] = new
+    return vol, expect
+
+
+def intent_facts(journal):
+    return [
+        (i.seq, i.stripe, i.dirty_cells,
+         i.old_parity_digest, i.new_parity_digest)
+        for i in journal.open_intents()
+    ]
+
+
+def test_format_version_is_2():
+    assert FORMAT_VERSION == 2
+
+
+def test_mid_campaign_round_trip(tmp_path):
+    vol, expect = crashed_volume()
+    assert vol.journal.dirty
+    path = save_volume(vol, tmp_path / "vol.npz")
+    loaded = load_volume(path)
+    assert loaded.journal is not None
+    assert intent_facts(loaded.journal) == intent_facts(vol.journal)
+    assert loaded.journal.next_seq == vol.journal.next_seq
+    for got, want in zip(
+        loaded.journal.open_intents(), vol.journal.open_intents()
+    ):
+        got_payload, want_payload = got.payload(), want.payload()
+        assert list(got_payload) == list(want_payload)
+        for cell in want_payload:
+            assert np.array_equal(got_payload[cell], want_payload[cell])
+    report = recover_on_mount(loaded)
+    assert report is not None
+    assert report.replayed >= 1
+    assert np.array_equal(loaded.read(0, loaded.num_elements), expect)
+    assert loaded.scrub() == []
+
+
+def test_clean_journal_round_trips_empty(tmp_path):
+    vol, _ = crashed_volume()
+    recover_on_mount(vol)
+    path = save_volume(vol, tmp_path / "vol.npz")
+    loaded = load_volume(path)
+    assert loaded.journal is not None
+    assert not loaded.journal.dirty
+    assert loaded.journal.next_seq == vol.journal.next_seq
+    assert recover_on_mount(loaded) is None
+
+
+def test_checksums_round_trip(tmp_path):
+    vol = RAID6Volume(
+        make_code("dcode", 5), num_stripes=2,
+        element_size=ELEMENT_SIZE, journal=WriteIntentLog(),
+    )
+    checker = IntegrityChecker(vol)
+    rng = np.random.default_rng(9)
+    vol.write(0, rng.integers(
+        0, 256, (vol.num_elements, ELEMENT_SIZE), dtype=np.uint8
+    ))
+    path = save_volume(vol, tmp_path / "vol.npz",
+                       checksums=checker.store)
+    loaded = load_volume(path)
+    assert isinstance(loaded.restored_checksums, ChecksumStore)
+    assert loaded.restored_checksums._sums == checker.store._sums
+    resumed = IntegrityChecker(loaded, store=loaded.restored_checksums)
+    assert resumed.find_corruption() == {}
+
+
+def test_unjournaled_volume_loads_without_journal(tmp_path):
+    vol = RAID6Volume(make_code("dcode", 5), num_stripes=2,
+                      element_size=ELEMENT_SIZE)
+    path = save_volume(vol, tmp_path / "vol.npz")
+    loaded = load_volume(path)
+    assert loaded.journal is None
+    assert loaded.restored_checksums is None
+
+
+def test_v1_archive_warns_and_carries_no_journal(tmp_path):
+    vol, _ = crashed_volume()
+    path = save_volume(vol, tmp_path / "vol.npz")
+    # rewrite the archive as v1: strip journal metadata + intent payloads
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        arrays = {
+            k: archive[k] for k in archive.files
+            if k != "meta" and not k.startswith("intent_")
+        }
+    meta["format"] = 1
+    meta.pop("journal", None)
+    meta.pop("checksums", None)
+    v1 = tmp_path / "vol_v1.npz"
+    np.savez_compressed(v1, meta=json.dumps(meta), **arrays)
+    with pytest.warns(UserWarning, match="no write-intent journal"):
+        loaded = load_volume(v1)
+    assert loaded.journal is None
+    assert recover_on_mount(loaded) is None

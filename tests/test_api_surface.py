@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.codec",
     "repro.faults",
     "repro.gf",
+    "repro.journal",
     "repro.iosim",
     "repro.perf",
     "repro.recovery",
