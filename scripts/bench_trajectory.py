@@ -5,9 +5,15 @@ Measures encode / decode / update bandwidth for every evaluation code at
 p=7 and p=13 (element_size=4096), single-stripe and batched, plus the
 array layer (multi-stripe write serial vs batched, legacy vs bulk vs
 zero-copy reads, per-stripe vs coalesced destage, serial vs 4-worker
-parallel RMW), and writes ``BENCH_codec.json`` at the repo root.  All
+parallel RMW, scalar vs batched degraded reads under one and two disk
+failures), and writes ``BENCH_codec.json`` at the repo root.  All
 comparisons are taken in the same process run with the same
 best-of-batches timing, so the speedup ratios are internally consistent.
+
+The report carries an ``acceptance`` section with hard floors (parallel
+RMW must not be slower than serial; batched degraded reads must beat the
+scalar walk by >= 3x); the script exits non-zero when a floor is
+violated, so CI can gate on it.
 
 Usage::
 
@@ -259,33 +265,45 @@ def bench_volume(rng):
     parallel_volume = RAID6Volume(layout, num_stripes=128,
                                   element_size=ELEMENT_SIZE, workers=4)
     rmw_stripes = 32
-    rmw_data = rng.integers(
+    # one element per stripe (pure RMW traffic, no full stripes); the
+    # payloads alternate so every call carries a real parity delta
+    # (repeating a value hits the zero-delta early return and would time
+    # nothing but dispatch overhead), and both entry lists are built up
+    # front so serial and parallel time only the write work
+    rmw_a = rng.integers(
         0, 256, (rmw_stripes, ELEMENT_SIZE), dtype=np.uint8
     )
+    rmw_b = np.bitwise_xor(
+        rmw_a, rng.integers(1, 256, ELEMENT_SIZE, dtype=np.uint8)
+    )
+    rmw_entries = {
+        0: [(s, [(layout.data_cells[0], rmw_a[s])])
+            for s in range(rmw_stripes)],
+        1: [(s, [(layout.data_cells[0], rmw_b[s])])
+            for s in range(rmw_stripes)],
+    }
+    toggles = {id(volume): 0, id(parallel_volume): 0}
 
     def rmw(vol):
-        # one element per stripe: pure RMW traffic, no full stripes
-        for s in range(rmw_stripes):
-            vol._write_stripe_batch(
-                s, [(layout.data_cells[0], rmw_data[s])]
-            )
+        toggles[id(vol)] ^= 1
+        for s, items in rmw_entries[toggles[id(vol)]]:
+            vol._write_stripe_batch(s, items)
 
     def rmw_parallel():
-        entries = [
-            (s, [(layout.data_cells[0], rmw_data[s])])
-            for s in range(rmw_stripes)
-        ]
-        parallel_volume._write_rest(entries)
+        toggles[id(parallel_volume)] ^= 1
+        parallel_volume._write_rest(
+            rmw_entries[toggles[id(parallel_volume)]]
+        )
 
     t_rmw_serial = best_seconds(lambda: rmw(volume), inner=3, reps=5)
     t_rmw_parallel = best_seconds(rmw_parallel, inner=3, reps=5)
     parallel = {
         "workers": 4,
         "rmw_serial_mb_s": round(
-            mb_per_s(rmw_data.nbytes, t_rmw_serial), 1
+            mb_per_s(rmw_a.nbytes, t_rmw_serial), 1
         ),
         "rmw_parallel_mb_s": round(
-            mb_per_s(rmw_data.nbytes, t_rmw_parallel), 1
+            mb_per_s(rmw_a.nbytes, t_rmw_parallel), 1
         ),
         "speedup_parallel_vs_serial": round(
             t_rmw_serial / t_rmw_parallel, 2
@@ -301,6 +319,48 @@ def bench_volume(rng):
         "destage": destage,
         "parallel": parallel,
     }
+
+
+def bench_degraded(rng):
+    """Degraded reads: per-stripe plan walk vs the batched tensor path.
+
+    One failed disk (and then two) on dcode p7; the scalar baseline is
+    the historical per-stripe walk (each stripe fetches its minimal read
+    plan element-by-element), the batched path groups same-pattern
+    stripes and serves the whole window as one gather per disk plus one
+    compiled-schedule pass (docs/performance.md, "Degraded-mode fast
+    path").  Both serve the same 32-stripe window and are byte-checked
+    against each other before timing.
+    """
+    layout = make_code(VOLUME_CODE, VOLUME_P)
+    per = layout.num_data_cells
+    volume = RAID6Volume(layout, num_stripes=128,
+                         element_size=ELEMENT_SIZE)
+    data = rng.integers(
+        0, 256, (volume.num_elements, ELEMENT_SIZE), dtype=np.uint8
+    )
+    volume.write(0, data)
+    window = BATCH * per
+    window_bytes = window * ELEMENT_SIZE
+
+    def scalar():
+        return _legacy_volume_read(volume, 0, window)
+
+    def batched():
+        return volume.read(0, window)
+
+    out = {"code": VOLUME_CODE, "p": VOLUME_P, "batch": BATCH}
+    for label, disk in (("single_failure", 1), ("double_failure", 3)):
+        volume.fail_disk(disk)
+        assert np.array_equal(scalar(), batched())
+        t_scalar = best_seconds(scalar, inner=3, reps=5)
+        t_batched = best_seconds(batched, inner=3, reps=5)
+        out[label] = {
+            "scalar_mb_s": round(mb_per_s(window_bytes, t_scalar), 1),
+            "batched_mb_s": round(mb_per_s(window_bytes, t_batched), 1),
+            "speedup_batched_vs_scalar": round(t_scalar / t_batched, 2),
+        }
+    return out
 
 
 def bench_journal(rng):
@@ -371,6 +431,58 @@ def bench_journal(rng):
     }
 
 
+#: Timing-noise allowance on the parallel floor: the acceptance bar is
+#: "no slowdown" (>= 1.0), and min-over-batches timing still jitters a
+#: couple of percent, so the gate only trips below 1.0 - this margin.
+PARALLEL_NOISE = 0.05
+
+
+def degraded_acceptance(degraded):
+    return {
+        "code": degraded["code"],
+        "p": degraded["p"],
+        "batch": degraded["batch"],
+        "single_failure_speedup": degraded["single_failure"][
+            "speedup_batched_vs_scalar"
+        ],
+        "double_failure_speedup": degraded["double_failure"][
+            "speedup_batched_vs_scalar"
+        ],
+        "floor": 3.0,
+    }
+
+
+def check_acceptance(acceptance):
+    """Gate the report: returns the list of violated floors."""
+    failures = []
+    par = acceptance.get("parallel")
+    if par is not None:
+        got = par["rmw_speedup_vs_serial"]
+        if got < par["floor"] - PARALLEL_NOISE:
+            failures.append(
+                f"parallel RMW speedup {got} below floor {par['floor']}"
+            )
+    deg = acceptance.get("degraded_read")
+    if deg is not None:
+        for key in ("single_failure_speedup", "double_failure_speedup"):
+            if deg[key] < deg["floor"]:
+                failures.append(
+                    f"degraded_read {key} {deg[key]} below floor "
+                    f"{deg['floor']}"
+                )
+    return failures
+
+
+def finish(report, out_path):
+    """Write the report, print the gate verdict, return the exit code."""
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    failures = check_acceptance(report.get("acceptance", {}))
+    for failure in failures:
+        print(f"ACCEPTANCE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -381,7 +493,7 @@ def main(argv=None):
         ),
     )
     parser.add_argument(
-        "--only", choices=("journal",), default=None,
+        "--only", choices=("journal", "degraded", "volume"), default=None,
         help="re-run just one section and merge it into the existing "
              "report instead of re-benchmarking everything",
     )
@@ -398,14 +510,53 @@ def main(argv=None):
         report.setdefault("acceptance", {})[
             "journal_full_stripe_overhead_pct"
         ] = journal["full_stripe"]["overhead_pct"]
-        out.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"wrote {out}")
         print(
             "journal overhead: full-stripe "
             f"{journal['full_stripe']['overhead_pct']}%, "
             f"rmw {journal['rmw']['overhead_pct']}%"
         )
-        return 0
+        return finish(report, out)
+
+    if args.only == "volume":
+        out = pathlib.Path(args.out)
+        report = json.loads(out.read_text()) if out.exists() else {}
+        print("benchmarking volume layer ...", flush=True)
+        volume = bench_volume(rng)
+        report["volume"] = volume
+        acceptance = report.setdefault("acceptance", {})
+        acceptance["volume_write_batched_vs_serial"] = {
+            batch: volume["write"][batch]["speedup_batched_vs_serial"]
+            for batch in volume["write"]
+        }
+        acceptance["parallel"] = {
+            "workers": volume["parallel"]["workers"],
+            "rmw_speedup_vs_serial": volume["parallel"][
+                "speedup_parallel_vs_serial"
+            ],
+            "floor": 1.0,
+        }
+        print(
+            "parallel RMW speedup (4 workers): "
+            f"{volume['parallel']['speedup_parallel_vs_serial']}x"
+        )
+        return finish(report, out)
+
+    if args.only == "degraded":
+        out = pathlib.Path(args.out)
+        report = json.loads(out.read_text()) if out.exists() else {}
+        print("benchmarking degraded reads ...", flush=True)
+        degraded = bench_degraded(rng)
+        report["degraded_read"] = degraded
+        report.setdefault("acceptance", {})[
+            "degraded_read"
+        ] = degraded_acceptance(degraded)
+        print(
+            "degraded read batched vs scalar: single "
+            f"{degraded['single_failure']['speedup_batched_vs_scalar']}x,"
+            " double "
+            f"{degraded['double_failure']['speedup_batched_vs_scalar']}x"
+        )
+        return finish(report, out)
     results = {}
     for name in CODES:
         results[name] = {}
@@ -415,6 +566,8 @@ def main(argv=None):
 
     print("benchmarking volume layer ...", flush=True)
     volume = bench_volume(rng)
+    print("benchmarking degraded reads ...", flush=True)
+    degraded = bench_degraded(rng)
     print("benchmarking journal overhead ...", flush=True)
     journal = bench_journal(rng)
 
@@ -436,8 +589,17 @@ def main(argv=None):
         },
         "results": results,
         "volume": volume,
+        "degraded_read": degraded,
         "journal": journal,
         "acceptance": {
+            "parallel": {
+                "workers": volume["parallel"]["workers"],
+                "rmw_speedup_vs_serial": volume["parallel"][
+                    "speedup_parallel_vs_serial"
+                ],
+                "floor": 1.0,
+            },
+            "degraded_read": degraded_acceptance(degraded),
             "journal_full_stripe_overhead_pct": journal["full_stripe"][
                 "overhead_pct"
             ],
@@ -456,9 +618,6 @@ def main(argv=None):
             "update_compiled_vs_naive_min": min(update_speedups.values()),
         },
     }
-    out = pathlib.Path(args.out)
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out}")
     print(
         "dcode p7 encode speedup: "
         f"{dcode_p7['speedup_compiled_vs_naive']}x, "
@@ -471,11 +630,21 @@ def main(argv=None):
         f"{report['acceptance']['update_compiled_vs_naive_min']}"
     )
     print(
+        "parallel RMW speedup (4 workers): "
+        f"{volume['parallel']['speedup_parallel_vs_serial']}x"
+    )
+    print(
+        "degraded read batched vs scalar: single "
+        f"{degraded['single_failure']['speedup_batched_vs_scalar']}x, "
+        "double "
+        f"{degraded['double_failure']['speedup_batched_vs_scalar']}x"
+    )
+    print(
         "journal overhead: full-stripe "
         f"{journal['full_stripe']['overhead_pct']}%, "
         f"rmw {journal['rmw']['overhead_pct']}%"
     )
-    return 0
+    return finish(report, pathlib.Path(args.out))
 
 
 if __name__ == "__main__":

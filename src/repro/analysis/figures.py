@@ -32,8 +32,8 @@ from repro.perf.experiments import (
     normal_read_experiment,
 )
 from repro.recovery.planner import (
-    conventional_plan,
-    hybrid_plan,
+    cached_conventional_plan,
+    cached_hybrid_plan,
 )
 
 _WORKLOAD_GENERATORS = {
@@ -229,8 +229,8 @@ def single_failure_recovery_series(
             layout = make_code(code, p)
             conv = hyb = 0
             for failed in range(layout.cols):
-                conv += conventional_plan(layout, failed).num_reads
-                hyb += hybrid_plan(layout, failed).num_reads
+                conv += cached_conventional_plan(layout, failed).num_reads
+                hyb += cached_hybrid_plan(layout, failed).num_reads
             rows.append(
                 {
                     "p": p,

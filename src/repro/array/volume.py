@@ -60,7 +60,7 @@ from repro.exceptions import (
 from repro.faults.health import HealthState, RebuildCursor
 from repro.faults.policy import ErrorCounters, ErrorPolicy, HealEvent
 from repro.journal.intent import WriteIntent, WriteIntentLog
-from repro.recovery.planner import hybrid_plan
+from repro.recovery.planner import cached_hybrid_plan
 from repro.util.validation import require, require_positive
 from repro.util.xor import xor_into
 
@@ -151,6 +151,18 @@ class RAID6Volume:
         #: ``workers`` argument enables threads — docs/performance.md).
         self.pipeline = StripePipeline(workers)
         self._policy_lock = threading.RLock()
+        # Degraded-read planners, one per failure state (tuple of stale
+        # disks).  A dict — not a single slot — because a rebuild splits
+        # the volume into covered/uncovered regions whose states
+        # alternate within one request, and a single-slot cache would
+        # rebuild the AccessEngine (and its plan cache) on every flip.
+        self._planner_cache: Dict[
+            Tuple[int, ...], "_VolumeReadPlanner"
+        ] = {}
+        # data-cell set -> affected parity cells (journal digest footprint)
+        self._footprint_cache: Dict[
+            frozenset, Tuple[Cell, ...]
+        ] = {}
         # -- vectorised-geometry tables (docs/performance.md) -------------
         self._col_rows: List[np.ndarray] = [
             np.array([c.row for c in layout.cells_in_column(col)],
@@ -328,7 +340,7 @@ class RAID6Volume:
 
     def _rebuild_stripe_single(self, stripe: int, disk: int) -> None:
         col = self.mapper.col_on_disk(stripe, disk)
-        plan = hybrid_plan(self.layout, col)
+        plan = cached_hybrid_plan(self.layout, col)
         cache: Dict[Cell, np.ndarray] = {}
         try:
             for cell in plan.reads:
@@ -378,7 +390,7 @@ class RAID6Volume:
         if other_failed is None:
             # single failure: execute the hybrid minimal-read plan once
             # over the whole stripe range — one gather per source cell
-            plan = hybrid_plan(self.layout, col)
+            plan = cached_hybrid_plan(self.layout, col)
             cache: Dict[Cell, np.ndarray] = {}
             for cell in plan.reads:
                 cache[cell] = self.disks[cell.col].read_block(
@@ -585,12 +597,25 @@ class RAID6Volume:
         if self._fast_read_ok():
             self._bulk_read(start, count, out)
             return out
-        # group the range per stripe so reconstruction decodes once
-        by_stripe: Dict[int, List[Tuple[int, Cell]]] = {}
-        for k in range(count):
-            loc = self.mapper.locate(start + k)
-            by_stripe.setdefault(loc.stripe, []).append((k, loc.cell))
-        entries = list(by_stripe.items())
+        # group the range per stripe so reconstruction decodes once — a
+        # contiguous logical range is a contiguous run of stripes, so the
+        # split falls out of one divmod (the (stripe, cell) mapping is
+        # rotation-independent; rotation only moves columns to disks)
+        per = self.layout.num_data_cells
+        data_cells = self.layout.data_cells
+        stripe_of, j = np.divmod(np.arange(start, start + count), per)
+        firsts = np.flatnonzero(np.diff(stripe_of)) + 1
+        bounds = [0, *firsts.tolist(), count]
+        entries: List[Tuple[int, List[Tuple[int, Cell]]]] = []
+        for i in range(len(bounds) - 1):
+            k0, k1 = bounds[i], bounds[i + 1]
+            entries.append((
+                int(stripe_of[k0]),
+                [(k, data_cells[j[k]]) for k in range(k0, k1)],
+            ))
+        if len(entries) >= self._DEGRADED_BATCH_MIN \
+                and self._degraded_batch_ok():
+            entries = self._serve_degraded_batched(entries, out)
         if len(entries) > 1 and self._parallel_ok():
             self.pipeline.map(
                 lambda entry: self._serve_stripe_read(*entry, out), entries
@@ -669,6 +694,108 @@ class RAID6Volume:
             if mask.any():
                 out[mask] = self.disks[d].read_block(offsets[mask])
 
+    #: Minimum same-pattern stripes before the tensor degraded path engages
+    #: (below it, per-stripe gathers cost more than they amortise).
+    _DEGRADED_BATCH_MIN = 2
+    #: Stripes per tensor chunk in the batched degraded read (cache-sized,
+    #: like the batched scrub sweep).
+    _DEGRADED_READ_CHUNK = 32
+
+    def _degraded_batch_ok(self) -> bool:
+        """Tensor degraded reads allowed: no rotation (layout column ==
+        disk id, so one gather per disk serves a stripe run) and a quiet
+        fault surface (hooks/latent sectors fall back to the self-healing
+        per-stripe walk)."""
+        return not self.mapper.rotate and self._batch_io_ok()
+
+    def _serve_degraded_batched(
+        self,
+        entries: List[Tuple[int, List[Tuple[int, Cell]]]],
+        out: np.ndarray,
+    ) -> List[Tuple[int, List[Tuple[int, Cell]]]]:
+        """Serve runs of same-pattern stripes as tensor gathers.
+
+        The degraded-mode fast path (docs/performance.md): stripes are
+        grouped by ``(stale disks, wanted cells)`` — every stripe of a
+        group shares one :class:`~repro.iosim.engine.StripeReadPlan`, so
+        the group's surviving source cells load as one
+        :meth:`~repro.array.disk.SimDisk.read_block` gather per disk and
+        the plan's XOR recipe executes once over the whole tensor through
+        the compiled schedule plan.  Byte- and counter-identical to the
+        per-stripe plan walk: both fetch exactly ``plan.fetch`` per
+        stripe and run the same recipe.
+
+        Returns the entries *not* served here (groups too small to
+        amortise a tensor pass, or patterns needing algebraic decoding),
+        which the caller routes through the per-stripe path.
+        """
+        # a stripe's share of a contiguous read is a contiguous run of
+        # data cells, so (first logical index, length) identifies the
+        # wanted-cell pattern without hashing cell tuples
+        data_index = self.layout.data_index
+        data_cells = self.layout.data_cells
+        groups: Dict[
+            Tuple[Tuple[int, ...], int, int],
+            List[Tuple[int, List[Tuple[int, Cell]]]],
+        ] = {}
+        for stripe, items in entries:
+            key = (
+                self._stale_disks(stripe),
+                data_index(items[0][1]),
+                len(items),
+            )
+            groups.setdefault(key, []).append((stripe, items))
+        remaining: List[Tuple[int, List[Tuple[int, Cell]]]] = []
+        rows = self.layout.rows
+        es = self.element_size
+        for (stale, j0, nw), glist in groups.items():
+            wanted = data_cells[j0:j0 + nw]
+            if len(glist) < self._DEGRADED_BATCH_MIN:
+                remaining.extend(glist)
+                continue
+            plan = self._read_planner(stale).plan_for(
+                glist[0][0], list(wanted)
+            )
+            if plan.recipe is None:
+                # algebraic (Gaussian) pattern — per-stripe reconstruction
+                remaining.extend(glist)
+                continue
+            xplan = (
+                self.codec.plans.schedule_plan(plan.recipe)
+                if plan.recipe else None
+            )
+            fetch_rows: Dict[int, np.ndarray] = {}
+            for cell in sorted(plan.fetch):
+                fetch_rows.setdefault(cell.col, []).append(cell.row)  # type: ignore[arg-type]
+            fetch_rows = {
+                c: np.array(r, dtype=np.intp)
+                for c, r in fetch_rows.items()
+            }
+            wrows = np.array([c.row for c in wanted], dtype=np.intp)
+            wcols = np.array([c.col for c in wanted], dtype=np.intp)
+            for i0 in range(0, len(glist), self._DEGRADED_READ_CHUNK):
+                chunk = glist[i0:i0 + self._DEGRADED_READ_CHUNK]
+                batch = len(chunk)
+                stripes = np.array([s for s, _ in chunk], dtype=np.intp)
+                buf = blank_batch(self.codec, batch)
+                for c, rarr in fetch_rows.items():
+                    offsets = (
+                        stripes[:, None] * rows + rarr[None, :]
+                    ).ravel()
+                    buf[:, rarr, c, :] = self.disks[c].read_block(
+                        offsets
+                    ).reshape(batch, len(rarr), es)
+                if xplan is not None:
+                    xplan.execute_batch(
+                        buf.reshape(batch, xplan.num_cells, es)
+                    )
+                ks = np.array(
+                    [[k for k, _ in items] for _, items in chunk],
+                    dtype=np.intp,
+                )
+                out[ks.ravel()] = buf[:, wrows, wcols, :].reshape(-1, es)
+        return remaining
+
     def _degraded_read_via_plan(
         self, stripe, items, out, stale: Tuple[int, ...]
     ) -> bool:
@@ -704,10 +831,10 @@ class RAID6Volume:
         self, stale: Optional[Tuple[int, ...]] = None
     ) -> "_VolumeReadPlanner":
         state = self.failed_disks if stale is None else stale
-        planner = getattr(self, "_planner_cache", None)
-        if planner is None or planner.failed != state:
+        planner = self._planner_cache.get(state)
+        if planner is None:
             planner = _VolumeReadPlanner(self, state)
-            self._planner_cache = planner
+            self._planner_cache[state] = planner
         return planner
 
     # -- writes ----------------------------------------------------------------
@@ -914,31 +1041,66 @@ class RAID6Volume:
             return
         old_digest = (
             None if len(items) == self.layout.num_data_cells
-            else self._parity_store_digest(stripe)
+            else self._parity_store_digest(
+                stripe, self._parity_footprint(c for c, _ in items)
+            )
         )
         intent = journal.open(stripe, items, old_parity_digest=old_digest)
         self._write_stripe_unjournaled(stripe, items)
         journal.commit(intent)
 
-    def _parity_store_digest(self, stripe: int) -> Optional[int]:
+    def _parity_footprint(self, cells: Iterable[Cell]) -> Tuple[Cell, ...]:
+        """Parity cells a write to ``cells`` may change, canonical order.
+
+        The journal digest footprint: parities outside it are untouched
+        by the write, so old and new images agree on them and chaining
+        them into the digest adds CRC work without information.  Derived
+        purely from the layout (cascading through the encode order, so a
+        parity-of-parity flips too), hence recomputable at recovery time
+        from an intent's dirty cells — no journal format change.
+        """
+        key = frozenset(c for c in cells if self.layout.is_data(c))
+        footprint = self._footprint_cache.get(key)
+        if footprint is None:
+            flips = set(key)
+            for group in self._encode_order:
+                if any(m in flips for m in group.members):
+                    flips.add(group.parity)
+            footprint = tuple(
+                c for c in self.layout.parity_cells if c in flips
+            )
+            self._footprint_cache[key] = footprint
+        return footprint
+
+    def _parity_store_digest(
+        self, stripe: int, cells: Optional[Sequence[Cell]] = None
+    ) -> Optional[int]:
         """CRC-32 chain over ``stripe``'s parity as it sits on disk.
 
         Controller metadata, not array I/O: reads the backing store
         directly (uncounted, fault-hook-free) so journaling partial
-        writes does not distort the I/O ledger.  Chaining order matches
+        writes does not distort the I/O ledger.  ``cells`` restricts the
+        chain to a footprint subset (in canonical ``parity_cells``
+        order — the write path passes :meth:`_parity_footprint` so an
+        RMW intent digests only the parities it can change); ``None``
+        digests every parity cell.  Chaining order matches
         :func:`repro.journal.recovery.parity_digest`.  Returns ``None``
-        when any parity column is stale — recovery then falls back to
-        ``parity_ok`` alone, which is all a degraded stripe can offer.
+        when any digested parity's column is stale — recovery then falls
+        back to ``parity_ok`` alone, which is all a degraded stripe can
+        offer.
         """
+        if cells is None:
+            prows, pcols = self._parity_rows, self._parity_cols
+        else:
+            prows = np.array([c.row for c in cells], dtype=np.intp)
+            pcols = np.array([c.col for c in cells], dtype=np.intp)
         stale = self._stale_cols(stripe)
-        if stale and not set(stale).isdisjoint(
-            c.col for c in self.layout.parity_cells
-        ):
+        if stale and not set(stale).isdisjoint(int(c) for c in pcols):
             return None
         cols = self.layout.cols
         shift = stripe % cols if self.mapper.rotate else 0
-        offsets = stripe * self.layout.rows + self._parity_rows
-        disks = (self._parity_cols + shift) % cols
+        offsets = stripe * self.layout.rows + prows
+        disks = (pcols + shift) % cols
         # one gather + one CRC over the concatenation == the per-cell
         # chain (zlib.crc32 is a streaming checksum)
         block = self._backing[offsets, disks, :]

@@ -19,7 +19,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.codec.encoder import StripeCodec
-from repro.codec.decoder import RecoveryStep, plan_chain_recovery
+from repro.codec.decoder import RecoveryStep
 from repro.codec.plan import flat_batch_view
 from repro.codes.base import Cell, column_failure_cells
 from repro.exceptions import DecodeError, FaultToleranceExceeded, GeometryError
@@ -103,7 +103,8 @@ def decode_batch(
     if not lost:
         return []
     plan = (
-        plan_chain_recovery(layout, lost) if layout.chain_decodable else None
+        codec.plans.recovery_schedule(cols)
+        if layout.chain_decodable else None
     )
     if plan is None:
         if layout.chain_decodable:

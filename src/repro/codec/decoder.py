@@ -151,10 +151,15 @@ class ChainDecoder:
         self.codec = codec
         self.layout = codec.layout
         self.naive = naive
-        self._column_plans: Dict[Tuple[int, ...], List[RecoveryStep]] = {}
 
     def plan_for_columns(self, failed_cols: Sequence[int]) -> List[RecoveryStep]:
-        """Schedule for whole-disk failures (cached per column set)."""
+        """Schedule for whole-disk failures (cached per column set).
+
+        Delegates to the codec's shared
+        :meth:`~repro.codec.plan.CompiledPlans.recovery_schedule` cache,
+        so every decoder over the same codec (and the batched decode
+        path) reuses one planning run per failure pattern.
+        """
         key = tuple(sorted(set(failed_cols)))
         if len(key) > 2:
             raise FaultToleranceExceeded(
@@ -162,17 +167,13 @@ class ChainDecoder:
                 f"got {len(key)}",
                 unrecovered=column_failure_cells(self.layout, key),
             )
-        plan = self._column_plans.get(key)
+        plan = self.codec.plans.recovery_schedule(key)
         if plan is None:
-            lost = column_failure_cells(self.layout, key)
-            plan = plan_chain_recovery(self.layout, lost)
-            if plan is None:
-                raise DecodeError(
-                    f"chain decoding stuck for {self.layout.name} with "
-                    f"failed disks {key}",
-                    unrecovered=lost,
-                )
-            self._column_plans[key] = plan
+            raise DecodeError(
+                f"chain decoding stuck for {self.layout.name} with "
+                f"failed disks {key}",
+                unrecovered=column_failure_cells(self.layout, key),
+            )
         return plan
 
     def decode_columns(

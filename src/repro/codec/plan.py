@@ -328,6 +328,29 @@ class CompiledPlans:
         self.encode = compile_encode_plan(layout)
         self._schedules: Dict[Hashable, XorPlan] = {}
         self._updates: Dict[Cell, Tuple[np.ndarray, Tuple[Cell, ...]]] = {}
+        self._recovery_schedules: Dict[Tuple[int, ...], list] = {}
+
+    def recovery_schedule(self, failed_cols: Sequence[int]) -> "list | None":
+        """Chain-recovery schedule for whole-column failures (memoised).
+
+        The structural planning half of the recovery-plan cache: one
+        :func:`repro.codec.decoder.plan_chain_recovery` run per
+        ``(layout, failed column set)``, shared by every consumer of this
+        :class:`CompiledPlans` instance — batched decode, the chain
+        decoder, the volume's rebuild sweep.  Returns ``None`` (also
+        memoised) when the chain decoder cannot handle the pattern
+        (EVENODD's coupled diagonals) — callers fall back to Gauss.
+        """
+        key = tuple(sorted(set(failed_cols)))
+        if key not in self._recovery_schedules:
+            # local import: decoder imports this module at top level
+            from repro.codec.decoder import plan_chain_recovery
+            from repro.codes.base import column_failure_cells
+
+            self._recovery_schedules[key] = plan_chain_recovery(
+                self.layout, column_failure_cells(self.layout, key)
+            )
+        return self._recovery_schedules[key]
 
     def schedule_plan(self, schedule: Sequence) -> XorPlan:
         """Compiled form of a chain-recovery schedule (memoised)."""

@@ -165,9 +165,20 @@ class WriteIntentLog:
         """
         require(len(items) > 0, "an intent must cover at least one cell")
         self.checkpoint("pre_intent", stripe)
-        payload = tuple(
-            (cell, value.copy()) for cell, value in items
-        ) if copy else tuple(items)
+        if copy:
+            # one NVRAM buffer per stripe instead of one allocation per
+            # cell: the redo payload coalesces into a preallocated
+            # (cells, element_size) block and the intent holds row views
+            buf = np.empty(
+                (len(items), items[0][1].shape[-1]), dtype=np.uint8
+            )
+            for i, (_, value) in enumerate(items):
+                buf[i] = value
+            payload = tuple(
+                (cell, buf[i]) for i, (cell, _) in enumerate(items)
+            )
+        else:
+            payload = tuple(items)
         with self._lock:
             seq = self._next_seq
             self._next_seq += 1

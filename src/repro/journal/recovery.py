@@ -71,15 +71,19 @@ TORN_PARITY = "torn_parity"
 _CELL_LOST = (LatentSectorError, TransientIOError, DiskFailedError)
 
 
-def parity_digest(layout, get_cell) -> int:
+def parity_digest(layout, get_cell, cells=None) -> int:
     """CRC-32 chained over the stripe's parity cells in canonical order.
 
     ``get_cell(cell)`` returns the element buffer; the same chaining is
     used by the volume when it snapshots old parity into an intent, so
     digests are comparable across the write and recovery sides.
+    ``cells`` restricts the chain to a footprint subset (must be in
+    canonical ``layout.parity_cells`` order, as produced by
+    :meth:`repro.array.volume.RAID6Volume._parity_footprint`); ``None``
+    chains every parity cell.
     """
     digest = 0
-    for cell in layout.parity_cells:
+    for cell in layout.parity_cells if cells is None else cells:
         digest = zlib.crc32(np.ascontiguousarray(get_cell(cell)), digest)
     return digest
 
@@ -179,12 +183,14 @@ class CrashRecovery:
             bool(np.array_equal(buf[c.row, c.col], payload[c]))
             for c in readable_dirty
         )
-        parity_complete = not any(
-            c in lost_set for c in layout.parity_cells
-        )
+        # digest over the same footprint the write side snapshotted —
+        # derived from the intent's dirty cells, so it needs no extra
+        # journal field (full-stripe intents footprint every parity)
+        footprint = vol._parity_footprint(intent.dirty_cells)
+        parity_complete = not any(c in lost_set for c in footprint)
         parity_clean = not lost_set and vol.codec.parity_ok(buf)
         digest = (
-            parity_digest(layout, lambda c: buf[c.row, c.col])
+            parity_digest(layout, lambda c: buf[c.row, c.col], footprint)
             if parity_complete else None
         )
         if readable_dirty and n_new == len(readable_dirty):

@@ -17,7 +17,11 @@ import numpy as np
 
 from repro.codes.base import CodeLayout
 from repro.perf.diskmodel import DiskParameters, SAVVIO_10K3, disk_service_time_ms
-from repro.recovery.planner import RecoveryPlan, conventional_plan, hybrid_plan
+from repro.recovery.planner import (
+    RecoveryPlan,
+    cached_conventional_plan,
+    cached_hybrid_plan,
+)
 from repro.util.validation import require_index, require_positive
 
 
@@ -87,9 +91,9 @@ def rebuild_window(
     require_index(failed_col, layout.cols, "failed_col")
     require_positive(num_stripes, "num_stripes")
     if strategy == "hybrid":
-        plan = hybrid_plan(layout, failed_col)
+        plan = cached_hybrid_plan(layout, failed_col)
     elif strategy == "conventional":
-        plan = conventional_plan(layout, failed_col)
+        plan = cached_conventional_plan(layout, failed_col)
     else:
         raise ValueError(
             f"strategy must be 'hybrid' or 'conventional', got {strategy!r}"

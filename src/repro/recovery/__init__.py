@@ -10,6 +10,8 @@
 
 from repro.recovery.planner import (
     RecoveryPlan,
+    cached_conventional_plan,
+    cached_hybrid_plan,
     conventional_plan,
     hybrid_plan,
     recovery_read_savings,
@@ -17,6 +19,8 @@ from repro.recovery.planner import (
 
 __all__ = [
     "RecoveryPlan",
+    "cached_conventional_plan",
+    "cached_hybrid_plan",
     "conventional_plan",
     "hybrid_plan",
     "recovery_read_savings",

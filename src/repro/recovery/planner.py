@@ -18,6 +18,7 @@ to randomised local search beyond a configurable budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -192,12 +193,35 @@ def _local_search(
     return current
 
 
+@lru_cache(maxsize=1024)
+def cached_hybrid_plan(layout: CodeLayout, failed_col: int) -> RecoveryPlan:
+    """Memoised :func:`hybrid_plan` for the default planner parameters.
+
+    A plan depends only on the layout geometry and the failed column —
+    never on stripe data — so re-deriving it per stripe (as the rebuild
+    sweep and degraded read paths historically did) pays the exhaustive
+    ``2^(lost data cells)`` search over and over for an identical result.
+    Layouts hash by identity, matching
+    :func:`repro.codec.plan.compiled_plans`: every consumer sharing a
+    layout object (volume, decoder, access engine) shares one plan.
+    """
+    return hybrid_plan(layout, failed_col)
+
+
+@lru_cache(maxsize=1024)
+def cached_conventional_plan(
+    layout: CodeLayout, failed_col: int, family: Optional[str] = None
+) -> RecoveryPlan:
+    """Memoised :func:`conventional_plan` (see :func:`cached_hybrid_plan`)."""
+    return conventional_plan(layout, failed_col, family)
+
+
 def recovery_read_savings(
     layout: CodeLayout, failed_col: int, family: Optional[str] = None
 ) -> float:
     """Fraction of reads the hybrid plan saves over the conventional one."""
-    conv = conventional_plan(layout, failed_col, family)
-    hyb = hybrid_plan(layout, failed_col)
+    conv = cached_conventional_plan(layout, failed_col, family)
+    hyb = cached_hybrid_plan(layout, failed_col)
     if conv.num_reads == 0:
         return 0.0
     return 1.0 - hyb.num_reads / conv.num_reads

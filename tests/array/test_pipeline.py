@@ -70,6 +70,81 @@ class TestStripePipeline:
         assert pipe.map(lambda x: x + 1, [1, 2]) == [2, 3]
 
 
+@pytest.fixture
+def multicore(monkeypatch):
+    """Force the pooled chunk path even on a single-core host (where
+    the CPU cap would collapse a 4-worker pipeline to the serial loop)."""
+    import repro.array.pipeline as pl
+    monkeypatch.setattr(pl.os, "cpu_count", lambda: 4)
+
+
+class TestChunkedDispatch:
+    """Chunked fan-out semantics (the 0.48x regression fix)."""
+
+    @pytest.mark.parametrize("chunk_size", (1, 3, 7, 63, 64, 100))
+    def test_explicit_chunk_size_preserves_order(
+        self, multicore, chunk_size
+    ):
+        pipe = StripePipeline(workers=4)
+        try:
+            items = list(range(64))
+            assert pipe.map(
+                lambda x: x * 3, items, chunk_size=chunk_size
+            ) == [x * 3 for x in items]
+        finally:
+            pipe.close()
+
+    def test_single_chunk_runs_inline(self):
+        pipe = StripePipeline(workers=4)
+        # chunk_size covering every item means there is nothing to
+        # overlap — the serial loop runs and no pool is spun up
+        assert pipe.map(lambda x: x, list(range(8)), chunk_size=8) == \
+            list(range(8))
+        assert pipe._pool is None
+
+    def test_cpu_cap_collapses_to_serial(self, monkeypatch):
+        import repro.array.pipeline as pl
+        monkeypatch.setattr(pl.os, "cpu_count", lambda: 1)
+        pipe = StripePipeline(workers=4)
+        assert pipe.parallel  # the *policy* stays parallel
+        assert pipe.map(lambda x: x + 1, [1, 2, 3, 4]) == [2, 3, 4, 5]
+        assert pipe._pool is None  # but no threads were spawned
+
+    def test_lowest_index_wins_across_chunks(self, multicore):
+        pipe = StripePipeline(workers=4)
+
+        def boom(x):
+            if x in (6, 9):
+                raise ValueError(f"task {x}")
+            return x
+
+        try:
+            # chunk_size=2 puts the two failures in different chunks
+            with pytest.raises(ValueError, match="task 6"):
+                pipe.map(boom, list(range(12)), chunk_size=2)
+        finally:
+            pipe.close()
+
+    def test_all_tasks_run_despite_failure(self, multicore):
+        pipe = StripePipeline(workers=2)
+        seen = []
+        lock = __import__("threading").Lock()
+
+        def record(x):
+            with lock:
+                seen.append(x)
+            if x == 0:
+                raise RuntimeError("task 0")
+            return x
+
+        try:
+            with pytest.raises(RuntimeError, match="task 0"):
+                pipe.map(record, list(range(10)), chunk_size=2)
+            assert sorted(seen) == list(range(10))
+        finally:
+            pipe.close()
+
+
 def _drive(volume: RAID6Volume, rng: np.ndarray) -> list:
     """A deterministic mixed workload; returns everything read back."""
     per = volume.layout.num_data_cells

@@ -82,3 +82,34 @@ class TestReadsPerDisk:
             len(layout.cells_in_column(c)) for c in range(2, 7)
         )
         assert sum(decoder.reads_per_disk(plan).values()) <= survivors
+
+
+class TestScheduleCache:
+    """CompiledPlans.recovery_schedule memoises per failure pattern."""
+
+    def test_schedule_is_memoised(self):
+        codec = StripeCodec(DCode(7), element_size=8)
+        first = codec.plans.recovery_schedule([0, 1])
+        assert codec.plans.recovery_schedule([0, 1]) is first
+        # order and duplicates normalise to the same key
+        assert codec.plans.recovery_schedule([1, 0, 1]) is first
+
+    def test_decoder_uses_shared_cache(self):
+        codec = StripeCodec(DCode(7), element_size=8)
+        decoder = ChainDecoder(codec)
+        plan = decoder.plan_for_columns([2, 4])
+        assert codec.plans.recovery_schedule([2, 4]) is plan
+
+    def test_unchainable_pattern_memoises_none(self):
+        # EVENODD double failures need Gaussian elimination: the chain
+        # planner yields None, and that result is cached too
+        codec = StripeCodec(make_code("evenodd", 5), element_size=8)
+        assert codec.plans.recovery_schedule([0, 1]) is None
+        assert codec.plans.recovery_schedule([0, 1]) is None
+
+    def test_schedule_matches_uncached_planner(self):
+        layout = XCode(5)
+        codec = StripeCodec(layout, element_size=8)
+        cached = codec.plans.recovery_schedule([0, 3])
+        direct = plan_for(layout, (0, 3))
+        assert [s.cell for s in cached] == [s.cell for s in direct]

@@ -57,6 +57,18 @@ class TestLifecycle:
         intent = log.open(0, items, copy=False)
         assert intent.payload()[Cell(0, 0)] is items[0][1]
 
+    def test_copied_payload_coalesces_into_one_buffer(self):
+        # the redo image is one preallocated NVRAM block, not one
+        # allocation per cell — every payload row views the same base
+        log = WriteIntentLog()
+        items = _items(4)
+        intent = log.open(0, items)
+        bases = {id(v.base) for _, v in intent.cells}
+        assert len(bases) == 1
+        assert intent.cells[0][1].base is not None
+        for (cell, got), (_, want) in zip(intent.cells, items):
+            assert np.array_equal(got, want), cell
+
     def test_open_requires_cells(self):
         with pytest.raises(Exception):
             WriteIntentLog().open(0, [])

@@ -5,6 +5,8 @@ import pytest
 
 from repro.codes import DCode, XCode, make_code
 from repro.recovery.planner import (
+    cached_conventional_plan,
+    cached_hybrid_plan,
     conventional_plan,
     hybrid_plan,
     recovery_read_savings,
@@ -96,3 +98,33 @@ class TestPlanAccounting:
         for cell, group in plan.choices:
             if layout.is_data(cell):
                 assert group.family == "horizontal"
+
+
+class TestPlanCache:
+    """Memoised planners: the degraded fast path re-derives nothing."""
+
+    def test_cached_hybrid_is_memoised(self):
+        layout = DCode(7)
+        assert cached_hybrid_plan(layout, 2) is cached_hybrid_plan(layout, 2)
+
+    def test_cached_hybrid_matches_direct(self):
+        layout = XCode(7)
+        for failed in range(layout.cols):
+            cached = cached_hybrid_plan(layout, failed)
+            direct = hybrid_plan(layout, failed)
+            assert cached.num_reads == direct.num_reads
+            assert set(cached.reads) == set(direct.reads)
+
+    def test_cached_conventional_matches_direct(self):
+        layout = DCode(5)
+        for family in (None, "horizontal"):
+            cached = cached_conventional_plan(layout, 0, family)
+            direct = conventional_plan(layout, 0, family)
+            assert cached.num_reads == direct.num_reads
+            assert set(cached.reads) == set(direct.reads)
+
+    def test_distinct_layouts_get_distinct_plans(self):
+        # layouts hash by identity: two equal-shaped instances must not
+        # collide in the cache
+        a, b = DCode(5), DCode(5)
+        assert cached_hybrid_plan(a, 1) is not cached_hybrid_plan(b, 1)
