@@ -187,6 +187,17 @@ class SimDisk:
         with self._lock:
             self.read_count += int(n)
 
+    def count_writes(self, n: int) -> None:
+        """Account ``n`` element writes performed out-of-band.
+
+        The process-pool RMW path scatters into the shared backing store
+        from worker processes (whose counter increments die with the
+        child); the parent replays the deltas here so the I/O ledger
+        matches the serial path exactly.
+        """
+        with self._lock:
+            self.write_count += int(n)
+
     # -- latent sector errors ---------------------------------------------
 
     def mark_bad(self, offset: int) -> None:

@@ -30,7 +30,7 @@ from repro.array.volume import RAID6Volume
 from repro.codes.base import Cell
 from repro.codes.registry import make_code
 from repro.exceptions import ReproError
-from repro.journal.intent import WriteIntent, WriteIntentLog
+from repro.journal.intent import GroupFrame, WriteIntent, WriteIntentLog
 
 #: Archive format version — bump on incompatible layout changes.
 #: v2 adds journal + checksum state; v1 archives still load (read-only
@@ -83,6 +83,17 @@ def save_volume(
                     "cells": [[c.row, c.col] for c in intent.dirty_cells],
                     "old_parity_digest": intent.old_parity_digest,
                     "new_parity_digest": intent.new_parity_digest,
+                    # group-commit framing (docs/robustness.md, "Journal
+                    # format"): members of one burst share group_seq, and
+                    # recovery's joint verdict needs the frame restored
+                    **(
+                        {
+                            "group_seq": intent.group.group_seq,
+                            "group_size": intent.group.size,
+                            "group_old_digest": intent.group.old_digest,
+                        }
+                        if intent.group is not None else {}
+                    ),
                 }
                 for intent in open_intents
             ],
@@ -160,9 +171,12 @@ def load_volume(path: Union[str, Path]) -> RAID6Volume:
                 stacklevel=2,
             )
         elif journal is not None:
+            # members of one group must share a single GroupFrame object:
+            # recovery matches them by frame identity, not by group_seq
+            frames: dict = {}
             journal.restore(
                 [
-                    _load_intent(archive, path, spec)
+                    _load_intent(archive, path, spec, frames)
                     for spec in meta["journal"]["open"]
                 ],
                 meta["journal"]["next_seq"],
@@ -175,7 +189,9 @@ def load_volume(path: Union[str, Path]) -> RAID6Volume:
     return volume
 
 
-def _load_intent(archive, path: Path, spec: dict) -> WriteIntent:
+def _load_intent(
+    archive, path: Path, spec: dict, frames: Optional[dict] = None
+) -> WriteIntent:
     """Rebuild one open intent from its metadata + payload array."""
     key = f"intent_{spec['seq']}"
     if key not in archive:
@@ -187,6 +203,18 @@ def _load_intent(archive, path: Path, spec: dict) -> WriteIntent:
             f"{path}: {key} holds {payload.shape[0]} payload rows for "
             f"{len(cells)} cells"
         )
+    group = None
+    if frames is not None and "group_seq" in spec:
+        gseq = int(spec["group_seq"])
+        group = frames.get(gseq)
+        if group is None:
+            digest = spec.get("group_old_digest")
+            group = GroupFrame(
+                group_seq=gseq,
+                size=int(spec["group_size"]),
+                old_digest=None if digest is None else int(digest),
+            )
+            frames[gseq] = group
     return WriteIntent(
         seq=int(spec["seq"]),
         stripe=int(spec["stripe"]),
@@ -195,4 +223,5 @@ def _load_intent(archive, path: Path, spec: dict) -> WriteIntent:
         ),
         old_parity_digest=spec.get("old_parity_digest"),
         new_parity_digest=spec.get("new_parity_digest"),
+        group=group,
     )

@@ -38,6 +38,25 @@ The worker count comes from the ``REPRO_WORKERS`` environment variable
 override it explicitly.  Pools are created lazily on first parallel use,
 so the thousands of short-lived volumes the test-suite builds never pay
 for thread spawn.
+
+GIL notes
+---------
+
+Thread workers only overlap when the kernel under them drops the GIL.
+The compiled XOR kernel does — it is loaded through :class:`ctypes.CDLL`,
+which releases the GIL for the duration of every foreign call (see
+``repro/util/ckernel.py`` and :func:`repro.util.ckernel
+.kernel_releases_gil`) — and numpy's own ufunc loops release it for
+large operands.  Pure-Python builds that cannot rely on either can set
+``REPRO_PROCESS_POOL=1`` (or pass ``process_pool=True``) to route
+eligible bulk work through :meth:`StripePipeline.map_process`, a
+fork-based :class:`multiprocessing.Pool` whose children operate on
+shared-memory views of the volume's backing tensor so no stripe data is
+pickled across the process boundary.  Unlike :meth:`map`, the process
+path deliberately does **not** cap fan-out at ``os.cpu_count()``:
+processes sidestep the GIL entirely, so oversubscription costs only
+scheduler time, and capping would silently serialise the equivalence
+tests on single-core CI runners.
 """
 
 from __future__ import annotations
@@ -52,6 +71,21 @@ R = TypeVar("R")
 
 #: Environment knob naming the stripe-pipeline worker count.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment knob routing eligible bulk work through a process pool.
+PROCESS_POOL_ENV = "REPRO_PROCESS_POOL"
+
+
+def process_pool_enabled(flag: Optional[bool] = None) -> bool:
+    """Resolve the process-pool opt-in.
+
+    An explicit ``flag`` wins; otherwise ``REPRO_PROCESS_POOL`` is
+    consulted (unset/empty/``0`` -> off, anything else -> on).
+    """
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get(PROCESS_POOL_ENV, "").strip()
+    return raw not in ("", "0")
 
 
 def worker_count(workers: Optional[int] = None) -> int:
@@ -83,9 +117,15 @@ _CHUNKS_PER_WORKER = 2
 class StripePipeline:
     """Ordered fan-out of independent per-stripe tasks over a thread pool."""
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        process_pool: Optional[bool] = None,
+    ) -> None:
         self.workers = worker_count(workers)
+        self.process_pool = process_pool_enabled(process_pool)
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._procs = None
         self._pool_lock = threading.Lock()
 
     @property
@@ -160,12 +200,58 @@ class StripePipeline:
             raise first_exc
         return results
 
+    def map_process(
+        self,
+        fn: Callable[[T], R],
+        payloads: Sequence[T],
+    ) -> List[R]:
+        """Run ``fn`` over ``payloads`` in a fork-based process pool.
+
+        ``fn`` must be a module-level function and each payload must be
+        picklable (bulk stripe data travels out-of-band via shared
+        memory, so payloads stay small).  Results come back in
+        submission order.  The fan-out is ``min(workers, len(payloads))``
+        with **no** CPU-count cap — child processes do not share a GIL,
+        so they genuinely overlap even when oversubscribed.  Raises
+        ``RuntimeError`` when the platform lacks the ``fork`` start
+        method (callers fall back to the thread/serial path).
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if len(payloads) == 1 or self.workers <= 1:
+            return [fn(p) for p in payloads]
+        pool = self._process_pool(min(self.workers, len(payloads)))
+        return pool.map(fn, payloads, chunksize=1)
+
+    def _process_pool(self, procs: int):
+        import multiprocessing
+
+        with self._pool_lock:
+            if self._procs is not None and self._procs[0] >= procs:
+                return self._procs[1]
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError as exc:  # pragma: no cover — non-POSIX
+                raise RuntimeError("fork start method unavailable") from exc
+            old = self._procs
+            pool = ctx.Pool(processes=procs)
+            self._procs = (procs, pool)
+        if old is not None:
+            old[1].terminate()
+            old[1].join()
+        return pool
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pools down (idempotent)."""
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            procs, self._procs = self._procs, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if procs is not None:
+            procs[1].terminate()
+            procs[1].join()
 
     def __repr__(self) -> str:
         state = "idle" if self._pool is None else "running"

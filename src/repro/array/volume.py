@@ -33,15 +33,18 @@ every claimed I/O saving observable, which the integration tests exploit.
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 import zlib
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.array.disk import SimDisk
 from repro.array.mapping import AddressMapper
-from repro.array.pipeline import StripePipeline
+from repro.array.pipeline import StripePipeline, process_pool_enabled
 from repro.codes.base import Cell, CodeLayout
 from repro.codec.batch import blank_batch, decode_batch, encode_batch
 from repro.codec.decoder import ChainDecoder
@@ -107,6 +110,7 @@ class RAID6Volume:
         policy: Optional[ErrorPolicy] = None,
         workers: Optional[int] = None,
         journal: Optional[WriteIntentLog] = None,
+        process_pool: Optional[bool] = None,
     ) -> None:
         require_positive(num_stripes, "num_stripes")
         self.layout = layout
@@ -118,10 +122,40 @@ class RAID6Volume:
         # ``(stripe * rows + row) * cols + col``, which is what lets a
         # stripe-aligned read of a row-major layout hand out a zero-copy
         # view (see :meth:`read`).
-        self._backing = np.zeros(
-            (self.mapper.disk_capacity, layout.cols, element_size),
-            dtype=np.uint8,
-        )
+        #
+        # Under ``REPRO_PROCESS_POOL=1`` (or ``process_pool=True``) the
+        # tensor is placed in POSIX shared memory instead of private
+        # pages, so forked worker processes operate on the *same* backing
+        # — the GIL-free fallback for pure-numpy builds
+        # (docs/performance.md, "Hot-path scaling").
+        use_procs = process_pool_enabled(process_pool)
+        shape = (self.mapper.disk_capacity, layout.cols, element_size)
+        self._shm = None
+        self._shm_name: Optional[str] = None
+        if use_procs:
+            try:
+                from multiprocessing import shared_memory
+
+                nbytes = int(np.prod(shape))
+                self._shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, nbytes)
+                )
+                self._backing = np.ndarray(
+                    shape, dtype=np.uint8, buffer=self._shm.buf
+                )
+                self._backing[:] = 0
+                self._shm_name = self._shm.name
+                # unlink when the volume is collected (or at interpreter
+                # exit), so test-suite volumes never leak /dev/shm pages
+                self._shm_finalizer = weakref.finalize(
+                    self, _release_shm, self._shm
+                )
+            except Exception:
+                self._shm = None
+                self._shm_name = None
+                use_procs = False
+        if self._shm is None:
+            self._backing = np.zeros(shape, dtype=np.uint8)
         self._flat_backing = self._backing.reshape(-1, element_size)
         self.disks: List[SimDisk] = [
             SimDisk(i, self.mapper.disk_capacity, element_size,
@@ -149,7 +183,7 @@ class RAID6Volume:
         self._encode_order = _toposort_groups(layout)
         #: Per-stripe task scheduler (serial unless REPRO_WORKERS / the
         #: ``workers`` argument enables threads — docs/performance.md).
-        self.pipeline = StripePipeline(workers)
+        self.pipeline = StripePipeline(workers, process_pool=use_procs)
         self._policy_lock = threading.RLock()
         # Degraded-read planners, one per failure state (tuple of stale
         # disks).  A dict — not a single slot — because a rebuild splits
@@ -162,6 +196,11 @@ class RAID6Volume:
         # data-cell set -> affected parity cells (journal digest footprint)
         self._footprint_cache: Dict[
             frozenset, Tuple[Cell, ...]
+        ] = {}
+        # dirty-cell pattern -> vectorised RMW parity steps (see
+        # :meth:`_rmw_plan`)
+        self._rmw_plan_cache: Dict[
+            Tuple[Cell, ...], List[Tuple[Cell, Tuple[Cell, ...]]]
         ] = {}
         # -- vectorised-geometry tables (docs/performance.md) -------------
         self._col_rows: List[np.ndarray] = [
@@ -903,14 +942,114 @@ class RAID6Volume:
     def _write_rest(
         self, entries: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]]
     ) -> None:
-        """Run partial-stripe writes, concurrently when allowed."""
-        if len(entries) > 1 and self._parallel_ok():
-            self.pipeline.map(
-                lambda entry: self._write_stripe_batch(*entry), entries
-            )
-        else:
-            for stripe, items in entries:
-                self._write_stripe_batch(stripe, items)
+        """Run the non-tensor writes of one request queue.
+
+        Three stacked fast paths (docs/performance.md, "Hot-path
+        scaling"), each independently gated and falling back to the next:
+
+        * **group commit** — a journaled burst of two or more stripes
+          shares one coalesced intent append and one digest pass
+          (:meth:`_open_group_intents`) instead of per-stripe journal
+          round-trips;
+        * **vectorised RMW** — an all-partial burst on a quiet healthy
+          array executes as per-worker batched read/XOR/scatter passes
+          (:meth:`_rmw_entries_batched`), byte- and counter-identical to
+          the serial loop;
+        * **thread fan-out** — otherwise per-stripe tasks run on the
+          stripe pipeline when :meth:`_parallel_ok` allows.
+        """
+        if not entries:
+            return
+        intents = self._open_group_intents(entries)
+        # the vectorised path bypasses the per-stripe journal chokepoint,
+        # so it requires the burst to be covered by a group intent (or no
+        # journal at all)
+        write = (
+            self._write_stripe_unjournaled if intents is not None
+            else self._write_stripe_batch
+        )
+        journal_ok = self.journal is None or intents is not None
+        if not (
+            len(entries) > 1
+            and journal_ok
+            and self._rmw_entries_batched(entries)
+        ):
+            if len(entries) > 1 and self._parallel_ok():
+                self.pipeline.map(lambda entry: write(*entry), entries)
+            else:
+                for stripe, items in entries:
+                    write(stripe, items)
+        if intents is not None:
+            self.journal.commit_group(intents)
+
+    def _open_group_intents(
+        self, entries: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]]
+    ) -> Optional[List["WriteIntent"]]:
+        """Journal a burst of stripe writes as one group append.
+
+        Returns the member intents (commit them with
+        ``journal.commit_group`` once every write has landed), or ``None``
+        when group commit does not apply — no journal, a single stripe, or
+        per-stripe journaling forced via ``journal.group_commit = False``.
+        Engages even while a crash-point phase hook is attached: the
+        *writes* drop to the deterministic serial paths under a hook, but
+        group framing must stay on so the chaos campaigns can tear bursts
+        at group boundaries.
+        """
+        journal = self.journal
+        if journal is None or len(entries) < 2 or not journal.group_commit:
+            return None
+        per = self.layout.num_data_cells
+        partial = [
+            (stripe, items) for stripe, items in entries
+            if len(items) < per
+        ]
+        old_digest = self._group_old_digest(partial) if partial else None
+        return journal.open_group(entries, old_digest=old_digest)
+
+    def _group_old_digest(
+        self, partial: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]]
+    ) -> Optional[int]:
+        """One CRC-32 chain over the burst's pre-write parity footprints.
+
+        The group-commit replacement for per-stripe
+        :meth:`_parity_store_digest` calls: every partial member's
+        footprint is gathered from the backing store in member order and
+        digested in a single pass (CRC-32 over the concatenation equals
+        the per-block chain recovery recomputes —
+        :func:`repro.journal.recovery.parity_digest` with ``start=``).
+        Controller metadata like the per-stripe digest: uncounted,
+        fault-hook-free.  Returns ``None`` when any member's footprint
+        column is stale — recovery then falls back to per-stripe
+        classification, all a degraded burst can offer.
+        """
+        rows, cols = self.layout.rows, self.layout.cols
+        # on a healthy, quiet array every stripe's stale set is empty —
+        # skip the per-member scan (it would otherwise dominate the whole
+        # group-commit cost on the hot path)
+        quiet = not self.failed_disks and (
+            self._rebuild is None or not self._rebuild.active
+        )
+        rotate = self.mapper.rotate
+        offs: List[int] = []
+        dsks: List[int] = []
+        for stripe, items in partial:
+            cells = self._parity_footprint(c for c, _ in items)
+            if not quiet:
+                stale = self._stale_cols(stripe)
+                if stale and not set(stale).isdisjoint(
+                    c.col for c in cells
+                ):
+                    return None
+            shift = stripe % cols if rotate else 0
+            base = stripe * rows
+            for c in cells:
+                offs.append(base + c.row)
+                dsks.append((c.col + shift) % cols)
+        block = self._backing[
+            np.array(offs, dtype=np.intp), np.array(dsks, dtype=np.intp), :
+        ]
+        return zlib.crc32(np.ascontiguousarray(block))
 
     def _write_full_stripes_tensor(
         self, full0: int, full1: int, data: np.ndarray
@@ -1177,6 +1316,182 @@ class RAID6Volume:
                 wrote = True
                 deltas[group.parity] = gdelta
 
+    # -- vectorised multi-stripe RMW (docs/performance.md) -------------------
+
+    def _rmw_plan(
+        self, cells: Tuple[Cell, ...]
+    ) -> List[Tuple[Cell, Tuple[Cell, ...]]]:
+        """Structural parity steps of an RMW over ``cells``.
+
+        ``(parity, members)`` pairs in encode order, where ``members``
+        are the dirty (or cascaded-parity) cells feeding that parity's
+        delta — the cell-pattern-invariant skeleton of
+        :meth:`_rmw_write`'s group walk, cached per pattern so a batched
+        burst pays the toposort scan once.  Structurally a superset of
+        the serial walk: stripes whose member deltas happen to cancel
+        contribute an all-zero row and are masked out numerically.
+        """
+        key = tuple(cells)
+        plan = self._rmw_plan_cache.get(key)
+        if plan is None:
+            flips = set(key)
+            plan = []
+            for group in self._encode_order:
+                members = tuple(m for m in group.members if m in flips)
+                if members:
+                    plan.append((group.parity, members))
+                    flips.add(group.parity)
+            self._rmw_plan_cache[key] = plan
+        return plan
+
+    def _rmw_entries_batched(
+        self, entries: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]]
+    ) -> bool:
+        """Try the vectorised multi-stripe RMW; ``False`` means fall back.
+
+        Engages only for an all-partial burst on a quiet, healthy,
+        unrotated array with a parallel pipeline: the same data/parity
+        elements are read and written as the serial per-stripe loop (and
+        the counters match exactly), but as one batched gather/scatter
+        pass per worker chunk instead of thousands of per-element calls.
+        With ``REPRO_PROCESS_POOL`` the chunks run in forked workers over
+        the shared-memory backing (GIL-free even for pure-numpy builds);
+        otherwise they fan out over the thread pool, whose workers spend
+        their time in GIL-released numpy/C-kernel calls.
+        """
+        per = self.layout.num_data_cells
+        if (
+            not self.pipeline.parallel
+            or self.mapper.rotate
+            or self._vulnerable_disks()
+            or not self._batch_write_ok()
+            or not self._batch_io_ok()
+            or any(len(items) >= per for _, items in entries)
+        ):
+            return False
+        if self.pipeline.process_pool and self._rmw_entries_process(entries):
+            return True
+        # threads beyond physical cores cannot overlap even GIL-released
+        # work; on a single-core host this collapses to one full-width
+        # vectorised pass — still far faster than the per-element loop
+        workers = min(self.pipeline.workers, os.cpu_count() or 1)
+        chunks = _split_chunks(entries, workers)
+        if len(chunks) > 1:
+            self.pipeline.map(self._rmw_chunk, chunks)
+        else:
+            self._rmw_chunk(entries)
+        return True
+
+    def _rmw_chunk(
+        self, entries: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]]
+    ) -> None:
+        """Vectorised RMW over one worker's chunk of a burst.
+
+        Stripes sharing a dirty-cell pattern batch together: per data
+        cell one gather of the old values across all stripes, one XOR
+        for the deltas, one scatter of the rows that actually changed;
+        then the cached :meth:`_rmw_plan` parity steps run the same way
+        with per-stripe masks.  Byte- and counter-identical to running
+        :meth:`_rmw_write` per stripe.
+        """
+        rows = self.layout.rows
+        groups: Dict[
+            Tuple[Cell, ...], List[Tuple[int, List[np.ndarray]]]
+        ] = {}
+        for stripe, items in entries:
+            key = tuple(c for c, _ in items)
+            groups.setdefault(key, []).append(
+                (stripe, [v for _, v in items])
+            )
+        for cells, members in groups.items():
+            stripes = np.array([s for s, _ in members], dtype=np.intp)
+            values = np.asarray([vs for _, vs in members])  # (n, m, es)
+            deltas: Dict[Cell, np.ndarray] = {}
+            for j, cell in enumerate(cells):
+                offs = stripes * rows + cell.row
+                old = self.disks[cell.col].read_block(offs)
+                delta = np.bitwise_xor(old, values[:, j])
+                mask = delta.any(axis=1)
+                if mask.any():
+                    self._disk_write_block(
+                        cell.col, offs[mask],
+                        np.ascontiguousarray(values[mask, j]),
+                    )
+                deltas[cell] = delta
+            for parity, srcs in self._rmw_plan(cells):
+                gdelta = deltas[srcs[0]].copy()
+                for m in srcs[1:]:
+                    np.bitwise_xor(gdelta, deltas[m], out=gdelta)
+                gmask = gdelta.any(axis=1)
+                if gmask.any():
+                    offs = stripes[gmask] * rows + parity.row
+                    old = self.disks[parity.col].read_block(offs)
+                    np.bitwise_xor(old, gdelta[gmask], out=old)
+                    self._disk_write_block(parity.col, offs, old)
+                deltas[parity] = gdelta
+
+    def _rmw_entries_process(
+        self, entries: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]]
+    ) -> bool:
+        """Dispatch a burst's RMW chunks to forked worker processes.
+
+        Workers attach to the shared-memory backing by name and run the
+        same vectorised algorithm as :meth:`_rmw_chunk` directly against
+        the tensor, returning per-column I/O counter deltas the parent
+        replays onto the disks — so results *and* counters match the
+        serial path.  Returns ``False`` (caller falls back to threads)
+        when the backing is not in shared memory, the write funnel is
+        wrapped per-instance (integrity tooling), the burst is too small
+        to split, or the platform cannot fork.
+        """
+        if self._shm_name is None or self.pipeline.workers < 2:
+            return False
+        if "_disk_write_block" in self.__dict__ \
+                or "_write_cell" in self.__dict__:
+            # IntegrityChecker-style wrappers observe writes through
+            # instance attributes, which a forked child would bypass
+            return False
+        # like the thread path, cap the fan-out at the core count:
+        # forked workers beyond physical cores pay fork/pickle/IPC for
+        # no added parallelism, and on a single core the in-process
+        # vectorised chunks (the caller's fallback) are strictly faster
+        workers = min(
+            self.pipeline.workers, len(entries), os.cpu_count() or 1
+        )
+        if workers < 2:
+            return False
+        chunks = _split_chunks(entries, workers)
+        geom = (
+            self._shm_name, self._backing.shape,
+            self.layout.name, self.layout.p, self.element_size,
+        )
+        payloads = [
+            geom + (
+                [
+                    (
+                        stripe,
+                        [
+                            ((c.row, c.col), v.tobytes())
+                            for c, v in items
+                        ],
+                    )
+                    for stripe, items in chunk
+                ],
+            )
+            for chunk in chunks
+        ]
+        try:
+            results = self.pipeline.map_process(
+                _process_rmw_chunk, payloads
+            )
+        except (RuntimeError, OSError):
+            return False
+        for counts in results:
+            for col, (reads, writes) in counts.items():
+                self.disks[col].count_reads(reads)
+                self.disks[col].count_writes(writes)
+        return True
+
     # -- self-healing disk I/O ----------------------------------------------
 
     def _stale_disks(self, stripe: int) -> Tuple[int, ...]:
@@ -1437,3 +1752,128 @@ class _VolumeReadPlanner:
 
     def plan_for(self, stripe: int, wanted):
         return self._engine._plan_stripe_read(stripe, wanted)
+
+
+# -- module helpers for shared-memory / process-pool RMW ---------------------
+
+
+def _release_shm(shm) -> None:
+    """Close and unlink a volume's shared-memory backing (finalizer)."""
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        pass
+
+
+def _split_chunks(items: List, parts: int) -> List[List]:
+    """Split ``items`` into at most ``parts`` contiguous non-empty runs."""
+    parts = max(1, min(parts, len(items)))
+    size = -(-len(items) // parts)
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+#: Per-process attachment cache of the RMW worker: forked children keep
+#: their shared-memory handle, layout, encode order and pattern plans
+#: alive across :func:`_process_rmw_chunk` calls.
+_PROC_RMW_CACHE: Dict[Tuple, Tuple] = {}
+
+
+def _attach_rmw_context(shm_name, shape, code, p, element_size):
+    key = (shm_name, shape, code, p, element_size)
+    ctx = _PROC_RMW_CACHE.get(key)
+    if ctx is None:
+        from multiprocessing import resource_tracker, shared_memory
+
+        from repro.codes import make_code
+
+        # the segment belongs to the parent volume (whose finalizer
+        # unlinks it); attaching must not re-register it with the shared
+        # resource tracker, or the tracker double-frees at shutdown
+        orig_register = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            shm = shared_memory.SharedMemory(name=shm_name)
+        finally:
+            resource_tracker.register = orig_register
+        backing = np.ndarray(shape, dtype=np.uint8, buffer=shm.buf)
+        layout = make_code(code, p)
+        order = _toposort_groups(layout)
+        ctx = (shm, backing, layout, order, {})
+        _PROC_RMW_CACHE[key] = ctx
+    return ctx
+
+
+def _process_rmw_chunk(payload):
+    """Forked-worker body of the process-pool RMW path.
+
+    ``payload`` is ``(shm_name, shape, code, p, element_size, entries)``
+    with entries as ``(stripe, [((row, col), value_bytes), ...])`` — small
+    and picklable; the stripe data itself lives in the shared backing.
+    Runs the exact :meth:`RAID6Volume._rmw_chunk` algorithm against the
+    shared tensor and returns ``{col: (reads, writes)}`` counter deltas
+    for the parent to replay.
+    """
+    shm_name, shape, code, p, element_size, raw_entries = payload
+    _, backing, layout, order, plans = _attach_rmw_context(
+        shm_name, shape, code, p, element_size
+    )
+    rows = layout.rows
+    counts: Dict[int, List[int]] = {}
+
+    def account(col: int, reads: int, writes: int) -> None:
+        c = counts.setdefault(col, [0, 0])
+        c[0] += reads
+        c[1] += writes
+
+    groups: Dict[Tuple[Cell, ...], List[Tuple[int, List[bytes]]]] = {}
+    for stripe, items in raw_entries:
+        key = tuple(Cell(r, c) for (r, c), _ in items)
+        groups.setdefault(key, []).append(
+            (stripe, [blob for _, blob in items])
+        )
+    for cells, members in groups.items():
+        plan = plans.get(cells)
+        if plan is None:
+            flips = set(cells)
+            plan = []
+            for group in order:
+                srcs = tuple(m for m in group.members if m in flips)
+                if srcs:
+                    plan.append((group.parity, srcs))
+                    flips.add(group.parity)
+            plans[cells] = plan
+        stripes = np.array([s for s, _ in members], dtype=np.intp)
+        values = np.frombuffer(
+            b"".join(blob for _, blobs in members for blob in blobs),
+            dtype=np.uint8,
+        ).reshape(len(members), len(cells), element_size)
+        deltas: Dict[Cell, np.ndarray] = {}
+        for j, cell in enumerate(cells):
+            offs = stripes * rows + cell.row
+            old = backing[offs, cell.col, :]
+            account(cell.col, int(offs.size), 0)
+            delta = np.bitwise_xor(old, values[:, j])
+            mask = delta.any(axis=1)
+            if mask.any():
+                backing[offs[mask], cell.col, :] = values[mask, j]
+                account(cell.col, 0, int(mask.sum()))
+            deltas[cell] = delta
+        for parity, srcs in plan:
+            gdelta = deltas[srcs[0]].copy()
+            for m in srcs[1:]:
+                np.bitwise_xor(gdelta, deltas[m], out=gdelta)
+            gmask = gdelta.any(axis=1)
+            if gmask.any():
+                offs = stripes[gmask] * rows + parity.row
+                old = backing[offs, parity.col, :]
+                np.bitwise_xor(old, gdelta[gmask], out=old)
+                backing[offs, parity.col, :] = old
+                account(
+                    parity.col, int(gmask.sum()), int(gmask.sum())
+                )
+            deltas[parity] = gdelta
+    return {col: (c[0], c[1]) for col, c in counts.items()}

@@ -410,9 +410,14 @@ def run_chaos(
 
 #: Write patterns the crash-point campaign tears (each exercises a
 #: different journaled write path): a healthy-array RMW, a single full-
-#: stripe write, a multi-stripe span (partial + full + partial), and a
-#: coalesced cache destage.
-CRASH_PATTERNS: Tuple[str, ...] = ("rmw", "full", "multi", "destage")
+#: stripe write, a multi-stripe span (partial + full + partial), a
+#: coalesced cache destage, and an all-partial RMW burst — the shape that
+#: journals as one group-committed append, so its ``pre_intent`` /
+#: ``post_intent`` / ``pre_commit`` occurrences land on group boundaries
+#: (first/middle/last member of the group).
+CRASH_PATTERNS: Tuple[str, ...] = (
+    "rmw", "full", "multi", "destage", "burst",
+)
 
 
 @dataclass
@@ -531,6 +536,16 @@ class _CrashCampaign:
             # tail of stripe 0, all of stripe 1, head of stripe 2
             start = per // 2
             return [(start, payload(min(2 * per, vol.num_elements - start)))]
+        if pattern == "burst":
+            # three partial-stripe RMWs flushed as one coalesced burst:
+            # the cache destages them through a single _write_rest call,
+            # which journals them as one group-committed append
+            n = per // 3 or 1
+            return [
+                (0, payload(n)),
+                (per, payload(n)),
+                (2 * per, payload(n)),
+            ]
         # destage: several stripes dirtied through the write-back cache,
         # torn while flush() coalesces them
         return [
@@ -543,7 +558,7 @@ class _CrashCampaign:
         self, vol: RAID6Volume, pattern: str,
         ops: List[Tuple[int, np.ndarray]],
     ) -> None:
-        if pattern == "destage":
+        if pattern in ("destage", "burst"):
             cache = StripeCache(vol, max_dirty_stripes=len(ops) + 1)
             for start, data in ops:
                 cache.write(start, data)
@@ -610,13 +625,18 @@ class _CrashCampaign:
             result.violations += 1
         return result
 
-    def run(self) -> List[CrashPointResult]:
+    def run(
+        self, patterns: Tuple[str, ...] = CRASH_PATTERNS
+    ) -> List[CrashPointResult]:
         results: List[CrashPointResult] = []
-        for pattern in CRASH_PATTERNS:
+        for pattern in patterns:
             for phase in JOURNAL_PHASES:
                 count = self._count_phase(pattern, phase)
                 if count == 0:
                     continue
+                # first/middle/last occurrence — for the group-committed
+                # "burst" pattern these are exactly the group-boundary
+                # crash points (first/middle/last member of the group)
                 occurrences = sorted({1, (count + 1) // 2, count})
                 for occurrence in occurrences:
                     results.append(
@@ -631,11 +651,14 @@ def run_crash_points(
     seed: int = 0,
     num_stripes: int = 4,
     element_size: int = 16,
+    patterns: Tuple[str, ...] = CRASH_PATTERNS,
 ) -> List[CrashPointResult]:
     """Crash-point fuzzing campaign: tear every journal phase, recover,
     verify.  See :class:`_CrashCampaign` for the exact contract; the
-    campaign is deterministic in ``(code, p, seed)``."""
+    campaign is deterministic in ``(code, p, seed)``.  ``patterns``
+    restricts the sweep (e.g. ``("burst",)`` for the group-commit
+    boundary matrix)."""
     return _CrashCampaign(
         code, p, seed=seed, num_stripes=num_stripes,
         element_size=element_size,
-    ).run()
+    ).run(patterns=patterns)

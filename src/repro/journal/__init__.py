@@ -23,6 +23,7 @@ volume.
 
 from repro.journal.intent import (
     JOURNAL_PHASES,
+    GroupFrame,
     JournalStats,
     WriteIntent,
     WriteIntentLog,
@@ -37,6 +38,7 @@ from repro.journal.recovery import (
 
 __all__ = [
     "CrashRecovery",
+    "GroupFrame",
     "IntentOutcome",
     "JOURNAL_PHASES",
     "JournalStats",

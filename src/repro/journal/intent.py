@@ -49,6 +49,28 @@ JOURNAL_PHASES: Tuple[str, ...] = (
 )
 
 
+@dataclass(frozen=True)
+class GroupFrame:
+    """Shared framing of one group-committed intent burst.
+
+    A burst of partial-stripe writes journaled through
+    :meth:`WriteIntentLog.open_group` shares one frame: ``group_seq`` is
+    the sequence number of the group's first member, ``size`` the member
+    count, and ``old_digest`` one CRC-32 chain over the *concatenated*
+    parity footprints of every partial-stripe member (in member order) as
+    they stood before any write — one digest pass for the whole group
+    instead of one per stripe.  Recovery uses the frame to classify the
+    burst **all-or-per-stripe**: when every member is byte-old and the
+    chained footprint digest matches, the whole group is ``clean_old`` in
+    one verdict; any mismatch drops each member back to the ordinary
+    per-stripe classification (``docs/robustness.md``, "Journal format").
+    """
+
+    group_seq: int
+    size: int
+    old_digest: Optional[int] = None
+
+
 @dataclass
 class WriteIntent:
     """One logged stripe update: the journal's unit of recovery.
@@ -59,7 +81,9 @@ class WriteIntent:
     chain over the stripe's parity cells as they stood before the write
     (``None`` for full-stripe writes, whose replay never needs to trust
     old parity); ``new_parity_digest`` is the same chain over the freshly
-    encoded parity when the write path knows it up front.
+    encoded parity when the write path knows it up front.  ``group``
+    links the members of one group-committed burst to their shared
+    :class:`GroupFrame` (``None`` for per-stripe intents).
     """
 
     seq: int
@@ -68,6 +92,7 @@ class WriteIntent:
     old_parity_digest: Optional[int] = None
     new_parity_digest: Optional[int] = None
     committed: bool = False
+    group: Optional[GroupFrame] = None
     #: Full-stripe fast path (:meth:`WriteIntentLog.open_full`): the redo
     #: image lives as one encoded stripe buffer instead of per-cell
     #: tuples, so the hot batched write path never materializes a
@@ -108,6 +133,9 @@ class JournalStats:
     opened: int = 0
     committed: int = 0
     replayed: int = 0
+    #: Group-committed bursts (:meth:`WriteIntentLog.open_group`); their
+    #: member intents are counted in ``opened``/``committed`` too.
+    groups: int = 0
 
     @property
     def in_flight(self) -> int:
@@ -127,10 +155,16 @@ class WriteIntentLog:
     def __init__(
         self,
         phase_hook: Optional[Callable[[str, int], None]] = None,
+        group_commit: bool = True,
     ) -> None:
         self._lock = threading.Lock()
         self._next_seq = 0
         self._open: Dict[int, WriteIntent] = {}
+        #: Whether write paths may coalesce a burst of partial-stripe
+        #: intents into one :meth:`open_group` append.  ``False`` forces
+        #: per-stripe journaling everywhere — the equivalence tests
+        #: compare the two modes byte- and counter-exactly.
+        self.group_commit = group_commit
         #: Optional crash-point hook, called as ``hook(phase, stripe)``
         #: at every :data:`JOURNAL_PHASES` boundary.  May raise (e.g.
         #: :class:`~repro.exceptions.SimulatedCrashError`) to tear the
@@ -219,6 +253,63 @@ class WriteIntentLog:
         self.checkpoint("post_intent", stripe)
         return intent
 
+    def open_group(
+        self,
+        entries: Sequence[Tuple[int, Sequence[Tuple[Cell, np.ndarray]]]],
+        old_digest: Optional[int] = None,
+    ) -> List[WriteIntent]:
+        """Record one intent per stripe of a burst as a single group append.
+
+        ``entries`` is the burst's ``(stripe, items)`` queue (the shape
+        :meth:`repro.array.volume.RAID6Volume._write_rest` carries);
+        ``old_digest`` is the caller's one-pass CRC-32 chain over the
+        concatenated parity footprints of the partial-stripe members (see
+        :class:`GroupFrame`).  The redo payloads of *all* members coalesce
+        into one NVRAM buffer and the member intents are sealed **under a
+        single lock acquisition** — so a crash during staging leaves *no*
+        intent open (every stripe stays fully-old) and a crash after the
+        seal leaves *all* of them open (recovery rolls every member fully
+        forward).  There is never a half-registered group.
+
+        Crash points: ``pre_intent`` fires once per member during staging
+        (before that member's payload is copied), ``post_intent`` once per
+        member after the seal — the first/middle/last occurrences of
+        either phase are the group-boundary crash points the chaos
+        campaigns tear at.
+        """
+        require(len(entries) > 0, "a group must cover at least one stripe")
+        es = entries[0][1][0][1].shape[-1]
+        total = sum(len(items) for _, items in entries)
+        buf = np.empty((total, es), dtype=np.uint8)
+        staged: List[Tuple[int, Tuple[Tuple[Cell, np.ndarray], ...]]] = []
+        k = 0
+        for stripe, items in entries:
+            self.checkpoint("pre_intent", stripe)
+            payload = []
+            for cell, value in items:
+                buf[k] = value
+                payload.append((cell, buf[k]))
+                k += 1
+            staged.append((stripe, tuple(payload)))
+        with self._lock:
+            group = GroupFrame(
+                group_seq=self._next_seq,
+                size=len(staged),
+                old_digest=old_digest,
+            )
+            intents = []
+            for stripe, payload in staged:
+                seq = self._next_seq
+                self._next_seq += 1
+                intent = WriteIntent(seq, stripe, payload, group=group)
+                self._open[seq] = intent
+                intents.append(intent)
+            self.stats.opened += len(intents)
+            self.stats.groups += 1
+        for intent in intents:
+            self.checkpoint("post_intent", intent.stripe)
+        return intents
+
     def commit(self, intent: WriteIntent) -> None:
         """Retire an intent once its write has fully landed."""
         self.checkpoint("pre_commit", intent.stripe)
@@ -227,6 +318,23 @@ class WriteIntentLog:
                 intent.committed = True
                 self._open.pop(intent.seq, None)
                 self.stats.committed += 1
+
+    def commit_group(self, intents: Sequence[WriteIntent]) -> None:
+        """Retire a whole group once every member's write has landed.
+
+        One lock acquisition for the burst; ``pre_commit`` still fires
+        once per member (before anything commits), so group-boundary
+        crash points exist on the commit side too — and a crash at any of
+        them leaves the *entire* group open, never a partial commit.
+        """
+        for intent in intents:
+            self.checkpoint("pre_commit", intent.stripe)
+        with self._lock:
+            for intent in intents:
+                if not intent.committed:
+                    intent.committed = True
+                    self._open.pop(intent.seq, None)
+                    self.stats.committed += 1
 
     # -- inspection ----------------------------------------------------------
 

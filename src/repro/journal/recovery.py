@@ -71,7 +71,7 @@ TORN_PARITY = "torn_parity"
 _CELL_LOST = (LatentSectorError, TransientIOError, DiskFailedError)
 
 
-def parity_digest(layout, get_cell, cells=None) -> int:
+def parity_digest(layout, get_cell, cells=None, start: int = 0) -> int:
     """CRC-32 chained over the stripe's parity cells in canonical order.
 
     ``get_cell(cell)`` returns the element buffer; the same chaining is
@@ -80,12 +80,32 @@ def parity_digest(layout, get_cell, cells=None) -> int:
     ``cells`` restricts the chain to a footprint subset (must be in
     canonical ``layout.parity_cells`` order, as produced by
     :meth:`repro.array.volume.RAID6Volume._parity_footprint`); ``None``
-    chains every parity cell.
+    chains every parity cell.  ``start`` seeds the chain so group
+    verification can run one continuous CRC across the footprints of
+    several stripes (matching the write side's single-gather group
+    digest — CRC-32 over a concatenation equals the chained per-block
+    CRC).
     """
-    digest = 0
+    digest = start
     for cell in layout.parity_cells if cells is None else cells:
         digest = zlib.crc32(np.ascontiguousarray(get_cell(cell)), digest)
     return digest
+
+
+@dataclass
+class _Inspection:
+    """Everything one stripe read tells recovery about an open intent."""
+
+    cls: str
+    buf: np.ndarray
+    lost: Set[Cell]
+    stale: Set[int]
+    #: Readable dirty cells already carrying the redo payload.
+    n_new: int
+    #: Parity cells the write could have changed (canonical order).
+    footprint: Tuple[Cell, ...]
+    #: Whether every footprint parity cell was readable.
+    parity_complete: bool
 
 
 @dataclass(frozen=True)
@@ -151,14 +171,17 @@ class CrashRecovery:
         """Classify every open intent without repairing anything.
 
         Returns ``(seq, stripe, classification)`` triples in sequence
-        order.  Inspection reads are real (counted) disk reads.
+        order.  Inspection reads are real (counted) disk reads.  Group-
+        committed bursts get the same joint-digest verdict ``run`` uses.
         """
-        return [
-            (intent.seq, intent.stripe, self._inspect(intent)[0])
-            for intent in self.journal.open_intents()
-        ]
+        out = []
+        cache: Dict[int, "_Inspection"] = {}
+        for intent in self.journal.open_intents():
+            insp = self._inspection_for(intent, cache)
+            out.append((intent.seq, intent.stripe, insp.cls))
+        return out
 
-    def _inspect(self, intent: WriteIntent):
+    def _inspect(self, intent: WriteIntent) -> "_Inspection":
         """Load the intent's stripe and classify its crash state."""
         vol = self.volume
         layout = vol.layout
@@ -211,7 +234,82 @@ class CrashRecovery:
                 cls = TORN_PARITY
         else:
             cls = TORN_DATA
-        return cls, buf, lost_set, stale
+        return _Inspection(
+            cls=cls, buf=buf, lost=lost_set, stale=stale, n_new=n_new,
+            footprint=footprint, parity_complete=parity_complete,
+        )
+
+    def _inspection_for(
+        self, intent: WriteIntent, cache: Dict[int, "_Inspection"]
+    ) -> "_Inspection":
+        """Inspection of ``intent``, group-verified when it leads a group.
+
+        Reaching the first member of a complete group inspects every
+        member at once and attempts the joint all-OLD verdict (one
+        chained digest for the burst); the members' inspections are
+        cached so each stripe is still read exactly once.
+        """
+        insp = cache.pop(intent.seq, None)
+        if insp is not None:
+            return insp
+        group = intent.group
+        if group is not None and intent.seq == group.group_seq:
+            verified = self._inspect_group(intent)
+            if verified is not None:
+                cache.update(verified)
+                return cache.pop(intent.seq)
+        return self._inspect(intent)
+
+    def _inspect_group(
+        self, first: WriteIntent
+    ) -> Optional[Dict[int, "_Inspection"]]:
+        """Joint inspection of one complete group, led by ``first``.
+
+        Returns ``seq -> inspection`` for every member — with members
+        upgraded to ``clean_old`` when the whole burst verifies as
+        byte-old against the frame's chained footprint digest — or
+        ``None`` when the group cannot be jointly inspected (members
+        missing, e.g. restored from a partially committed snapshot, or
+        duplicate stripes, which would make cached inspections stale
+        across replays).  The joint check requires *every* member to be
+        byte-old and every partial member's footprint readable; a single
+        new byte anywhere drops the whole group back to per-stripe
+        classification, which is what "all-or-per-stripe" means.
+        """
+        vol = self.volume
+        frame = first.group
+        members = [
+            i for i in self.journal.open_intents() if i.group is frame
+        ]
+        stripes = {i.stripe for i in members}
+        if len(members) != frame.size or len(stripes) != len(members):
+            return None
+        inspections = {i.seq: self._inspect(i) for i in members}
+        if frame.old_digest is None:
+            return inspections
+        per = vol.layout.num_data_cells
+        chained = 0
+        all_old = True
+        for member in members:  # open_intents() -> seq == staging order
+            insp = inspections[member.seq]
+            if insp.n_new:
+                all_old = False
+                break
+            if len(member.dirty_cells) == per:
+                continue  # full-stripe member: not in the write-side chain
+            if not insp.parity_complete:
+                all_old = False
+                break
+            buf = insp.buf
+            chained = parity_digest(
+                vol.layout, lambda c: buf[c.row, c.col],
+                insp.footprint, start=chained,
+            )
+        if all_old and chained == frame.old_digest:
+            for insp in inspections.values():
+                if insp.cls != CLEAN_NEW:
+                    insp.cls = CLEAN_OLD
+        return inspections
 
     # -- repair --------------------------------------------------------------
 
@@ -226,12 +324,16 @@ class CrashRecovery:
         reads0 = sum(d.read_count for d in vol.disks)
         writes0 = sum(d.write_count for d in vol.disks)
         try:
+            cache: Dict[int, _Inspection] = {}
             for intent in self.journal.open_intents():
-                cls, buf, lost, stale = self._inspect(intent)
+                insp = self._inspection_for(intent, cache)
+                cls = insp.cls
                 if cls == CLEAN_NEW:
                     action = "committed"
                 else:
-                    self._replay(intent, cls, buf, lost, stale)
+                    self._replay(
+                        intent, cls, insp.buf, insp.lost, insp.stale
+                    )
                     self.journal.stats.replayed += 1
                     action = "replayed"
                 self.journal.commit(intent)

@@ -18,6 +18,22 @@ Entirely optional: compilation failure (no compiler, read-only temp dir,
 sandboxed subprocess) silently degrades to the numpy execution path, and
 ``REPRO_PURE_NUMPY=1`` disables the kernel outright.  No third-party
 packages are involved — only ``cc`` and the standard library.
+
+GIL contract
+------------
+
+The kernel is loaded with :class:`ctypes.CDLL`, whose foreign-call
+machinery **releases the GIL for the duration of every ``xor_exec``
+call** (``ctypes.PyDLL`` is the variant that would hold it — never used
+here).  The parallel stripe pipeline's thread workers therefore genuinely
+overlap long encode/XOR runs on multi-core hosts, with no wrapper or
+callback re-entering the interpreter mid-call: the C side touches only
+caller-owned buffers that stay alive and unmoved for the call (numpy
+arrays pinned by the calling frame).  :func:`kernel_releases_gil` asserts
+the contract so a refactor to ``PyDLL`` — which would silently serialise
+the pipeline — fails tests instead of shipping.  Pure-numpy builds get
+their parallelism from the ``REPRO_PROCESS_POOL`` fallback instead (see
+:mod:`repro.array.pipeline`).
 """
 
 from __future__ import annotations
@@ -148,6 +164,19 @@ def xor_kernel() -> Optional[ctypes.CDLL]:
     except Exception:
         _lib = None
     return _lib
+
+
+def kernel_releases_gil() -> bool:
+    """Whether the loaded kernel drops the GIL during ``xor_exec``.
+
+    ``True`` exactly when a kernel is loaded through plain
+    :class:`ctypes.CDLL` (GIL released around every foreign call) rather
+    than :class:`ctypes.PyDLL` (GIL held).  ``False`` when no kernel is
+    available at all — thread workers then rely on numpy's own
+    GIL-releasing ufunc loops, or on the process-pool fallback.
+    """
+    lib = xor_kernel()
+    return isinstance(lib, ctypes.CDLL) and not isinstance(lib, ctypes.PyDLL)
 
 
 def _load() -> ctypes.CDLL:

@@ -1,0 +1,275 @@
+"""Vectorised cross-stripe RMW: serial vs threads vs processes.
+
+The partial-stripe queue (``_write_rest``) has three executions — the
+serial per-stripe loop, the per-worker vectorised chunks on the thread
+pipeline, and the ``REPRO_PROCESS_POOL`` fork fan-out over the
+shared-memory backing.  All three must be byte-identical on disk *and*
+counter-identical per disk (the paper's load metrics are counted I/Os,
+so a fast path that changed the counts would corrupt every comparison
+built on them).  The fallbacks — rotation, fault hooks, instance-level
+I/O wrappers like the integrity checker's — must quietly drop to the
+serial path, never to a wrong answer.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.array.volume import RAID6Volume
+from repro.codes import make_code
+from repro.journal import WriteIntentLog
+
+ES = 32
+STRIPES = 16
+
+
+def _burst(layout, rng, stripes, max_cells=3):
+    """Mixed multi-cell partial-stripe entries (varying cell patterns)."""
+    per = layout.num_data_cells
+    entries = []
+    for k, s in enumerate(stripes):
+        n = 1 + (k % min(max_cells, per - 1))
+        cells = [layout.data_cells[(k + j) % (per - 1)] for j in range(n)]
+        entries.append(
+            (
+                s,
+                [
+                    (c, rng.integers(0, 256, ES, dtype=np.uint8))
+                    for c in sorted(set(cells))
+                ],
+            )
+        )
+    return entries
+
+
+def _write(vol, entries):
+    vol._write_rest(copy.deepcopy(entries))
+
+
+def _prime(vol, rng):
+    data = rng.integers(
+        0, 256, (vol.num_elements, ES), dtype=np.uint8
+    )
+    vol.write(0, data)
+    return data
+
+
+@pytest.fixture
+def layout():
+    return make_code("dcode", 7)
+
+
+def _assert_same(a, b):
+    assert np.array_equal(a._backing, b._backing)
+    assert a.io_counters() == b.io_counters()
+
+
+class TestThreadEquivalence:
+    def test_bytes_and_counters_match_serial(self, layout):
+        rng = np.random.default_rng(5)
+        serial = RAID6Volume(layout, num_stripes=STRIPES, element_size=ES)
+        threads = RAID6Volume(
+            layout, num_stripes=STRIPES, element_size=ES, workers=4
+        )
+        seed = np.random.default_rng(6)
+        for vol in (serial, threads):
+            _prime(vol, np.random.default_rng(6))
+        entries = _burst(layout, rng, range(12))
+        _write(serial, entries)
+        _write(threads, entries)
+        _assert_same(serial, threads)
+        threads.pipeline.close()
+
+    def test_zero_delta_burst_writes_nothing_twice(self, layout):
+        rng = np.random.default_rng(5)
+        serial = RAID6Volume(layout, num_stripes=STRIPES, element_size=ES)
+        threads = RAID6Volume(
+            layout, num_stripes=STRIPES, element_size=ES, workers=4
+        )
+        entries = _burst(layout, rng, range(8))
+        for vol in (serial, threads):
+            _write(vol, entries)
+            _write(vol, entries)  # identical payloads: all-zero deltas
+        _assert_same(serial, threads)
+        # the repeat pass must read old data but skip every write
+        _, writes_before = map(sum, zip(*serial.io_counters().values()))
+        _write(serial, entries)
+        _, writes_after = map(sum, zip(*serial.io_counters().values()))
+        assert writes_after == writes_before
+        threads.pipeline.close()
+
+    def test_journaled_group_matches_serial_per_stripe(self, layout):
+        rng = np.random.default_rng(5)
+        serial = RAID6Volume(
+            layout,
+            num_stripes=STRIPES,
+            element_size=ES,
+            journal=WriteIntentLog(group_commit=False),
+        )
+        threads = RAID6Volume(
+            layout,
+            num_stripes=STRIPES,
+            element_size=ES,
+            workers=4,
+            journal=WriteIntentLog(),
+        )
+        entries = _burst(layout, rng, range(10))
+        _write(serial, entries)
+        _write(threads, entries)
+        _assert_same(serial, threads)
+        assert threads.journal.stats.groups == 1
+        assert not threads.journal.dirty
+        threads.pipeline.close()
+
+    def test_rotation_falls_back_byte_identical(self, layout):
+        rng = np.random.default_rng(5)
+        serial = RAID6Volume(
+            layout, num_stripes=STRIPES, element_size=ES, rotate=True
+        )
+        threads = RAID6Volume(
+            layout,
+            num_stripes=STRIPES,
+            element_size=ES,
+            rotate=True,
+            workers=4,
+        )
+        assert not threads._rmw_entries_batched(
+            _burst(layout, rng, range(4))
+        )
+        entries = _burst(layout, rng, range(10))
+        _write(serial, entries)
+        _write(threads, entries)
+        _assert_same(serial, threads)
+        threads.pipeline.close()
+
+    def test_phase_hook_forces_serial_writes(self, layout):
+        rng = np.random.default_rng(5)
+        phases = []
+        hooked = RAID6Volume(
+            layout,
+            num_stripes=STRIPES,
+            element_size=ES,
+            workers=4,
+            journal=WriteIntentLog(
+                phase_hook=lambda ph, s: phases.append(ph)
+            ),
+        )
+        plain = RAID6Volume(layout, num_stripes=STRIPES, element_size=ES)
+        entries = _burst(layout, rng, range(6))
+        assert not hooked._rmw_entries_batched(copy.deepcopy(entries))
+        _write(hooked, entries)
+        _write(plain, entries)
+        assert np.array_equal(hooked._backing, plain._backing)
+        # group framing stays on under the hook (chaos campaigns tear at
+        # group boundaries), so the phases fire once per member
+        assert phases.count("pre_intent") == len(entries)
+        assert phases.count("pre_commit") == len(entries)
+        hooked.pipeline.close()
+
+    def test_full_stripe_entry_disables_vectorised_path(self, layout):
+        rng = np.random.default_rng(5)
+        threads = RAID6Volume(
+            layout, num_stripes=STRIPES, element_size=ES, workers=4
+        )
+        per = layout.num_data_cells
+        full = [
+            (
+                0,
+                [
+                    (c, rng.integers(0, 256, ES, dtype=np.uint8))
+                    for c in layout.data_cells
+                ],
+            ),
+            (1, _burst(layout, rng, (1,))[0][1]),
+        ]
+        assert not threads._rmw_entries_batched(full)
+        assert per == len(full[0][1])
+        threads.pipeline.close()
+
+
+class TestProcessPoolEquivalence:
+    def _volumes(self, layout, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        # the fork fan-out is capped at the core count (beyond it IPC
+        # only costs); pretend to have cores so the child path is
+        # genuinely exercised even on single-core CI hosts
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        serial = RAID6Volume(layout, num_stripes=STRIPES, element_size=ES)
+        procs = RAID6Volume(
+            layout,
+            num_stripes=STRIPES,
+            element_size=ES,
+            workers=4,
+            process_pool=True,
+        )
+        assert procs._shm_name is not None
+        return serial, procs
+
+    def test_bytes_and_counters_match_serial(self, layout, monkeypatch):
+        serial, procs = self._volumes(layout, monkeypatch)
+        rng = np.random.default_rng(5)
+        for vol in (serial, procs):
+            _prime(vol, np.random.default_rng(6))
+        entries = _burst(layout, rng, range(12))
+        _write(serial, entries)
+        _write(procs, entries)
+        _assert_same(serial, procs)
+        procs.pipeline.close()
+
+    def test_matches_thread_pool(self, layout, monkeypatch):
+        threads = RAID6Volume(
+            layout, num_stripes=STRIPES, element_size=ES, workers=4
+        )
+        _, procs = self._volumes(layout, monkeypatch)
+        rng = np.random.default_rng(5)
+        entries = _burst(layout, rng, range(12))
+        _write(threads, entries)
+        _write(procs, entries)
+        _assert_same(threads, procs)
+        threads.pipeline.close()
+        procs.pipeline.close()
+
+    def test_instance_write_wrapper_falls_back_serial(
+        self, layout, monkeypatch
+    ):
+        """Integrity-checker-style wrappers must keep seeing every write.
+
+        Forked children operate on the class methods; an instance-level
+        ``_disk_write_block`` (how the integrity checker observes I/O)
+        would be silently bypassed — so the process path must refuse and
+        drop to a path that honours the wrapper.
+        """
+        serial, procs = self._volumes(layout, monkeypatch)
+        calls = []
+        orig = type(procs)._disk_write_block
+
+        def wrapper(*args, **kwargs):
+            calls.append(args)
+            return orig(procs, *args, **kwargs)
+
+        procs._disk_write_block = wrapper
+        rng = np.random.default_rng(5)
+        entries = _burst(layout, rng, range(8))
+        assert not procs._rmw_entries_process(copy.deepcopy(entries))
+        _write(serial, entries)
+        _write(procs, entries)
+        assert np.array_equal(serial._backing, procs._backing)
+        assert calls  # the wrapper observed the writes
+        procs.pipeline.close()
+
+    def test_single_stripe_burst_stays_in_process(self, layout, monkeypatch):
+        _, procs = self._volumes(layout, monkeypatch)
+        rng = np.random.default_rng(5)
+        assert not procs._rmw_entries_process(
+            _burst(layout, rng, (0,))
+        )
+        procs.pipeline.close()
+
+    def test_shared_memory_backing_is_the_store(self, layout, monkeypatch):
+        _, procs = self._volumes(layout, monkeypatch)
+        rng = np.random.default_rng(5)
+        data = _prime(procs, rng)
+        got = procs.read(0, procs.num_elements)
+        assert np.array_equal(got, data)
+        procs.pipeline.close()

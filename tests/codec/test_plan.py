@@ -269,3 +269,46 @@ class TestEmptyPlan:
         plan.execute(flat)
         plan.execute_numpy(flat)
         assert np.array_equal(flat, before)
+
+
+class TestBatchChunking:
+    """Geometry-keyed chunk sizing for the numpy batch path."""
+
+    def test_small_geometry_uses_full_chunk(self):
+        from repro.codec.plan import _BATCH_CHUNK, _batch_chunk
+
+        layout = make_code("dcode", 5)
+        assert _batch_chunk(layout.num_cells, 1024) == _BATCH_CHUNK
+
+    def test_large_geometry_shrinks_chunk(self):
+        from repro.codec.plan import _BATCH_CHUNK, _batch_chunk
+
+        layout = make_code("dcode", 13)
+        chunk = _batch_chunk(layout.num_cells, 4096)
+        assert 1 <= chunk < _BATCH_CHUNK
+        # the chunk's working set stays within the budget
+        from repro.codec.plan import _BATCH_BUDGET_BYTES
+
+        assert chunk * layout.num_cells * 4096 <= _BATCH_BUDGET_BYTES
+
+    def test_never_below_one(self):
+        from repro.codec.plan import _batch_chunk
+
+        assert _batch_chunk(10 ** 6, 10 ** 6) == 1
+
+    @pytest.mark.parametrize("p", (5, 13))
+    @pytest.mark.parametrize("batch", (1, 7, 8, 32))
+    def test_chunked_batch_encode_matches_single(self, rng, p, batch):
+        # chunk boundaries must not change results: every stripe of the
+        # batch encodes exactly like a one-stripe call, for batch sizes
+        # below, at, and above the chunk length (forced numpy path)
+        codec = StripeCodec(make_code("dcode", p), element_size=64)
+        stripes = random_batch(codec, rng, batch)
+        want = stripes.copy()
+        for i in range(batch):
+            codec.encode(want[i])
+        plan = compiled_plans(codec.layout, 64).encode
+        plan.execute_batch_numpy(
+            flat_batch_view(stripes, codec.layout.num_cells)
+        )
+        assert np.array_equal(stripes, want)

@@ -110,3 +110,23 @@ class TestXorAccumulate:
         dst = blocks[0].copy()
         xor_accumulate(dst, [])
         assert np.array_equal(dst, blocks[0])
+
+
+class TestKernelGilContract:
+    def test_loaded_kernel_releases_gil(self):
+        # the parallel pipeline's thread speedup depends on the C kernel
+        # dropping the GIL for the duration of xor_exec; loading through
+        # ctypes.PyDLL (which holds it) must fail this test, and a build
+        # without any kernel reports False (numpy ufuncs / process pool
+        # carry the parallelism there)
+        import ctypes
+
+        from repro.util.ckernel import kernel_releases_gil, xor_kernel
+
+        lib = xor_kernel()
+        if lib is None:
+            assert kernel_releases_gil() is False
+        else:
+            assert kernel_releases_gil() is True
+            assert isinstance(lib, ctypes.CDLL)
+            assert not isinstance(lib, ctypes.PyDLL)
