@@ -14,10 +14,11 @@ The report carries an ``acceptance`` section with hard floors (parallel
 RMW must reach 2x serial at 4 workers; batched degraded reads must beat
 the scalar walk by >= 3x; journal overhead must stay under 15% on RMW
 bursts and 25% on full-stripe writes; batched encode must at least
-match a compiled loop over the same tensor for every (code, p)); the
-script exits non-zero when a floor is violated, so CI can gate on it.
-``--only {codec,volume,parallel,degraded,journal}`` re-runs one section
-and merges it into the existing report.
+match a compiled loop over the same tensor for every (code, p);
+steady-state verified reads must stay within 10% of unverified batched
+reads); the script exits non-zero when a floor is violated, so CI can
+gate on it.  ``--only {codec,volume,parallel,degraded,journal,scrub}``
+re-runs one section and merges it into the existing report.
 
 Usage::
 
@@ -39,6 +40,7 @@ sys.path.insert(
 )
 
 from repro.array.cache import StripeCache  # noqa: E402
+from repro.array.integrity import IntegrityChecker  # noqa: E402
 from repro.array.volume import RAID6Volume  # noqa: E402
 from repro.codec.batch import encode_batch, random_batch  # noqa: E402
 from repro.codec.decoder import ChainDecoder  # noqa: E402
@@ -465,6 +467,67 @@ def bench_journal(rng):
     }
 
 
+def bench_scrub(rng):
+    """Silent-corruption defense: scrub bandwidth and verified-read tax.
+
+    Scrub throughput is a full :meth:`IntegrityChecker.scrub_campaign`
+    over a dirty bitmap (``invalidate()`` before every pass, so each
+    pass re-reads and re-hashes every element in the array — the
+    periodic-scrub configuration, not the incremental one).  The
+    verified-read numbers compare the same steady-state batched window
+    read with and without an attached checker: after one warm-up read
+    populates the verified bitmap, subsequent reads only pay the bitmap
+    gate, which is the production cost of leaving verification on.  The
+    window spans many stripes so it takes the bulk gather path, not the
+    single-stripe zero-copy view.
+    """
+    layout = make_code(VOLUME_CODE, VOLUME_P)
+    per = layout.num_data_cells
+    num_stripes = 64
+    plain = RAID6Volume(layout, num_stripes=num_stripes,
+                        element_size=ELEMENT_SIZE)
+    verified = RAID6Volume(layout, num_stripes=num_stripes,
+                           element_size=ELEMENT_SIZE)
+    data = rng.integers(
+        0, 256, (num_stripes * per, ELEMENT_SIZE), dtype=np.uint8
+    )
+    plain.write(0, data)
+    verified.write(0, data)
+
+    checker = IntegrityChecker(verified)
+    window = BATCH * per
+    window_bytes = window * ELEMENT_SIZE
+
+    assert np.array_equal(plain.read(0, window), verified.read(0, window))
+    # warm-up read saturates the verified bitmap; what remains is the
+    # steady-state gate every production read pays
+    verified.read(0, window)
+    t_off = best_seconds(lambda: plain.read(0, window), inner=3, reps=7)
+    t_on = best_seconds(lambda: verified.read(0, window), inner=3, reps=7)
+    read_numbers = {
+        "off_mb_s": round(mb_per_s(window_bytes, t_off), 1),
+        "on_mb_s": round(mb_per_s(window_bytes, t_on), 1),
+        "overhead_pct": round((t_on - t_off) / t_off * 100, 1),
+    }
+
+    scrub_bytes = num_stripes * layout.rows * layout.cols * ELEMENT_SIZE
+
+    def scrub():
+        checker.store.invalidate()
+        report = checker.scrub_campaign()
+        assert report.clean
+
+    t_scrub = best_seconds(scrub, inner=1, reps=5)
+    return {
+        "code": VOLUME_CODE,
+        "p": VOLUME_P,
+        "batch": BATCH,
+        "num_stripes": num_stripes,
+        "scrub_gb_s": round(scrub_bytes / t_scrub / 1e9, 2),
+        "verified_read": read_numbers,
+    }
+
+
 #: Timing-noise allowance on ratio floors (parallel speedup, batched vs
 #: looped): min-over-batches timing still jitters a couple of percent,
 #: so those gates only trip below ``floor - NOISE_MARGIN``.
@@ -482,6 +545,11 @@ PARALLEL_FLOOR = 2.0
 JOURNAL_RMW_MAX_PCT = 15.0
 JOURNAL_FULL_STRIPE_MAX_PCT = 25.0
 BATCHED_VS_LOOPED_FLOOR = 1.0
+#: Steady-state verified reads (bitmap already warm) must stay within
+#: 10% of unverified batched reads — the committed cost of leaving the
+#: silent-corruption defense on in production (docs/robustness.md,
+#: "Silent corruption & durability").
+VERIFIED_READ_MAX_PCT = 10.0
 
 
 def degraded_acceptance(degraded):
@@ -515,6 +583,15 @@ def journal_acceptance(journal):
         "journal_full_stripe_overhead_max_pct": JOURNAL_FULL_STRIPE_MAX_PCT,
         "journal_rmw_overhead_pct": journal["rmw"]["overhead_pct"],
         "journal_rmw_overhead_max_pct": JOURNAL_RMW_MAX_PCT,
+    }
+
+
+def scrub_acceptance(scrub):
+    return {
+        "verified_read_overhead_pct": scrub["verified_read"][
+            "overhead_pct"
+        ],
+        "verified_read_overhead_max_pct": VERIFIED_READ_MAX_PCT,
     }
 
 
@@ -564,6 +641,7 @@ def check_acceptance(acceptance):
             "journal_full_stripe_overhead_pct",
             "journal_full_stripe_overhead_max_pct",
         ),
+        ("verified_read_overhead_pct", "verified_read_overhead_max_pct"),
     ):
         got, cap = acceptance.get(key), acceptance.get(cap_key)
         if got is not None and cap is not None and got > cap:
@@ -601,7 +679,8 @@ def main(argv=None):
     )
     parser.add_argument(
         "--only",
-        choices=("journal", "degraded", "volume", "parallel", "codec"),
+        choices=("journal", "degraded", "volume", "parallel", "codec",
+                 "scrub"),
         default=None,
         help="re-run just one section and merge it into the existing "
              "report instead of re-benchmarking everything",
@@ -682,6 +761,21 @@ def main(argv=None):
         )
         return finish(report, out)
 
+    if args.only == "scrub":
+        out = pathlib.Path(args.out)
+        report = json.loads(out.read_text()) if out.exists() else {}
+        print("benchmarking scrub + verified reads ...", flush=True)
+        scrub = bench_scrub(rng)
+        report["scrub"] = scrub
+        report.setdefault("acceptance", {}).update(
+            scrub_acceptance(scrub)
+        )
+        print(
+            f"scrub {scrub['scrub_gb_s']} GB/s, verified-read overhead "
+            f"{scrub['verified_read']['overhead_pct']}%"
+        )
+        return finish(report, out)
+
     if args.only == "degraded":
         out = pathlib.Path(args.out)
         report = json.loads(out.read_text()) if out.exists() else {}
@@ -711,6 +805,8 @@ def main(argv=None):
     degraded = bench_degraded(rng)
     print("benchmarking journal overhead ...", flush=True)
     journal = bench_journal(rng)
+    print("benchmarking scrub + verified reads ...", flush=True)
+    scrub = bench_scrub(rng)
 
     dcode_p7 = results["dcode"]["p7"]["encode"]
     update_speedups = {
@@ -732,10 +828,12 @@ def main(argv=None):
         "volume": volume,
         "degraded_read": degraded,
         "journal": journal,
+        "scrub": scrub,
         "acceptance": {
             "parallel": parallel_acceptance(volume["parallel"]),
             "degraded_read": degraded_acceptance(degraded),
             **journal_acceptance(journal),
+            **scrub_acceptance(scrub),
             **codec_acceptance(results),
             "volume_write_batched_vs_serial": {
                 batch: volume["write"][batch][
@@ -771,6 +869,10 @@ def main(argv=None):
         "journal overhead: full-stripe "
         f"{journal['full_stripe']['overhead_pct']}%, "
         f"rmw {journal['rmw']['overhead_pct']}%"
+    )
+    print(
+        f"scrub {scrub['scrub_gb_s']} GB/s, verified-read overhead "
+        f"{scrub['verified_read']['overhead_pct']}%"
     )
     return finish(report, pathlib.Path(args.out))
 

@@ -79,6 +79,15 @@ class SimDisk:
         self.fault_hook: Optional[
             Callable[["SimDisk", str, int], None]
         ] = None
+        #: Optional silent-corruption hook, called as ``hook(disk,
+        #: offset)`` *after* a successful per-element write lands in the
+        #: store.  This is how the injector's ``silent_flip`` fault kind
+        #: models corruption-on-write: the written block can be flipped
+        #: on the medium with no error ever raised (see
+        #: :class:`repro.faults.FaultInjector`).  ``None`` disables it.
+        self.corrupt_hook: Optional[
+            Callable[["SimDisk", int], None]
+        ] = None
 
     # -- I/O --------------------------------------------------------------
 
@@ -125,6 +134,8 @@ class SimDisk:
         with self._lock:
             self.write_count += 1
             self._bad_sectors.discard(offset)
+        if self.corrupt_hook is not None:
+            self.corrupt_hook(self, offset)
 
     # -- batched I/O -------------------------------------------------------
 
@@ -151,10 +162,10 @@ class SimDisk:
     def write_block(self, offsets: np.ndarray, data: np.ndarray) -> None:
         """Write many elements in one numpy scatter.
 
-        Engages only with no fault hook attached (bad sectors are fine —
-        writes remap them, exactly as per-element writes do); otherwise
-        delegates to per-element :meth:`write` preserving the hook's
-        per-op sequence.
+        Engages only with no fault or corruption hook attached (bad
+        sectors are fine — writes remap them, exactly as per-element
+        writes do); otherwise delegates to per-element :meth:`write`
+        preserving the hooks' per-op sequence.
         """
         offsets = np.asarray(offsets, dtype=np.intp)
         if data.shape != (len(offsets), self.element_size) \
@@ -164,7 +175,7 @@ class SimDisk:
                 f"({len(offsets)}, {self.element_size}), got {data.dtype} "
                 f"{data.shape}"
             )
-        if self.fault_hook is None:
+        if self.fault_hook is None and self.corrupt_hook is None:
             self._check_live_block(offsets)
             self._store[offsets] = data
             with self._lock:

@@ -52,6 +52,7 @@ from repro.codec.encoder import StripeCodec, _toposort_groups
 from repro.codec.gauss import GaussianDecoder
 from repro.exceptions import (
     AddressError,
+    ChecksumMismatchError,
     DecodeError,
     DiskFailedError,
     FaultToleranceExceeded,
@@ -68,7 +69,11 @@ from repro.util.validation import require, require_positive
 from repro.util.xor import xor_into
 
 #: Errors that make a single element unreadable without killing the disk.
-_CELL_ERRORS = (LatentSectorError, TransientIOError)
+#: A checksum mismatch belongs here by design: a block whose bytes no
+#: longer match their out-of-band CRC is a *located erasure* — exactly as
+#: recoverable as a latent sector error, and handled by the same
+#: reconstruct-and-heal ladder (docs/robustness.md, "Silent corruption").
+_CELL_ERRORS = (LatentSectorError, TransientIOError, ChecksumMismatchError)
 
 
 class ScrubReport(Dict[int, List[Cell]]):
@@ -173,6 +178,13 @@ class RAID6Volume:
         #: load_volume` from a v2 archive (``None`` otherwise); feed it to
         #: ``IntegrityChecker(volume, store=...)`` to resume verification.
         self.restored_checksums = None
+        #: The attached :class:`~repro.array.integrity.IntegrityChecker`
+        #: (set by its constructor, cleared by its ``detach()``).  When
+        #: present *and* its ``verify_reads`` flag is on, the read paths
+        #: verify block checksums edge-triggered — each block's first
+        #: read since attach/write re-checks its CRC — and surface
+        #: mismatches as :class:`ChecksumMismatchError` erasures.
+        self.integrity = None
         self.error_counters = ErrorCounters(layout.cols)
         #: Audit trail of self-healing actions (see
         #: :class:`~repro.faults.policy.HealEvent`).
@@ -361,6 +373,13 @@ class RAID6Volume:
         require(self._rebuild is None or not self._rebuild.active,
                 "a rebuild is already in progress")
         self.disks[disk].replace()
+        if self.integrity is not None:
+            # the platters just became a blank replacement: drop the old
+            # disk's checksums (blank blocks match the implicit zero
+            # digest) so the cursor's reconstruction writes re-record
+            # fresh ones — a scrub right after rebuild reports zero
+            # false positives
+            self.integrity.on_disk_replaced(disk)
         cursor = RebuildCursor(self, disk, batch=batch)
         self._rebuild = cursor
         return cursor
@@ -426,15 +445,21 @@ class RAID6Volume:
         stripes = np.arange(start, end, dtype=np.intp)
         rows = self.layout.rows
         col = disk  # no rotation: layout column == disk id
+        verifier = self._verifier()
         if other_failed is None:
             # single failure: execute the hybrid minimal-read plan once
             # over the whole stripe range — one gather per source cell
             plan = cached_hybrid_plan(self.layout, col)
             cache: Dict[Cell, np.ndarray] = {}
             for cell in plan.reads:
-                cache[cell] = self.disks[cell.col].read_block(
-                    stripes * rows + cell.row
-                )
+                offs = stripes * rows + cell.row
+                block = self.disks[cell.col].read_block(offs)
+                if verifier is not None and \
+                        verifier.verify_rows(cell.col, offs, block).size:
+                    # a rebuild source is rotten: fall back to the
+                    # per-stripe walk, which reconstructs around it
+                    return 0
+                cache[cell] = block
             for cell, group in plan.choices:
                 acc = np.zeros(
                     (batch, self.element_size), dtype=np.uint8
@@ -453,9 +478,13 @@ class RAID6Volume:
                 continue
             col_rows = self._col_rows[c]
             offsets = (stripes[:, None] * rows + col_rows[None, :]).ravel()
-            buf[:, col_rows, c, :] = self.disks[c].read_block(
-                offsets
-            ).reshape(batch, len(col_rows), self.element_size)
+            block = self.disks[c].read_block(offsets)
+            if verifier is not None and \
+                    verifier.verify_rows(c, offsets, block).size:
+                return 0
+            buf[:, col_rows, c, :] = block.reshape(
+                batch, len(col_rows), self.element_size
+            )
         try:
             decode_batch(self.codec, buf, (col, other_col))
         except DecodeError:
@@ -633,15 +662,28 @@ class RAID6Volume:
         if view is not None:
             return view
         out = np.empty((count, self.element_size), dtype=np.uint8)
+        per = self.layout.num_data_cells
+        data_cells = self.layout.data_cells
         if self._fast_read_ok():
-            self._bulk_read(start, count, out)
+            suspects = self._bulk_read(start, count, out)
+            # stripes whose gather failed checksum verification re-serve
+            # through the self-healing per-stripe walk: the scalar read
+            # re-detects the mismatch, reconstructs from parity, heals
+            # the rotten block in place and re-records its digest
+            for stripe in suspects:
+                k0 = max(0, stripe * per - start)
+                k1 = min(count, (stripe + 1) * per - start)
+                self._serve_stripe_read(
+                    stripe,
+                    [(k, data_cells[(start + k) % per])
+                     for k in range(k0, k1)],
+                    out,
+                )
             return out
         # group the range per stripe so reconstruction decodes once — a
         # contiguous logical range is a contiguous run of stripes, so the
         # split falls out of one divmod (the (stripe, cell) mapping is
         # rotation-independent; rotation only moves columns to disks)
-        per = self.layout.num_data_cells
-        data_cells = self.layout.data_cells
         stripe_of, j = np.divmod(np.arange(start, start + count), per)
         firsts = np.flatnonzero(np.diff(stripe_of)) + 1
         bounds = [0, *firsts.tolist(), count]
@@ -711,6 +753,12 @@ class RAID6Volume:
         ):
             return None
         stripe = start // per
+        verifier = self._verifier()
+        if verifier is not None and not verifier.range_verified(stripe):
+            # zero-copy cannot verify without touching the bytes; stand
+            # down to the gather path (which verifies and marks the
+            # blocks) until the whole stripe is verification-current
+            return None
         base = stripe * self.layout.rows * self.layout.cols
         view = self._flat_backing[base:base + per]
         view.flags.writeable = False
@@ -719,8 +767,15 @@ class RAID6Volume:
                 self.disks[col].count_reads(int(n))
         return view
 
-    def _bulk_read(self, start: int, count: int, out: np.ndarray) -> None:
-        """Healthy-array read as one vectorised gather per disk."""
+    def _bulk_read(self, start: int, count: int, out: np.ndarray) -> List[int]:
+        """Healthy-array read as one vectorised gather per disk.
+
+        Returns the (sorted) stripes holding blocks that failed checksum
+        verification — empty without an attached verifier or when every
+        block checks out.  Verification is edge-triggered: only blocks
+        not yet verified since their last write pay a CRC; everything
+        else is a bitmap lookup (docs/robustness.md).
+        """
         rows, cols = self.layout.rows, self.layout.cols
         per = self.layout.num_data_cells
         logical = np.arange(start, start + count)
@@ -728,10 +783,20 @@ class RAID6Volume:
         c = self._data_cols[j]
         disks = (c + stripes) % cols if self.mapper.rotate else c
         offsets = stripes * rows + self._data_rows[j]
+        verifier = self._verifier()
+        suspects: set = set()
         for d in range(cols):
             mask = disks == d
             if mask.any():
-                out[mask] = self.disks[d].read_block(offsets[mask])
+                offs = offsets[mask]
+                block = self.disks[d].read_block(offs)
+                out[mask] = block
+                if verifier is not None:
+                    bad = verifier.verify_rows(d, offs, block)
+                    if bad.size:
+                        idx = np.flatnonzero(mask)[bad]
+                        suspects.update(int(s) for s in stripes[idx])
+        return sorted(suspects)
 
     #: Minimum same-pattern stripes before the tensor degraded path engages
     #: (below it, per-stripe gathers cost more than they amortise).
@@ -812,18 +877,30 @@ class RAID6Volume:
             }
             wrows = np.array([c.row for c in wanted], dtype=np.intp)
             wcols = np.array([c.col for c in wanted], dtype=np.intp)
+            verifier = self._verifier()
             for i0 in range(0, len(glist), self._DEGRADED_READ_CHUNK):
                 chunk = glist[i0:i0 + self._DEGRADED_READ_CHUNK]
                 batch = len(chunk)
                 stripes = np.array([s for s, _ in chunk], dtype=np.intp)
                 buf = blank_batch(self.codec, batch)
+                chunk_bad = False
                 for c, rarr in fetch_rows.items():
                     offsets = (
                         stripes[:, None] * rows + rarr[None, :]
                     ).ravel()
-                    buf[:, rarr, c, :] = self.disks[c].read_block(
-                        offsets
-                    ).reshape(batch, len(rarr), es)
+                    block = self.disks[c].read_block(offsets)
+                    buf[:, rarr, c, :] = block.reshape(
+                        batch, len(rarr), es
+                    )
+                    if verifier is not None and \
+                            verifier.verify_rows(c, offsets, block).size:
+                        chunk_bad = True
+                if chunk_bad:
+                    # a source block failed verification: route the whole
+                    # chunk through the per-stripe walk, which isolates
+                    # the rotten cell, decodes around it and heals it
+                    remaining.extend(chunk)
+                    continue
                 if xplan is not None:
                     xplan.execute_batch(
                         buf.reshape(batch, xplan.num_cells, es)
@@ -1282,21 +1359,27 @@ class RAID6Volume:
         self._store_stripe(stripe, buf, skip_cols=failed_cols)
 
     def _rmw_write(self, stripe, items) -> None:
-        """Healthy-array partial write: patch parity with XOR deltas."""
+        """Healthy-array partial write: patch parity with XOR deltas.
+
+        Every old value the RMW needs — the dirty data cells and the
+        parities their deltas patch (cascades included) — is read before
+        the first write lands.  A medium error discovered mid-read
+        therefore aborts with the stripe untouched, so the
+        reconstruct-write fallback in :meth:`_write_stripe_unjournaled`
+        always loads a parity-consistent image.
+        """
         journal = self.journal
-        wrote = False
         deltas: Dict[Cell, np.ndarray] = {}
+        data_new: List[Tuple[Cell, np.ndarray]] = []
         for cell, value in items:
             old = self._read_cell(stripe, cell)
             delta = np.bitwise_xor(old, value)
             if delta.any():
                 deltas[cell] = delta
-                if wrote and journal is not None:
-                    journal.checkpoint("inter_column", stripe)
-                self._write_cell(stripe, cell, value)
-                wrote = True
+                data_new.append((cell, value))
         if not deltas:
             return
+        parity_new: List[Tuple[Cell, np.ndarray]] = []
         for group in self._encode_order:
             gdelta: Optional[np.ndarray] = None
             for member in group.members:
@@ -1310,11 +1393,14 @@ class RAID6Volume:
             if gdelta is not None and gdelta.any():
                 old = self._read_cell(stripe, group.parity)
                 xor_into(old, gdelta)
-                if wrote and journal is not None:
-                    journal.checkpoint("inter_column", stripe)
-                self._write_cell(stripe, group.parity, old)
-                wrote = True
+                parity_new.append((group.parity, old))
                 deltas[group.parity] = gdelta
+        wrote = False
+        for cell, value in data_new + parity_new:
+            if wrote and journal is not None:
+                journal.checkpoint("inter_column", stripe)
+            self._write_cell(stripe, cell, value)
+            wrote = True
 
     # -- vectorised multi-stripe RMW (docs/performance.md) -------------------
 
@@ -1520,8 +1606,20 @@ class RAID6Volume:
         """
         self.disks[disk_id].write_block(offsets, data)
 
+    def _verifier(self):
+        """The attached integrity checker when verified reads are on."""
+        ic = self.integrity
+        return ic if ic is not None and ic.verify_reads else None
+
     def _disk_read(self, disk_id: int, offset: int) -> np.ndarray:
-        """One element read under the retry/escalation policy."""
+        """One element read under the retry/escalation policy.
+
+        With verified reads on, every element served here is checked
+        against its out-of-band CRC; a mismatch counts toward the disk's
+        escalation budget and raises :class:`ChecksumMismatchError`, which
+        the stripe-level handlers treat as a located erasure (reconstruct
+        from parity, rewrite, re-record).
+        """
         disk = self.disks[disk_id]
         attempts = self.policy.max_retries + 1
         for attempt in range(attempts):
@@ -1539,6 +1637,15 @@ class RAID6Volume:
                 self._note_error(disk_id, "latent")
                 raise
             else:
+                verifier = self._verifier()
+                if verifier is not None and \
+                        not verifier.check_block(disk_id, offset, value):
+                    with self._policy_lock:
+                        self.heal_log.append(
+                            HealEvent("corrupt", disk_id, offset=offset)
+                        )
+                    self._note_error(disk_id, "checksum")
+                    raise ChecksumMismatchError(disk_id, offset)
                 if attempt:
                     with self._policy_lock:
                         self.heal_log.append(
@@ -1613,7 +1720,9 @@ class RAID6Volume:
 
         Writing remaps the sector on the simulated disk exactly like a
         real drive's reallocation, so the next read succeeds without
-        reconstruction.
+        reconstruction.  The rewrite goes through :meth:`_write_cell` —
+        the funnel integrity tooling wraps — so a heal re-records the
+        block's checksum instead of leaving a stale digest behind.
         """
         if not self.policy.heal_latent_on_read:
             return
@@ -1622,9 +1731,7 @@ class RAID6Volume:
             if self.disks[loc.disk].failed:
                 continue
             try:
-                self._disk_write(
-                    loc.disk, loc.offset, buf[cell.row, cell.col]
-                )
+                self._write_cell(stripe, cell, buf[cell.row, cell.col])
             except TransientIOError:
                 continue  # best-effort: the scrubber will catch it later
             self.heal_log.append(

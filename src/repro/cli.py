@@ -220,6 +220,56 @@ def cmd_crash(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def cmd_durability(args) -> int:
+    import json
+
+    from repro.codes.registry import make_code
+    from repro.durability import DurabilityParams, simulate_durability
+
+    params = DurabilityParams(
+        mission_hours=args.years * 24 * 365,
+        mtbf_hours=args.mtbf_hours,
+        rebuild_hours=args.rebuild_hours,
+        latent_rate=args.latent_rate,
+        rot_rate=args.rot_rate,
+        scrub_interval_hours=args.scrub_hours,
+        iterations=args.iterations,
+    )
+    estimates = [
+        simulate_durability(make_code(code, p), params, seed=args.seed)
+        for code in args.codes
+        for p in args.primes
+    ]
+    if args.json:
+        print(json.dumps([
+            {
+                "code": e.code, "p": e.p, "disks": e.num_disks,
+                "iterations": e.iterations, "losses": e.losses,
+                "rebuild_hours": e.rebuild_hours,
+                "mttdl_hours": e.mttdl_hours,
+                "mttdl_ci_hours": list(e.mttdl_ci_hours),
+                "p_loss": e.p_loss, "p_loss_ci": list(e.p_loss_ci),
+                "causes": e.causes,
+            }
+            for e in estimates
+        ], indent=2))
+        return 0
+
+    def hours(x: float) -> str:
+        return "inf" if x == float("inf") else f"{x:.3g}"
+
+    print(f"{'code':<8}{'p':>4}{'losses':>8}{'P(loss)':>10}"
+          f"{'MTTDL(h)':>12}{'95% CI':>22}  causes")
+    for e in estimates:
+        lo, hi = e.mttdl_ci_hours
+        ci = f"[{hours(lo)}, {hours(hi)}]"
+        cause = ", ".join(f"{k}={v}" for k, v in e.causes.items()) or "-"
+        print(f"{e.code:<8}{e.p:>4}{e.losses:>5}/{e.iterations:<3}"
+              f"{e.p_loss:>9.4f}{hours(e.mttdl_hours):>12}{ci:>22}  "
+              f"{cause}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -277,6 +327,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_crash.add_argument("--primes", nargs="+", type=int, default=[5, 7])
     p_crash.add_argument("--seed", type=int, default=2015)
     p_crash.set_defaults(func=cmd_crash)
+
+    p_dur = sub.add_parser(
+        "durability",
+        help="Monte-Carlo MTTDL / P(data loss) with silent corruption",
+    )
+    p_dur.add_argument("--codes", nargs="+",
+                       default=["dcode", "rdp", "xcode"],
+                       choices=sorted(available_codes()))
+    p_dur.add_argument("--primes", nargs="+", type=int, default=[7])
+    p_dur.add_argument("--iterations", type=int, default=400)
+    p_dur.add_argument("--years", type=float, default=10.0,
+                       help="mission length per iteration")
+    p_dur.add_argument("--mtbf-hours", type=float, default=1.4e6)
+    p_dur.add_argument("--rebuild-hours", type=float, default=None,
+                       help="override the derived rebuild window")
+    p_dur.add_argument("--latent-rate", type=float, default=1e-4,
+                       help="latent sector errors per disk-hour")
+    p_dur.add_argument("--rot-rate", type=float, default=1e-4,
+                       help="silent bit-rot events per disk-hour")
+    p_dur.add_argument("--scrub-hours", type=float, default=168.0,
+                       help="scrub campaign cadence (0 disables)")
+    p_dur.add_argument("--seed", type=int, default=2015)
+    p_dur.add_argument("--json", action="store_true")
+    p_dur.set_defaults(func=cmd_durability)
 
     return parser
 

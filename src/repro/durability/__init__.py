@@ -1,0 +1,29 @@
+"""Durability estimation: exact repair oracle + Monte-Carlo timelines.
+
+``repro.durability`` complements the closed-form Markov MTTDL in
+:mod:`repro.analysis.reliability` with simulation at cell granularity,
+where silent corruption and latent sectors actually interact with the
+codes' parity-chain structure.
+"""
+
+from repro.durability.model import ArrayRepairModel
+from repro.durability.simulate import (
+    DEFAULT_MTBF_HOURS,
+    DurabilityEstimate,
+    DurabilityParams,
+    derive_rebuild_hours,
+    mttdl_from_counts,
+    simulate_durability,
+    wilson_interval,
+)
+
+__all__ = [
+    "ArrayRepairModel",
+    "DEFAULT_MTBF_HOURS",
+    "DurabilityEstimate",
+    "DurabilityParams",
+    "derive_rebuild_hours",
+    "mttdl_from_counts",
+    "simulate_durability",
+    "wilson_interval",
+]

@@ -1,0 +1,333 @@
+"""Monte-Carlo durability estimation for the registry codes.
+
+The closed-form Markov chain in :mod:`repro.analysis.reliability` only
+sees whole-disk failures.  This simulator plays out full mission
+timelines — disk failures, rebuild windows, latent sector errors,
+silent bit rot, periodic scrub campaigns — and scores each mission as
+survived or lost, using the exact cell-granularity repair oracle of
+:class:`repro.durability.model.ArrayRepairModel` to decide whether a
+damaged stripe is still decodable.  That is where the codes diverge:
+two dead columns plus one rotten block is fatal for some layouts and a
+routine chain-repair for others.
+
+Timeline rules (per mission, event-driven):
+
+* each live disk fails after an exponential time with mean
+  ``mtbf_hours``; a failed disk starts rebuilding immediately (one
+  rebuild at a time) and returns after ``rebuild_hours``;
+* point defects (latent sectors at ``latent_rate``, rotten blocks at
+  ``rot_rate``, both per disk-hour) land on a uniformly random
+  ``(stripe, cell)``; defects on a failed column are subsumed by the
+  column loss;
+* a scrub campaign every ``scrub_interval_hours`` repairs and clears
+  every outstanding defect, but only while the array is fully healthy —
+  mirroring :meth:`IntegrityChecker.scrub_campaign`'s precondition;
+* a completed rebuild re-records its column (defects there vanish);
+* data loss occurs the moment any stripe's damage pattern —
+  failed columns plus its resident defects — stalls the repair oracle.
+
+Every mission draws from one :func:`numpy.random.default_rng` stream
+seeded by the caller, so a seed pins the full event sequence, loss
+count, and MTTDL estimate bit-for-bit.
+
+Estimators: mean time to data loss uses the censored-exponential MLE
+``T_total / k`` with a Poisson normal-approximation CI on ``k`` (the
+rule of three bounds the ``k = 0`` case); the per-mission loss
+probability gets a Wilson score interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.codes.base import Cell, CodeLayout
+from repro.durability.model import ArrayRepairModel
+from repro.perf.diskmodel import SAVVIO_10K3, DiskParameters
+from repro.perf.rebuild import rebuild_window
+from repro.util.validation import require
+
+#: Manufacturer MTBF for the paper's drive class (hours) — matches
+#: :data:`repro.analysis.reliability.DEFAULT_MTBF_HOURS`.
+DEFAULT_MTBF_HOURS = 1.4e6
+
+_Z95 = 1.959963984540054  # two-sided 95 % normal quantile
+
+
+@dataclass(frozen=True)
+class DurabilityParams:
+    """Mission profile for the Monte-Carlo timeline simulator."""
+
+    #: Mission length per iteration (default ten years).
+    mission_hours: float = 87_600.0
+    mtbf_hours: float = DEFAULT_MTBF_HOURS
+    #: Whole-disk rebuild window; ``None`` derives the worst-column
+    #: window from :func:`repro.perf.rebuild.rebuild_window`.
+    rebuild_hours: Optional[float] = None
+    #: Latent sector errors per disk-hour.
+    latent_rate: float = 1e-6
+    #: Silent bit-rot events per disk-hour.
+    rot_rate: float = 1e-6
+    #: Scrub campaign cadence; ``0`` disables scrubbing.
+    scrub_interval_hours: float = 168.0
+    #: Stripes the defect model spreads over (smaller → more clustering
+    #: → more same-stripe coincidences).
+    num_stripes: int = 1024
+    iterations: int = 1000
+    disk_params: DiskParameters = SAVVIO_10K3
+
+    def __post_init__(self) -> None:
+        require(self.mission_hours > 0, "mission_hours must be > 0")
+        require(self.mtbf_hours > 0, "mtbf_hours must be > 0")
+        require(self.rebuild_hours is None or self.rebuild_hours > 0,
+                "rebuild_hours must be > 0")
+        require(self.latent_rate >= 0 and self.rot_rate >= 0,
+                "defect rates must be >= 0")
+        require(self.scrub_interval_hours >= 0,
+                "scrub_interval_hours must be >= 0")
+        require(self.num_stripes >= 1, "num_stripes must be >= 1")
+        require(self.iterations >= 1, "iterations must be >= 1")
+
+
+@dataclass(frozen=True)
+class DurabilityEstimate:
+    """Monte-Carlo durability verdict for one code."""
+
+    code: str
+    p: int
+    num_disks: int
+    iterations: int
+    losses: int
+    mission_hours: float
+    rebuild_hours: float
+    #: Total simulated operating time across every mission (hours).
+    exposure_hours: float
+    #: Censored-MLE mean time to data loss; ``inf`` when no mission
+    #: lost data (see :attr:`mttdl_ci_hours` for the bound).
+    mttdl_hours: float
+    #: 95 % CI on MTTDL; with zero losses the lower bound comes from
+    #: the rule of three and the upper bound is ``inf``.
+    mttdl_ci_hours: Tuple[float, float]
+    #: Per-mission loss probability with its Wilson 95 % interval.
+    p_loss: float
+    p_loss_ci: Tuple[float, float]
+    #: Loss counts by proximate cause.
+    causes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mttdl_years(self) -> float:
+        return self.mttdl_hours / (24 * 365)
+
+
+def derive_rebuild_hours(
+    layout: CodeLayout,
+    num_stripes: int = 4096,
+    params: DiskParameters = SAVVIO_10K3,
+) -> float:
+    """Worst-column whole-window rebuild time, in hours."""
+    worst = max(
+        rebuild_window(layout, col, num_stripes=num_stripes,
+                       params=params).window_ms
+        for col in range(layout.cols)
+    )
+    return worst / 1e3 / 3600.0
+
+
+def wilson_interval(k: int, n: int, z: float = _Z95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion ``k / n``."""
+    require(0 <= k <= n and n > 0, "need 0 <= k <= n, n > 0")
+    centre = (k + z * z / 2) / (n + z * z)
+    half = (z / (n + z * z)) * math.sqrt(
+        k * (n - k) / n + z * z / 4
+    )
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def mttdl_from_counts(
+    losses: int, exposure_hours: float, z: float = _Z95
+) -> Tuple[float, Tuple[float, float]]:
+    """Censored-exponential MTTDL point estimate and 95 % CI.
+
+    ``k`` losses over total exposure ``T`` give the MLE ``T / k``.  The
+    CI treats ``k`` as Poisson with a normal approximation on its rate;
+    for ``k = 0`` the rule of three (``rate <= 3 / T`` at 95 %) yields a
+    one-sided lower bound ``T / 3`` on the MTTDL.
+    """
+    require(exposure_hours > 0, "exposure_hours must be > 0")
+    if losses == 0:
+        return math.inf, (exposure_hours / 3.0, math.inf)
+    mttdl = exposure_hours / losses
+    spread = z * math.sqrt(losses)
+    hi_rate = losses + spread
+    lo_rate = losses - spread
+    upper = (
+        math.inf if lo_rate <= 0 else exposure_hours / lo_rate
+    )
+    return mttdl, (exposure_hours / hi_rate, upper)
+
+
+class _Mission:
+    """One mission timeline; returns (loss_time | None, cause)."""
+
+    def __init__(
+        self,
+        model: ArrayRepairModel,
+        params: DurabilityParams,
+        rebuild_hours: float,
+        rng: np.random.Generator,
+    ) -> None:
+        self.model = model
+        self.params = params
+        self.rebuild_hours = rebuild_hours
+        self.rng = rng
+        layout = model.layout
+        self.cells: List[Cell] = [
+            Cell(row, col)
+            for row in range(layout.rows)
+            for col in range(layout.cols)
+        ]
+        self.num_disks = layout.cols
+
+    def run(self) -> Tuple[Optional[float], str]:
+        p = self.params
+        rng = self.rng
+        now = 0.0
+        # per-disk next spontaneous failure time
+        fail_at = [
+            now + float(dt)
+            for dt in rng.exponential(p.mtbf_hours, self.num_disks)
+        ]
+        failed: List[int] = []           # columns currently dead
+        rebuild_done: Optional[float] = None
+        rebuild_col: Optional[int] = None
+        defects: Dict[int, Set[Cell]] = {}   # stripe -> cells
+        defect_rate = (p.latent_rate + p.rot_rate) * self.num_disks
+        next_defect = (
+            now + float(rng.exponential(1.0 / defect_rate))
+            if defect_rate > 0 else math.inf
+        )
+        next_scrub = (
+            p.scrub_interval_hours if p.scrub_interval_hours > 0
+            else math.inf
+        )
+
+        while True:
+            next_fail = min(
+                (fail_at[d] for d in range(self.num_disks)
+                 if d not in failed),
+                default=math.inf,
+            )
+            t = min(
+                next_fail,
+                rebuild_done if rebuild_done is not None else math.inf,
+                next_defect,
+                next_scrub,
+                p.mission_hours,
+            )
+            now = t
+            if now >= p.mission_hours:
+                return None, ""
+
+            if rebuild_done is not None and t == rebuild_done:
+                # rebuilt column comes back fresh and fully re-recorded
+                col = rebuild_col
+                failed.remove(col)
+                fail_at[col] = now + float(rng.exponential(p.mtbf_hours))
+                rebuild_done = rebuild_col = None
+                if failed:  # next queued rebuild starts immediately
+                    rebuild_col = failed[0]
+                    rebuild_done = now + self.rebuild_hours
+                continue
+
+            if t == next_scrub:
+                next_scrub = now + p.scrub_interval_hours
+                if not failed:
+                    # campaign repairs every outstanding defect — all
+                    # still-repairable by construction (they were
+                    # checked on arrival with no columns down)
+                    defects.clear()
+                continue
+
+            if t == next_defect:
+                next_defect = now + float(
+                    rng.exponential(1.0 / defect_rate)
+                )
+                cell = self.cells[int(rng.integers(len(self.cells)))]
+                if cell.col in failed:
+                    continue  # subsumed by the column loss
+                stripe = int(rng.integers(self.params.num_stripes))
+                pool = defects.setdefault(stripe, set())
+                pool.add(cell)
+                if not self.model.stripe_survives(failed, pool):
+                    cause = (
+                        "defect_during_rebuild" if failed
+                        else "defect_overflow"
+                    )
+                    return now, cause
+                continue
+
+            # a disk died
+            col = min(
+                (d for d in range(self.num_disks) if d not in failed),
+                key=lambda d: fail_at[d],
+            )
+            failed.append(col)
+            # its defects are subsumed by the whole-column erasure
+            for pool in defects.values():
+                discard = {c for c in pool if c.col == col}
+                pool -= discard
+            if rebuild_done is None:
+                rebuild_col = col
+                rebuild_done = now + self.rebuild_hours
+            if not self.model.stripe_survives(failed):
+                return now, "column_overflow"
+            for stripe, pool in defects.items():
+                if pool and not self.model.stripe_survives(failed, pool):
+                    return now, "defect_during_rebuild"
+
+
+def simulate_durability(
+    layout: CodeLayout,
+    params: DurabilityParams = DurabilityParams(),
+    seed: int = 0,
+) -> DurabilityEstimate:
+    """Monte-Carlo the mission profile; fully seed-deterministic."""
+    rebuild_hours = (
+        params.rebuild_hours
+        if params.rebuild_hours is not None
+        else derive_rebuild_hours(layout, params=params.disk_params)
+    )
+    model = ArrayRepairModel(layout)
+    rng = np.random.default_rng(seed)
+    losses = 0
+    exposure = 0.0
+    causes: Dict[str, int] = {}
+    for _ in range(params.iterations):
+        loss_time, cause = _Mission(
+            model, params, rebuild_hours, rng
+        ).run()
+        if loss_time is None:
+            exposure += params.mission_hours
+        else:
+            losses += 1
+            exposure += loss_time
+            causes[cause] = causes.get(cause, 0) + 1
+    mttdl, mttdl_ci = mttdl_from_counts(losses, exposure)
+    return DurabilityEstimate(
+        code=layout.name,
+        p=layout.p,
+        num_disks=layout.num_disks,
+        iterations=params.iterations,
+        losses=losses,
+        mission_hours=params.mission_hours,
+        rebuild_hours=rebuild_hours,
+        exposure_hours=exposure,
+        mttdl_hours=mttdl,
+        mttdl_ci_hours=mttdl_ci,
+        p_loss=losses / params.iterations,
+        p_loss_ci=wilson_interval(losses, params.iterations),
+        causes=dict(sorted(causes.items())),
+    )

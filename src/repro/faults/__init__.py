@@ -36,6 +36,7 @@ __all__ = [
     "CRASH_PATTERNS",
     "FAULT_KINDS",
     "ChaosResult",
+    "CorruptionCampaignResult",
     "CrashPointResult",
     "ErrorCounters",
     "ErrorPolicy",
@@ -47,6 +48,7 @@ __all__ = [
     "HealthState",
     "RebuildCursor",
     "run_chaos",
+    "run_corruption_campaign",
     "run_crash_points",
 ]
 
@@ -55,7 +57,9 @@ def __getattr__(name):
     # chaos imports the volume (which imports this package), so it loads
     # lazily to keep the import graph acyclic
     if name in ("run_chaos", "ChaosResult", "ChaosRunner",
-                "run_crash_points", "CrashPointResult", "CRASH_PATTERNS"):
+                "run_crash_points", "CrashPointResult", "CRASH_PATTERNS",
+                "run_corruption_campaign", "CorruptionCampaign",
+                "CorruptionCampaignResult"):
         from repro.faults import chaos
 
         return getattr(chaos, name)

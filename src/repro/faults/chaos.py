@@ -662,3 +662,284 @@ def run_crash_points(
         code, p, seed=seed, num_stripes=num_stripes,
         element_size=element_size,
     ).run(patterns=patterns)
+
+
+# -- silent-corruption campaigns ----------------------------------------------
+
+
+@dataclass
+class CorruptionCampaignResult:
+    """Outcome and replay record of one corruption campaign.
+
+    ``events`` is pure data (step, kind, int params), so two campaigns
+    with the same ``(code, p, seed)`` must produce identical lists — the
+    deterministic-replay property the corruption tests assert.
+    """
+
+    code: str
+    p: int
+    seed: int
+    rounds: int
+    events: List[Tuple] = field(default_factory=list)
+    #: Byte-flips landed (at-rest plus armed ``silent_flip`` specs).
+    flips: int = 0
+    #: ``corrupt`` heal-log entries — rot caught by verified reads.
+    read_heals: int = 0
+    #: Cells repaired by scrub campaigns.
+    scrub_repairs: int = 0
+    #: Damage-past-tolerance rounds that raised a *typed* error.
+    overloads: int = 0
+    verifications: int = 0
+    integrity_violations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.integrity_violations == 0
+
+
+class CorruptionCampaign:
+    """Seeded silent-corruption schedule against a verified volume.
+
+    The campaign corrupts blocks behind the array's back — at-rest
+    flips via :meth:`FaultInjector.corrupt_at_rest` and op-triggered
+    ``silent_flip`` specs — and holds the stack to the ISSUE contract:
+
+    * damage confined to **at most two columns per stripe** must be
+      healed byte-exactly (against a shadow copy) by verified reads or
+      by :meth:`IntegrityChecker.scrub_campaign`, silently — no error
+      reaches the caller;
+    * damage beyond two columns must surface as a *typed* error
+      (:data:`TYPED_ERRORS`), never a crash or a wrong answer.
+
+    The attached injector keeps the volume on its serial, always-
+    verified read path, and the error policy's escalation threshold is
+    set out of reach — a corruption campaign measures detection and
+    repair, not the proactive-failure ladder (which has its own tests).
+    """
+
+    def __init__(
+        self,
+        code: str = "dcode",
+        p: int = 7,
+        seed: int = 0,
+        num_stripes: int = 4,
+        element_size: int = 16,
+    ) -> None:
+        from repro.array.integrity import IntegrityChecker
+        from repro.faults.policy import ErrorPolicy
+
+        self.rng = np.random.default_rng(seed)
+        self.volume = RAID6Volume(
+            make_code(code, p), num_stripes=num_stripes,
+            element_size=element_size,
+            policy=ErrorPolicy(escalate_after=10**9),
+        )
+        self.injector = FaultInjector(seed=seed + 1).attach(self.volume)
+        self.checker = IntegrityChecker(self.volume)
+        self.shadow = np.zeros(
+            (self.volume.num_elements, element_size), dtype=np.uint8
+        )
+        self.result = CorruptionCampaignResult(
+            code=code, p=p, seed=seed, rounds=0
+        )
+        self._step = 0
+        #: stripe -> columns with outstanding (unrepaired) corruption;
+        #: the budget keeper that stays within the two-column contract.
+        self._outstanding: Dict[int, set] = {}
+
+    # -- helpers ---------------------------------------------------------
+
+    def _note(self, kind: str, *params: int) -> None:
+        self.result.events.append((self._step, kind) + params)
+
+    def _per(self) -> int:
+        return self.volume.layout.num_data_cells
+
+    def _flip_cell(self, stripe: int, cell) -> None:
+        loc = self.volume.mapper.locate_cell(stripe, cell)
+        mask = int(self.rng.integers(1, 256))
+        self.injector.corrupt_at_rest(loc.disk, loc.offset, mask)
+        self.result.flips += 1
+        self._note("flip", stripe, cell.row, cell.col, mask)
+
+    def _read_expect(self, start: int, count: int) -> bool:
+        """Verified read must match the shadow byte-exactly."""
+        self.result.verifications += 1
+        got = self.volume.read(start, count)
+        if np.array_equal(got, self.shadow[start:start + count]):
+            return True
+        self.result.integrity_violations += 1
+        self._note("violation_data_mismatch", start, count)
+        return False
+
+    def _restore_stripe(self, stripe: int) -> None:
+        """Operator's restore-from-backup once a stripe is past
+        tolerance: a full-stripe write re-records every digest."""
+        per = self._per()
+        self.volume.write(
+            stripe * per, self.shadow[stripe * per:(stripe + 1) * per]
+        )
+        self._outstanding.pop(stripe, None)
+        self._note("restore", stripe)
+
+    # -- schedule events -------------------------------------------------
+
+    def ev_write(self) -> None:
+        n = int(self.rng.integers(1, 9))
+        start = int(
+            self.rng.integers(0, self.volume.num_elements - n + 1)
+        )
+        data = self.rng.integers(
+            0, 256, (n, self.volume.element_size), dtype=np.uint8
+        )
+        self._note("write", start, n, int(data.sum()))
+        self.volume.write(start, data)
+        self.shadow[start:start + n] = data
+
+    def ev_rot(self) -> None:
+        """At-rest rot within the two-column budget, then a verified
+        read of the stripe — data-cell rot must heal in place."""
+        layout = self.volume.layout
+        stripe = int(self.rng.integers(self.volume.mapper.num_stripes))
+        held = self._outstanding.setdefault(stripe, set())
+        room = 2 - len(held)
+        if room <= 0:
+            return
+        cols = [c for c in range(layout.cols) if c not in held]
+        picks = self.rng.choice(
+            len(cols), size=int(self.rng.integers(1, room + 1)),
+            replace=False,
+        )
+        for col in sorted(cols[int(i)] for i in picks):
+            cells = layout.cells_in_column(col)
+            cell = cells[int(self.rng.integers(len(cells)))]
+            self._flip_cell(stripe, cell)
+            if not layout.is_data(cell):
+                # the verified read below heals data cells on the spot;
+                # parity rot stays outstanding until a campaign sweeps
+                held.add(col)
+        per = self._per()
+        self._read_expect(stripe * per, per)
+
+    def ev_flip_on_read(self) -> None:
+        """Arm an op-triggered ``silent_flip`` against a data cell, then
+        read it — detect-on-serve, reconstruct, rewrite."""
+        layout = self.volume.layout
+        stripe = int(self.rng.integers(self.volume.mapper.num_stripes))
+        if self._outstanding.get(stripe):
+            return  # keep the budget bookkeeping trivially safe
+        data_cells = layout.data_cells
+        cell = data_cells[int(self.rng.integers(len(data_cells)))]
+        loc = self.volume.mapper.locate_cell(stripe, cell)
+        mask = int(self.rng.integers(1, 256))
+        self._note("flip_on_read", stripe, cell.row, cell.col, mask)
+        self.injector.arm(FaultSpec(
+            "silent_flip", at_op=self.injector.ops, disk=loc.disk,
+            offset=loc.offset, flip_mask=mask,
+        ))
+        self.result.flips += 1
+        per = self._per()
+        self._read_expect(stripe * per, per)
+
+    def ev_campaign(self) -> None:
+        """Scrub campaign sweeps; parity rot is only repairable here."""
+        self._note("campaign")
+        report = self.checker.scrub_campaign()
+        self.result.scrub_repairs += report.repaired_count
+        self._outstanding.clear()
+
+    def ev_overload(self) -> None:
+        """Three corrupt columns in one stripe: the read must fail with
+        a typed error, and a full-stripe restore must recover."""
+        layout = self.volume.layout
+        stripe = int(self.rng.integers(self.volume.mapper.num_stripes))
+        held = self._outstanding.setdefault(stripe, set())
+        cols = [c for c in range(layout.cols) if c not in held]
+        need = 3 - len(held)
+        picks = self.rng.choice(len(cols), size=need, replace=False)
+        chosen = sorted(cols[int(i)] for i in picks)
+        for col in chosen:
+            for cell in layout.cells_in_column(col):
+                self._flip_cell(stripe, cell)
+        self._note("overload", stripe, *sorted(held | set(chosen)))
+        per = self._per()
+        self.result.verifications += 1
+        try:
+            got = self.volume.read(stripe * per, per)
+        except TYPED_ERRORS:
+            self.result.overloads += 1
+        else:
+            if not np.array_equal(
+                got, self.shadow[stripe * per:(stripe + 1) * per]
+            ):
+                self.result.integrity_violations += 1
+                self._note("violation_served_rot", stripe)
+        self._restore_stripe(stripe)
+        self._read_expect(stripe * per, per)
+
+    def ev_verify(self) -> None:
+        vol = self.volume
+        n = int(self.rng.integers(1, min(16, vol.num_elements) + 1))
+        start = int(self.rng.integers(0, vol.num_elements - n + 1))
+        self._note("verify", start, n)
+        self._read_expect(start, n)
+
+    # -- driving ---------------------------------------------------------
+
+    EVENTS = (
+        ("write", 0.25),
+        ("rot", 0.25),
+        ("flip_on_read", 0.15),
+        ("campaign", 0.10),
+        ("overload", 0.10),
+        ("verify", 0.15),
+    )
+
+    def run(self, rounds: int = 24) -> CorruptionCampaignResult:
+        names = [name for name, _ in self.EVENTS]
+        probs = np.array([w for _, w in self.EVENTS])
+        probs = probs / probs.sum()
+        for step in range(rounds):
+            self._step = step
+            name = names[int(self.rng.choice(len(names), p=probs))]
+            getattr(self, f"ev_{name}")()
+        self._settle()
+        self.result.rounds = rounds
+        self.result.read_heals = sum(
+            1 for e in self.volume.heal_log if e.kind == "corrupt"
+        )
+        return self.result
+
+    def _settle(self) -> None:
+        """Drain outstanding rot, then verify everything byte-exactly."""
+        self._step = -1
+        for _ in range(8):
+            report = self.checker.scrub_campaign()
+            self.result.scrub_repairs += report.repaired_count
+            if report.clean:
+                break
+        else:  # pragma: no cover - defensive
+            raise ReproError("corruption settle did not converge")
+        self._outstanding.clear()
+        self._note("settled")
+        if not self._read_expect(0, self.volume.num_elements):
+            return
+        if self.checker.find_corruption():
+            self.result.integrity_violations += 1
+            self._note("violation_residual_rot")
+
+
+def run_corruption_campaign(
+    code: str = "dcode",
+    p: int = 7,
+    seed: int = 0,
+    rounds: int = 24,
+    num_stripes: int = 4,
+    element_size: int = 16,
+) -> CorruptionCampaignResult:
+    """Run one seeded silent-corruption campaign; deterministic in
+    ``(code, p, seed)``.  See :class:`CorruptionCampaign`."""
+    return CorruptionCampaign(
+        code=code, p=p, seed=seed, num_stripes=num_stripes,
+        element_size=element_size,
+    ).run(rounds=rounds)

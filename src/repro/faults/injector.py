@@ -34,6 +34,18 @@ Fault kinds:
 ``crash``
     The whole array loses power: :class:`~repro.exceptions.
     SimulatedCrashError` tears the in-flight operation.  One-shot.
+``silent_flip``
+    Bytes flip on the medium with **no error raised** — the silent data
+    corruption scrub campaigns exist to catch (docs/robustness.md,
+    "Silent corruption & durability").  A flip scheduled on a ``read``
+    (or ``any``) op corrupts the stored block *before* the read serves
+    it — at-rest rot surfacing on access; a flip scheduled on a
+    ``write`` op corrupts the block *after* it lands — a corrupted
+    write the device acknowledged cleanly.  :meth:`FaultInjector.
+    corrupt_at_rest` flips a block immediately with no I/O at all.  The
+    flip XORs every byte of the element with a mask (``FaultSpec.
+    flip_mask``, or a seeded draw for rate/at-rest flips), so content
+    changes but no counter, bad-sector set or exception ever does.
 
 Every fired fault is appended to :attr:`FaultInjector.log` as a
 :class:`FaultEvent`, giving a deterministic, comparable record of the
@@ -52,7 +64,9 @@ from repro.exceptions import SimulatedCrashError, TransientIOError
 from repro.util.validation import require
 
 #: Recognised fault kinds.
-FAULT_KINDS = ("transient", "latent", "disk_death", "slow", "crash")
+FAULT_KINDS = (
+    "transient", "latent", "disk_death", "slow", "crash", "silent_flip",
+)
 
 
 @dataclass(frozen=True)
@@ -71,6 +85,8 @@ class FaultSpec:
     count: int = 1
     offset: Optional[int] = None
     delay_ms: float = 0.0
+    #: ``silent_flip`` only: the byte XORed over the whole element.
+    flip_mask: int = 0xFF
 
     def __post_init__(self) -> None:
         require(self.kind in FAULT_KINDS,
@@ -79,6 +95,8 @@ class FaultSpec:
                 f"op must be read/write/any, got {self.op!r}")
         require(self.at_op >= 0, "at_op must be >= 0")
         require(self.count >= 1, "count must be >= 1")
+        require(1 <= self.flip_mask <= 0xFF,
+                f"flip_mask must be in [1, 255], got {self.flip_mask}")
 
     def matches(self, disk_id: int, op: str) -> bool:
         return (self.disk is None or self.disk == disk_id) and \
@@ -103,16 +121,18 @@ class FaultRates:
     transient: float = 0.0
     latent: float = 0.0
     disk_death: float = 0.0
+    silent_flip: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("transient", "latent", "disk_death"):
+        for name in ("transient", "latent", "disk_death", "silent_flip"):
             rate = getattr(self, name)
             require(0.0 <= rate <= 1.0,
                     f"{name} rate must be in [0, 1], got {rate}")
 
     @property
     def any(self) -> bool:
-        return bool(self.transient or self.latent or self.disk_death)
+        return bool(self.transient or self.latent or self.disk_death
+                    or self.silent_flip)
 
 
 @dataclass
@@ -144,6 +164,9 @@ class FaultInjector:
         self._bursts: List[_ArmedTransient] = []
         self._slow: Dict[int, float] = {}
         self._delay_ms: Dict[int, float] = {}
+        # silent flips armed on a write op apply *after* the write lands
+        # (corrupt-on-write); keyed by (disk_id, offset), masks compose
+        self._pending_flips: Dict[Tuple[int, int], int] = {}
         self._volume = None
         # The volume's batch/parallel fast paths all disable themselves
         # while a hook is attached, so injection normally runs serial;
@@ -160,6 +183,7 @@ class FaultInjector:
         self._volume = volume
         for disk in volume.disks:
             disk.fault_hook = self._hook
+            disk.corrupt_hook = self._post_write_hook
         return self
 
     def detach(self) -> None:
@@ -169,7 +193,10 @@ class FaultInjector:
                 # bound-method identity is not stable; compare by equality
                 if disk.fault_hook == self._hook:
                     disk.fault_hook = None
+                if disk.corrupt_hook == self._post_write_hook:
+                    disk.corrupt_hook = None
             self._volume = None
+            self._pending_flips.clear()
 
     # -- schedule management ------------------------------------------------
 
@@ -253,6 +280,11 @@ class FaultInjector:
             if self.rates.transient and \
                     self.rng.random() < self.rates.transient:
                 self._fire("transient", idx, disk, op, offset, raise_=True)
+            if self.rates.silent_flip and \
+                    self.rng.random() < self.rates.silent_flip:
+                mask = int(self.rng.integers(1, 256))
+                self._flip(disk, op, offset, mask)
+                self._fire("silent_flip", idx, disk, op, offset)
 
     def _fire_spec(self, spec: FaultSpec, idx, disk, op, offset) -> None:
         if spec.kind == "transient":
@@ -274,6 +306,64 @@ class FaultInjector:
         elif spec.kind == "crash":
             self._fire("crash", idx, disk, op, offset)
             raise SimulatedCrashError(idx)
+        elif spec.kind == "silent_flip":
+            target = spec.offset if spec.offset is not None else offset
+            self._flip(disk, op, target, spec.flip_mask)
+            self._fire("silent_flip", idx, disk, op, target)
+
+    def _flip(self, disk, op: str, offset: int, mask: int) -> None:
+        """Corrupt one element silently.
+
+        On a ``write`` op the current store content is about to be
+        overwritten, so the flip is deferred and applied by the disk's
+        ``corrupt_hook`` right after the write lands (corrupt-on-write);
+        any other op flips the stored bytes immediately, *before* the op
+        serves them (at-rest rot surfacing on access).  A failed disk is
+        unreachable, so the flip is dropped (the event still logs).
+        """
+        if disk.failed or not (0 <= offset < disk.capacity):
+            return
+        if op == "write":
+            key = (disk.disk_id, offset)
+            self._pending_flips[key] = self._pending_flips.get(key, 0) ^ mask
+        else:
+            disk._store[offset] ^= np.uint8(mask)
+
+    def _post_write_hook(self, disk, offset: int) -> None:
+        """``SimDisk.corrupt_hook`` target: apply a deferred write flip."""
+        with self._lock:
+            mask = self._pending_flips.pop((disk.disk_id, offset), 0)
+        if mask:
+            disk._store[offset] ^= np.uint8(mask)
+
+    def corrupt_at_rest(
+        self,
+        disk_id: int,
+        offset: int,
+        mask: Optional[int] = None,
+    ) -> int:
+        """Flip one stored element with no I/O at all (pure bit rot).
+
+        Unlike scheduled/probabilistic flips this does not ride on an op:
+        the store mutates in place, no counter moves, and the event logs
+        with ``op="rest"`` at the current op index (not consuming one).
+        ``mask`` defaults to a seeded draw.  Returns the mask applied, or
+        0 when the disk is failed (nothing to corrupt).
+        """
+        require(self._volume is not None, "injector is not attached")
+        with self._lock:
+            disk = self._volume.disks[disk_id]
+            if mask is None:
+                mask = int(self.rng.integers(1, 256))
+            require(1 <= mask <= 0xFF,
+                    f"mask must be in [1, 255], got {mask}")
+            if disk.failed:
+                return 0
+            disk._store[offset] ^= np.uint8(mask)
+            self.log.append(
+                FaultEvent(self.ops, "silent_flip", disk_id, "rest", offset)
+            )
+            return mask
 
     def _fire(self, kind, idx, disk, op, offset, raise_=False) -> None:
         self.log.append(FaultEvent(idx, kind, disk.disk_id, op, offset))

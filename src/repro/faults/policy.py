@@ -55,7 +55,9 @@ class HealEvent:
     ``kind`` is one of ``retry_ok`` (a transient op succeeded on retry),
     ``remap`` (a latent sector was reconstructed and rewritten),
     ``reconstruct`` (an element was served from parity without a
-    rewrite), ``escalate`` (a flaky disk was proactively failed) or
+    rewrite), ``corrupt`` (a verified read caught a block whose bytes no
+    longer match their checksum — silent corruption located and treated
+    as an erasure), ``escalate`` (a flaky disk was proactively failed) or
     ``dropped_write`` (a write raced a disk death and was discarded —
     the data stays recoverable from parity).
     """
@@ -73,6 +75,11 @@ class ErrorCounters:
     def __init__(self, num_disks: int) -> None:
         self.transient = [0] * num_disks
         self.latent = [0] * num_disks
+        #: Checksum mismatches caught by verified reads — silent
+        #: corruption counts toward escalation like any other error: a
+        #: disk that keeps rotting bits is as untrustworthy as one that
+        #: keeps timing out.
+        self.checksum = [0] * num_disks
         self.escalated: List[int] = []
         #: Total simulated retry backoff the volume has accrued (ms).
         self.backoff_ms = 0.0
@@ -80,12 +87,16 @@ class ErrorCounters:
     def note(self, disk: int, kind: str) -> None:
         if kind == "transient":
             self.transient[disk] += 1
+        elif kind == "checksum":
+            self.checksum[disk] += 1
         else:
             self.latent[disk] += 1
 
     def total(self, disk: int) -> int:
         """Cumulative error count of one disk (drives escalation)."""
-        return self.transient[disk] + self.latent[disk]
+        return (
+            self.transient[disk] + self.latent[disk] + self.checksum[disk]
+        )
 
     def snapshot(self) -> Tuple[Tuple[int, int], ...]:
         """(transient, latent) per disk — convenient for assertions."""
@@ -94,5 +105,6 @@ class ErrorCounters:
     def __repr__(self) -> str:
         return (
             f"<ErrorCounters transient={self.transient} "
-            f"latent={self.latent} escalated={self.escalated}>"
+            f"latent={self.latent} checksum={self.checksum} "
+            f"escalated={self.escalated}>"
         )

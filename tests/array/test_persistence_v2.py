@@ -106,6 +106,43 @@ def test_checksums_round_trip(tmp_path):
     assert resumed.find_corruption() == {}
 
 
+def test_checksums_round_trip_after_rebuild_and_rot(tmp_path):
+    """The archived digest map stays truthful through the full life
+    cycle: corruption healed on read, a disk rebuilt (re-recording its
+    column), then a save/load — the restored store locates fresh rot and
+    reports zero false positives elsewhere."""
+    vol = RAID6Volume(
+        make_code("dcode", 5), num_stripes=3,
+        element_size=ELEMENT_SIZE, journal=WriteIntentLog(),
+    )
+    checker = IntegrityChecker(vol)
+    rng = np.random.default_rng(11)
+    data = rng.integers(
+        0, 256, (vol.num_elements, ELEMENT_SIZE), dtype=np.uint8
+    )
+    vol.write(0, data)
+    # inject rot, heal it on a verified read
+    cell = vol.layout.data_cells[1]
+    loc = vol.mapper.locate_cell(0, cell)
+    vol.disks[loc.disk]._store[loc.offset] ^= 0x5A
+    checker.store.invalidate()
+    assert np.array_equal(vol.read(0, vol.num_elements), data)
+    # replace + rebuild a disk: its digests are forgotten and re-recorded
+    vol.fail_disk(2)
+    vol.start_rebuild(2).run()
+    path = save_volume(vol, tmp_path / "vol.npz", checksums=checker.store)
+    loaded = load_volume(path)
+    assert loaded.restored_checksums._sums == checker.store._sums
+    resumed = IntegrityChecker(loaded, store=loaded.restored_checksums)
+    assert resumed.find_corruption() == {}
+    # the restored store still locates corruption introduced post-load
+    loc2 = loaded.mapper.locate_cell(1, cell)
+    loaded.disks[loc2.disk]._store[loc2.offset] ^= 0xFF
+    assert resumed.find_corruption() == {1: [cell]}
+    assert resumed.verify_and_repair() == {1: [cell]}
+    assert np.array_equal(loaded.read(0, loaded.num_elements), data)
+
+
 def test_unjournaled_volume_loads_without_journal(tmp_path):
     vol = RAID6Volume(make_code("dcode", 5), num_stripes=2,
                       element_size=ELEMENT_SIZE)

@@ -1,0 +1,127 @@
+"""Monte-Carlo durability: determinism, estimators, mission physics."""
+
+import math
+
+import pytest
+
+from repro.codes import make_code
+from repro.durability import (
+    DurabilityParams,
+    derive_rebuild_hours,
+    mttdl_from_counts,
+    simulate_durability,
+    wilson_interval,
+)
+
+#: Aggressive profile that actually loses data in a few hundred
+#: missions — tiny array of unreliable disks, no scrubbing.
+HARSH = DurabilityParams(
+    iterations=120,
+    mtbf_hours=2e4,
+    rebuild_hours=400.0,
+    latent_rate=2e-3,
+    rot_rate=2e-3,
+    scrub_interval_hours=0.0,
+    num_stripes=16,
+)
+
+
+class TestEstimators:
+    def test_wilson_interval_brackets_the_rate(self):
+        lo, hi = wilson_interval(5, 100)
+        assert lo < 0.05 < hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_wilson_zero_and_full(self):
+        assert wilson_interval(0, 50)[0] == 0.0
+        assert wilson_interval(50, 50)[1] == 1.0
+        with pytest.raises(ValueError):
+            wilson_interval(2, 0)
+
+    def test_mttdl_censored_mle(self):
+        mttdl, (lo, hi) = mttdl_from_counts(4, 1000.0)
+        assert mttdl == pytest.approx(250.0)
+        assert lo < mttdl < hi
+
+    def test_mttdl_zero_losses_rule_of_three(self):
+        mttdl, (lo, hi) = mttdl_from_counts(0, 3000.0)
+        assert math.isinf(mttdl) and math.isinf(hi)
+        assert lo == pytest.approx(1000.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_estimate(self):
+        layout = make_code("dcode", 5)
+        a = simulate_durability(layout, HARSH, seed=42)
+        b = simulate_durability(layout, HARSH, seed=42)
+        assert a == b
+
+    def test_different_seed_different_timeline(self):
+        layout = make_code("dcode", 5)
+        a = simulate_durability(layout, HARSH, seed=42)
+        b = simulate_durability(layout, HARSH, seed=43)
+        assert a.exposure_hours != b.exposure_hours
+
+
+class TestMissionPhysics:
+    def test_harsh_profile_loses_data_with_causes(self):
+        est = simulate_durability(make_code("dcode", 5), HARSH, seed=7)
+        assert est.losses > 0
+        assert est.mttdl_hours < math.inf
+        lo, hi = est.mttdl_ci_hours
+        assert lo < est.mttdl_hours < hi
+        assert sum(est.causes.values()) == est.losses
+        assert set(est.causes) <= {
+            "column_overflow", "defect_during_rebuild", "defect_overflow"
+        }
+
+    def test_scrubbing_extends_life(self):
+        layout = make_code("dcode", 5)
+        harsh = HARSH
+        scrubbed = DurabilityParams(
+            iterations=harsh.iterations,
+            mtbf_hours=harsh.mtbf_hours,
+            rebuild_hours=harsh.rebuild_hours,
+            latent_rate=harsh.latent_rate,
+            rot_rate=harsh.rot_rate,
+            scrub_interval_hours=24.0,
+            num_stripes=harsh.num_stripes,
+        )
+        without = simulate_durability(layout, harsh, seed=11)
+        with_scrub = simulate_durability(layout, scrubbed, seed=11)
+        assert with_scrub.losses < without.losses
+
+    def test_benign_profile_survives_with_lower_bound(self):
+        benign = DurabilityParams(iterations=50, rebuild_hours=12.0)
+        est = simulate_durability(make_code("rdp", 5), benign, seed=1)
+        assert est.losses == 0
+        assert math.isinf(est.mttdl_hours)
+        # rule of three: exposure/3 lower bound, upper open
+        assert est.mttdl_ci_hours[0] == pytest.approx(
+            est.exposure_hours / 3.0
+        )
+        assert est.p_loss_ci[0] == 0.0
+
+    def test_rebuild_hours_derived_when_unset(self):
+        layout = make_code("xcode", 5)
+        est = simulate_durability(
+            layout, DurabilityParams(iterations=1), seed=0
+        )
+        assert est.rebuild_hours == pytest.approx(
+            derive_rebuild_hours(layout)
+        )
+
+    @pytest.mark.parametrize("name", ("dcode", "rdp", "xcode"))
+    def test_registry_codes_report(self, name):
+        est = simulate_durability(make_code(name, 7), HARSH, seed=5)
+        assert est.code == name and est.p == 7
+        assert est.iterations == HARSH.iterations
+        assert 0.0 <= est.p_loss <= 1.0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            DurabilityParams(iterations=0)
+        with pytest.raises(ValueError):
+            DurabilityParams(latent_rate=-1.0)
+        with pytest.raises(ValueError):
+            DurabilityParams(rebuild_hours=0.0)

@@ -1,0 +1,198 @@
+"""Unit tests of the ``silent_flip`` fault kind.
+
+Silent flips corrupt stored bytes with **no error raised and no counter
+moved** — the fault model the verified-read / scrub-campaign machinery
+exists to catch.  These tests pin the three trigger paths (scheduled,
+probabilistic, at-rest) and the read-vs-write timing semantics.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.array import SimDisk
+from repro.faults import FaultInjector, FaultRates, FaultSpec
+
+
+def make_array(n=2, capacity=8, element_size=4):
+    """A minimal stand-in for a volume: just the ``disks`` attribute."""
+    disks = [SimDisk(i, capacity, element_size) for i in range(n)]
+    return SimpleNamespace(disks=disks), disks
+
+
+def element(size=4, fill=0):
+    return np.full(size, fill, dtype=np.uint8)
+
+
+class TestScheduledFlips:
+    def test_read_flip_corrupts_before_serving(self):
+        array, (d0, _) = make_array()
+        d0.write(0, element(fill=0x11))
+        inj = FaultInjector(schedule=[
+            FaultSpec("silent_flip", at_op=0, disk=0, op="read",
+                      flip_mask=0xFF)
+        ]).attach(array)
+        # the triggering read itself sees the corrupted bytes: at-rest
+        # rot that surfaces on access
+        got = d0.read(0)
+        assert (got == 0x11 ^ 0xFF).all()
+        assert [e.kind for e in inj.log] == ["silent_flip"]
+        assert inj.log[0].op == "read"
+
+    def test_write_flip_lands_after_the_write(self):
+        array, (d0, _) = make_array()
+        inj = FaultInjector(schedule=[
+            FaultSpec("silent_flip", at_op=0, disk=0, op="write",
+                      flip_mask=0x0F)
+        ]).attach(array)
+        d0.write(3, element(fill=0xA0))
+        # the write "succeeded" but the medium holds flipped bytes
+        assert (d0._store[3] == 0xA0 ^ 0x0F).all()
+        assert inj.log[0].op == "write"
+        # one-shot: the next write is clean
+        d0.write(3, element(fill=0xA0))
+        assert (d0._store[3] == 0xA0).all()
+
+    def test_flip_never_raises_or_marks_bad(self):
+        array, (d0, _) = make_array()
+        FaultInjector(schedule=[
+            FaultSpec("silent_flip", at_op=0, disk=0, op="read")
+        ]).attach(array)
+        d0.read(0)  # no exception
+        assert d0.bad_sectors == frozenset()
+        assert not d0.failed
+
+    def test_spec_offset_redirects_the_flip(self):
+        array, (d0, _) = make_array()
+        d0.write(5, element(fill=0x55))
+        FaultInjector(schedule=[
+            FaultSpec("silent_flip", at_op=0, disk=0, op="read", offset=5,
+                      flip_mask=0x01)
+        ]).attach(array)
+        got = d0.read(0)  # reading offset 0 corrupts offset 5
+        assert (got == 0).all()
+        assert (d0._store[5] == 0x55 ^ 0x01).all()
+
+    def test_flip_on_failed_disk_is_dropped(self):
+        from repro.exceptions import DiskFailedError
+
+        array, (d0, d1) = make_array()
+        d1.write(0, element(fill=0x22))
+        inj = FaultInjector(schedule=[
+            FaultSpec("silent_flip", at_op=0, disk=1, op="any", offset=0)
+        ]).attach(array)
+        d1.fail()
+        # the hook runs before the liveness check, so the spec fires and
+        # logs — but a dead disk's platters are unreachable: no flip
+        with pytest.raises(DiskFailedError):
+            d1.read(0)
+        assert len(inj.events("silent_flip")) == 1
+        assert (d1._store[0] == 0x22).all()
+
+    def test_flip_mask_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec("silent_flip", flip_mask=0)
+        with pytest.raises(ValueError):
+            FaultSpec("silent_flip", flip_mask=256)
+
+
+class TestProbabilisticFlips:
+    def _drive(self, seed):
+        array, disks = make_array(n=3, capacity=16)
+        inj = FaultInjector(
+            seed=seed, rates=FaultRates(silent_flip=0.15)
+        ).attach(array)
+        for k in range(80):
+            disks[k % 3].read(k % 16)
+        return inj
+
+    def test_rate_flips_are_silent_and_logged(self):
+        inj = self._drive(7)
+        flips = inj.events("silent_flip")
+        assert len(flips) > 0
+        assert all(e.kind == "silent_flip" for e in inj.log)
+
+    def test_same_seed_same_flips_and_content(self):
+        a, b = self._drive(7), self._drive(7)
+        assert a.log == b.log
+        for da, db in zip(a._volume.disks, b._volume.disks):
+            assert (da._store == db._store).all()
+
+    def test_different_seed_different_log(self):
+        assert self._drive(7).log != self._drive(8).log
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            FaultRates(silent_flip=-0.1)
+        assert FaultRates(silent_flip=0.01).any
+
+
+class TestAtRestCorruption:
+    def test_corrupt_at_rest_flips_without_io(self):
+        array, (d0, _) = make_array()
+        d0.write(2, element(fill=0x3C))
+        reads, writes = d0.read_count, d0.write_count
+        inj = FaultInjector(seed=1).attach(array)
+        mask = inj.corrupt_at_rest(0, 2)
+        assert 1 <= mask <= 0xFF
+        assert (d0._store[2] == 0x3C ^ mask).all()
+        assert (d0.read_count, d0.write_count) == (reads, writes)
+        (ev,) = inj.events("silent_flip")
+        assert (ev.disk, ev.op, ev.offset) == (0, "rest", 2)
+        assert ev.op_index == inj.ops  # did not consume an op slot
+
+    def test_explicit_mask_and_self_inverse(self):
+        array, (d0, _) = make_array()
+        d0.write(0, element(fill=0x81))
+        inj = FaultInjector().attach(array)
+        assert inj.corrupt_at_rest(0, 0, mask=0x40) == 0x40
+        assert inj.corrupt_at_rest(0, 0, mask=0x40) == 0x40
+        assert (d0._store[0] == 0x81).all()  # XOR twice restores
+
+    def test_failed_disk_returns_zero(self):
+        array, (d0, _) = make_array()
+        inj = FaultInjector().attach(array)
+        d0.fail()
+        assert inj.corrupt_at_rest(0, 0) == 0
+
+    def test_requires_attachment(self):
+        inj = FaultInjector()
+        with pytest.raises(ValueError):
+            inj.corrupt_at_rest(0, 0)
+
+    def test_deterministic_replay(self):
+        def run(seed):
+            array, (d0, _) = make_array()
+            inj = FaultInjector(seed=seed).attach(array)
+            return [inj.corrupt_at_rest(0, i) for i in range(5)]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+
+class TestDetachHygiene:
+    def test_detach_clears_corrupt_hook_and_pending(self):
+        array, (d0, _) = make_array()
+        inj = FaultInjector(schedule=[
+            FaultSpec("silent_flip", at_op=0, disk=0, op="write")
+        ]).attach(array)
+        assert d0.corrupt_hook is not None
+        inj.detach()
+        assert d0.corrupt_hook is None
+        d0.write(0, element(fill=0x10))
+        assert (d0._store[0] == 0x10).all()
+
+    def test_write_block_falls_back_while_hooked(self):
+        # write_block must keep per-element cadence so deferred flips land
+        array, (d0, _) = make_array()
+        FaultInjector(schedule=[
+            FaultSpec("silent_flip", at_op=1, disk=0, op="write",
+                      flip_mask=0xFF)
+        ]).attach(array)
+        offs = np.arange(3, dtype=np.intp)
+        data = np.full((3, 4), 0x20, dtype=np.uint8)
+        d0.write_block(offs, data)
+        assert (d0._store[0] == 0x20).all()
+        assert (d0._store[1] == 0x20 ^ 0xFF).all()  # second write flipped
+        assert (d0._store[2] == 0x20).all()

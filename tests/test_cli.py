@@ -1,5 +1,7 @@
 """CLI tests (direct main() invocation, output via capsys)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -81,6 +83,33 @@ class TestRecovery:
         out = capsys.readouterr().out
         assert "conventional" in out
         assert "dcode" in out and "xcode" in out
+
+
+class TestDurability:
+    HARSH = [
+        "--iterations", "40", "--primes", "5", "--mtbf-hours", "2e4",
+        "--rebuild-hours", "400", "--latent-rate", "2e-3",
+        "--rot-rate", "2e-3", "--scrub-hours", "0", "--seed", "3",
+    ]
+
+    def test_table_reports_all_default_codes(self, capsys):
+        assert main(["durability"] + self.HARSH) == 0
+        out = capsys.readouterr().out
+        assert "MTTDL(h)" in out
+        for code in ("dcode", "rdp", "xcode"):
+            assert code in out
+
+    def test_json_is_deterministic(self, capsys):
+        assert main(["durability", "--json", "--codes", "dcode"]
+                    + self.HARSH) == 0
+        first = capsys.readouterr().out
+        assert main(["durability", "--json", "--codes", "dcode"]
+                    + self.HARSH) == 0
+        assert capsys.readouterr().out == first
+        rows = json.loads(first)
+        assert rows[0]["code"] == "dcode"
+        assert rows[0]["losses"] == sum(rows[0]["causes"].values())
+        assert rows[0]["mttdl_ci_hours"][0] <= rows[0]["mttdl_ci_hours"][1]
 
 
 class TestParser:
