@@ -16,8 +16,11 @@ the scalar walk by >= 3x; journal overhead must stay under 15% on RMW
 bursts and 25% on full-stripe writes; batched encode must at least
 match a compiled loop over the same tensor for every (code, p);
 steady-state verified reads must stay within 10% of unverified batched
-reads); the script exits non-zero when a floor is violated, so CI can
-gate on it.  ``--only {codec,volume,parallel,degraded,journal,scrub}``
+reads; the sharded/coalesced block service must at least double serial
+serving ops/s with no worse p99 and byte-identical served data, healthy
+and degraded); the script exits non-zero when a floor is violated, so
+CI can gate on it.
+``--only {codec,volume,parallel,degraded,journal,scrub,serving}``
 re-runs one section and merges it into the existing report.
 
 Usage::
@@ -467,6 +470,215 @@ def bench_journal(rng):
     }
 
 
+#: Serving benchmark: frozen workload + geometry for the committed
+#: ops/s floor.  16 pipelined clients x 32-deep windows keep ~512 ops
+#: outstanding — deep enough that the serial executor's queueing
+#: collapses while the sharded/coalesced side turns the backlog into
+#: full shard batches ("many-client scale").  64-byte elements make the
+#: workload IOPS-bound (per-op parity bookkeeping, not byte moving),
+#: which is the regime the serving layer optimizes.
+SERVING_SEED = 2015
+SERVING_CLIENTS = 16
+SERVING_WINDOW = 32
+SERVING_OPS_PER_CLIENT = 180
+SERVING_READ_FRAC = 0.5
+SERVING_MAX_EXTENT = 8
+SERVING_REPS = 3
+SERVING_ELEMENT_SIZE = 64
+
+
+def _serving_configs():
+    """The committed pair: uncoalesced serial vs sharded/coalesced."""
+    from repro.serve.server import ServerConfig
+
+    serial = ServerConfig(
+        shards=1, backend="inline", code="dcode", p=7,
+        stripes_per_shard=64, element_size=SERVING_ELEMENT_SIZE,
+        max_batch=1, write_back=False,
+    )
+    sharded = ServerConfig(
+        shards=4, backend="process", code="dcode", p=7,
+        stripes_per_shard=16, element_size=SERVING_ELEMENT_SIZE,
+        max_batch=64, write_back=True,
+        cache_stripes=12, evict_batch=6,
+    )
+    return serial, sharded
+
+
+def _serving_run(config, *, seed, verify=False,
+                 ops_per_client=SERVING_OPS_PER_CLIENT):
+    import asyncio
+
+    from repro.serve.loadgen import run_closed_loop
+    from repro.serve.server import BlockServer, make_backends
+
+    backends = make_backends(config)  # fork before the loop exists
+
+    async def run():
+        server = BlockServer(config, backends)
+        host, port = await server.start()
+        report = await run_closed_loop(
+            host, port,
+            num_elements=server.router.num_elements,
+            element_size=config.element_size,
+            clients=SERVING_CLIENTS,
+            ops_per_client=ops_per_client,
+            read_frac=SERVING_READ_FRAC,
+            seed=seed,
+            max_extent=SERVING_MAX_EXTENT,
+            window=SERVING_WINDOW,
+            verify=verify,
+        )
+        stats = server.stats()
+        await server.close()
+        return report, stats
+
+    return asyncio.run(run())
+
+
+def _serving_equivalence():
+    """Byte-equivalence of served data vs a direct volume replay.
+
+    Runs a verified load on the sharded config, snapshots the whole
+    address space through the protocol, injects a disk failure into one
+    shard, runs (and verifies) a second load through the degraded
+    shard, and snapshots again.  Both snapshots must equal a direct
+    :class:`RAID6Volume` holding the replayed write logs — clients own
+    disjoint regions, so the replay is order-independent across
+    clients and in-order within each.
+    """
+    import asyncio
+
+    from repro.serve.loadgen import (
+        BlockClient,
+        fetch_image,
+        replay_writes,
+        run_closed_loop,
+    )
+    from repro.serve.protocol import OP_FAIL_DISK, ST_OK
+    from repro.serve.server import BlockServer, make_backends
+
+    _, config = _serving_configs()
+    backends = make_backends(config)
+
+    async def run():
+        server = BlockServer(config, backends)
+        host, port = await server.start()
+        n = server.router.num_elements
+        common = dict(
+            num_elements=n, element_size=config.element_size,
+            clients=SERVING_CLIENTS, ops_per_client=40,
+            read_frac=SERVING_READ_FRAC,
+            max_extent=SERVING_MAX_EXTENT, window=SERVING_WINDOW,
+            verify=True,
+        )
+        healthy = await run_closed_loop(
+            host, port, seed=SERVING_SEED, **common
+        )
+        healthy_image = await fetch_image(host, port, num_elements=n)
+        admin = await BlockClient.connect(host, port)
+        status, detail = await admin.request(OP_FAIL_DISK, start=1, count=3)
+        await admin.close()
+        if status != ST_OK:
+            raise RuntimeError(
+                f"fail_disk refused: {detail.decode(errors='replace')}"
+            )
+        degraded = await run_closed_loop(
+            host, port, seed=SERVING_SEED + 77, **common
+        )
+        degraded_image = await fetch_image(host, port, num_elements=n)
+        await server.close()
+        return healthy, healthy_image, degraded, degraded_image, n
+
+    healthy, healthy_image, degraded, degraded_image, n = asyncio.run(
+        run()
+    )
+    shadow = RAID6Volume(
+        make_code(config.code, config.p),
+        num_stripes=config.shards * config.stripes_per_shard,
+        element_size=config.element_size,
+    )
+    replay_writes(shadow, healthy.write_logs)
+    healthy_ok = shadow.read(0, n).tobytes() == healthy_image
+    replay_writes(shadow, degraded.write_logs)
+    degraded_ok = shadow.read(0, n).tobytes() == degraded_image
+    return {
+        "bytes_identical": bool(healthy_ok),
+        "degraded_bytes_identical": bool(degraded_ok),
+        "verify_failures": healthy.verify_failures
+        + degraded.verify_failures,
+        "equivalence_errors": healthy.errors + degraded.errors,
+    }
+
+
+def bench_serving():
+    """Block-service throughput: serial dispatch vs sharded coalescing.
+
+    Both sides serve the same seeded closed-loop workload over the same
+    2240-element address space through the same TCP protocol; the only
+    differences are the committed architecture knobs (1 inline shard,
+    ``max_batch=1``, direct writes — vs 4 process shards, 64-deep
+    coalescing, write-back destaging).  Median of ``SERVING_REPS`` runs
+    per side damps event-loop scheduling noise; the equivalence pass
+    then byte-checks served data against a direct-volume replay, with
+    and without an injected disk failure.
+    """
+    serial_cfg, sharded_cfg = _serving_configs()
+
+    def median_run(config):
+        runs = [
+            _serving_run(config, seed=SERVING_SEED + k)
+            for k in range(SERVING_REPS)
+        ]
+        runs.sort(key=lambda run: run[0].ops_per_sec)
+        return runs[len(runs) // 2], [
+            round(report.ops_per_sec, 1) for report, _ in runs
+        ]
+
+    (serial_rep, _), serial_runs = median_run(serial_cfg)
+    (sharded_rep, sharded_stats), sharded_runs = median_run(sharded_cfg)
+    equivalence = _serving_equivalence()
+
+    def side(config, report):
+        return {
+            "shards": config.shards,
+            "backend": config.backend,
+            "max_batch": config.max_batch,
+            "write_back": config.write_back,
+            "ops_per_sec": round(report.ops_per_sec, 1),
+            "p50_ms": round(report.percentile_ms(50), 2),
+            "p99_ms": round(report.percentile_ms(99), 2),
+            "busy": report.busy,
+            "errors": report.errors,
+        }
+
+    serial = dict(side(serial_cfg, serial_rep),
+                  runs_ops_per_sec=serial_runs)
+    sharded = dict(side(sharded_cfg, sharded_rep),
+                   runs_ops_per_sec=sharded_runs,
+                   avg_batch=round(sharded_stats["avg_batch"], 1))
+    return {
+        "code": sharded_cfg.code,
+        "p": sharded_cfg.p,
+        "element_size": SERVING_ELEMENT_SIZE,
+        "workload": {
+            "clients": SERVING_CLIENTS,
+            "window": SERVING_WINDOW,
+            "ops_per_client": SERVING_OPS_PER_CLIENT,
+            "read_frac": SERVING_READ_FRAC,
+            "max_extent": SERVING_MAX_EXTENT,
+            "seed": SERVING_SEED,
+            "reps": SERVING_REPS,
+        },
+        "serial": serial,
+        "sharded": sharded,
+        "speedup_sharded_vs_serial": round(
+            sharded_rep.ops_per_sec / serial_rep.ops_per_sec, 2
+        ),
+        **equivalence,
+    }
+
+
 def bench_scrub(rng):
     """Silent-corruption defense: scrub bandwidth and verified-read tax.
 
@@ -550,6 +762,15 @@ BATCHED_VS_LOOPED_FLOOR = 1.0
 #: silent-corruption defense on in production (docs/robustness.md,
 #: "Silent corruption & durability").
 VERIFIED_READ_MAX_PCT = 10.0
+#: Serving floors: 4 process-backed shards with request coalescing must
+#: at least double the ops/s of uncoalesced single-shard serial
+#: dispatch on the frozen mixed workload, and must not worsen p99.
+#: End-to-end serving runs are noisier than in-process timing loops
+#: (two processes of event loop + four shard workers sharing the CPU),
+#: so the serving gate uses its own wider margin on the ratio.
+SERVING_FLOOR = 2.0
+SERVING_NOISE_MARGIN = 0.15
+SERVING_P99_MAX_RATIO = 1.0
 
 
 def degraded_acceptance(degraded):
@@ -583,6 +804,22 @@ def journal_acceptance(journal):
         "journal_full_stripe_overhead_max_pct": JOURNAL_FULL_STRIPE_MAX_PCT,
         "journal_rmw_overhead_pct": journal["rmw"]["overhead_pct"],
         "journal_rmw_overhead_max_pct": JOURNAL_RMW_MAX_PCT,
+    }
+
+
+def serving_acceptance(serving):
+    return {
+        "ops_speedup_sharded_vs_serial": serving[
+            "speedup_sharded_vs_serial"
+        ],
+        "floor": SERVING_FLOOR,
+        "noise_margin": SERVING_NOISE_MARGIN,
+        "serial_p99_ms": serving["serial"]["p99_ms"],
+        "sharded_p99_ms": serving["sharded"]["p99_ms"],
+        "p99_max_ratio": SERVING_P99_MAX_RATIO,
+        "bytes_identical": serving["bytes_identical"],
+        "degraded_bytes_identical": serving["degraded_bytes_identical"],
+        "verify_failures": serving["verify_failures"],
     }
 
 
@@ -646,6 +883,31 @@ def check_acceptance(acceptance):
         got, cap = acceptance.get(key), acceptance.get(cap_key)
         if got is not None and cap is not None and got > cap:
             failures.append(f"{key} {got}% above ceiling {cap}%")
+    serving = acceptance.get("serving")
+    if serving is not None:
+        got = serving["ops_speedup_sharded_vs_serial"]
+        margin = serving.get("noise_margin", NOISE_MARGIN)
+        if got < serving["floor"] - margin:
+            failures.append(
+                f"serving ops/s speedup {got} below floor "
+                f"{serving['floor']}"
+            )
+        cap = serving["serial_p99_ms"] * serving.get(
+            "p99_max_ratio", 1.0
+        )
+        if serving["sharded_p99_ms"] > cap:
+            failures.append(
+                f"serving sharded p99 {serving['sharded_p99_ms']}ms "
+                f"above serial p99 {serving['serial_p99_ms']}ms"
+            )
+        for key in ("bytes_identical", "degraded_bytes_identical"):
+            if not serving.get(key, False):
+                failures.append(f"serving {key} is false")
+        if serving.get("verify_failures", 0):
+            failures.append(
+                f"serving verify_failures = "
+                f"{serving['verify_failures']}"
+            )
     ratios = acceptance.get("batched_vs_looped_min")
     floor = acceptance.get("batched_vs_looped_floor")
     if ratios is not None and floor is not None:
@@ -680,7 +942,7 @@ def main(argv=None):
     parser.add_argument(
         "--only",
         choices=("journal", "degraded", "volume", "parallel", "codec",
-                 "scrub"),
+                 "scrub", "serving"),
         default=None,
         help="re-run just one section and merge it into the existing "
              "report instead of re-benchmarking everything",
@@ -776,6 +1038,25 @@ def main(argv=None):
         )
         return finish(report, out)
 
+    if args.only == "serving":
+        out = pathlib.Path(args.out)
+        report = json.loads(out.read_text()) if out.exists() else {}
+        print("benchmarking block serving ...", flush=True)
+        serving = bench_serving()
+        report["serving"] = serving
+        report.setdefault("acceptance", {})[
+            "serving"
+        ] = serving_acceptance(serving)
+        print(
+            "serving sharded vs serial: "
+            f"{serving['speedup_sharded_vs_serial']}x "
+            f"(p99 {serving['serial']['p99_ms']}ms -> "
+            f"{serving['sharded']['p99_ms']}ms, bytes identical "
+            f"{serving['bytes_identical']}/"
+            f"{serving['degraded_bytes_identical']})"
+        )
+        return finish(report, out)
+
     if args.only == "degraded":
         out = pathlib.Path(args.out)
         report = json.loads(out.read_text()) if out.exists() else {}
@@ -807,6 +1088,8 @@ def main(argv=None):
     journal = bench_journal(rng)
     print("benchmarking scrub + verified reads ...", flush=True)
     scrub = bench_scrub(rng)
+    print("benchmarking block serving ...", flush=True)
+    serving = bench_serving()
 
     dcode_p7 = results["dcode"]["p7"]["encode"]
     update_speedups = {
@@ -829,9 +1112,11 @@ def main(argv=None):
         "degraded_read": degraded,
         "journal": journal,
         "scrub": scrub,
+        "serving": serving,
         "acceptance": {
             "parallel": parallel_acceptance(volume["parallel"]),
             "degraded_read": degraded_acceptance(degraded),
+            "serving": serving_acceptance(serving),
             **journal_acceptance(journal),
             **scrub_acceptance(scrub),
             **codec_acceptance(results),
@@ -873,6 +1158,14 @@ def main(argv=None):
     print(
         f"scrub {scrub['scrub_gb_s']} GB/s, verified-read overhead "
         f"{scrub['verified_read']['overhead_pct']}%"
+    )
+    print(
+        "serving sharded vs serial: "
+        f"{serving['speedup_sharded_vs_serial']}x "
+        f"(p99 {serving['serial']['p99_ms']}ms -> "
+        f"{serving['sharded']['p99_ms']}ms, bytes identical "
+        f"{serving['bytes_identical']}/"
+        f"{serving['degraded_bytes_identical']})"
     )
     return finish(report, pathlib.Path(args.out))
 

@@ -11,10 +11,19 @@ read-free full-stripe write).
 Reads are read-through with dirty-cell overlay, so a reader always sees
 its own writes.  Eviction is LRU by stripe when the dirty-stripe budget is
 exceeded; ``flush()`` destages everything.
+
+The cache is thread-safe: an internal lock serialises the dirty-set
+bookkeeping and destaging, so concurrent writers (or a flush racing a
+writer — the serving coalescer's steady state) cannot lose buffered
+cells or destage a stripe twice.  Stripe-level write ordering against
+*other* writers of the same volume is the volume's job — its striped
+per-stripe write locks serialise a destage against a foreground RMW on
+the same stripe (see ``RAID6Volume._stripe_lock``).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import List, Tuple
 
@@ -29,13 +38,27 @@ from repro.util.validation import require_positive
 class StripeCache:
     """LRU write-back cache in front of a :class:`RAID6Volume`."""
 
-    def __init__(self, volume: RAID6Volume, max_dirty_stripes: int = 8) -> None:
+    def __init__(
+        self,
+        volume: RAID6Volume,
+        max_dirty_stripes: int = 8,
+        evict_batch: int = 1,
+    ) -> None:
         require_positive(max_dirty_stripes, "max_dirty_stripes")
+        require_positive(evict_batch, "evict_batch")
         self.volume = volume
         self.max_dirty_stripes = max_dirty_stripes
+        #: Eviction hysteresis: on overflow, destage down to
+        #: ``max_dirty_stripes - evict_batch + 1`` dirty stripes in one
+        #: coalesced batch instead of trickling single LRU victims.
+        #: The default (1) keeps the historical evict-exactly-overflow
+        #: behaviour; serving shards raise it so pressure destages ride
+        #: the batched multi-stripe paths.
+        self.evict_batch = evict_batch
         #: stripe -> {cell: value}; OrderedDict gives LRU order
         self._dirty: "OrderedDict[int, Dict[Cell, np.ndarray]]" = OrderedDict()
         self.destage_count = 0
+        self._lock = threading.RLock()
 
     # -- write path -----------------------------------------------------------
 
@@ -48,19 +71,23 @@ class StripeCache:
             )
         if start < 0 or start + data.shape[0] > self.volume.num_elements:
             raise AddressError("write outside volume")
-        for k in range(data.shape[0]):
-            loc = self.volume.mapper.locate(start + k)
-            bucket = self._dirty.get(loc.stripe)
-            if bucket is None:
-                bucket = {}
-                self._dirty[loc.stripe] = bucket
-            bucket[loc.cell] = data[k].copy()
-            self._dirty.move_to_end(loc.stripe)
-        overflow = len(self._dirty) - self.max_dirty_stripes
-        if overflow > 0:
-            # evict the LRU overflow as one coalesced destage batch
-            victims = list(self._dirty)[:overflow]
-            self._destage_many(victims)
+        with self._lock:
+            for k in range(data.shape[0]):
+                loc = self.volume.mapper.locate(start + k)
+                bucket = self._dirty.get(loc.stripe)
+                if bucket is None:
+                    bucket = {}
+                    self._dirty[loc.stripe] = bucket
+                bucket[loc.cell] = data[k].copy()
+                self._dirty.move_to_end(loc.stripe)
+            overflow = len(self._dirty) - self.max_dirty_stripes
+            if overflow > 0:
+                # evict the LRU overflow (plus hysteresis headroom) as
+                # one coalesced destage batch
+                victims = list(self._dirty)[
+                    :overflow + self.evict_batch - 1
+                ]
+                self._destage_many(victims)
 
     # -- read path ------------------------------------------------------------
 
@@ -68,35 +95,42 @@ class StripeCache:
         """Read-through with dirty overlay (read-your-writes)."""
         out = self.volume.read(start, count)
         copied = out.flags.writeable  # volume may hand out a zero-copy view
-        for k in range(count):
-            loc = self.volume.mapper.locate(start + k)
-            bucket = self._dirty.get(loc.stripe)
-            if bucket is not None and loc.cell in bucket:
-                if not copied:
-                    out = out.copy()
-                    copied = True
-                out[k] = bucket[loc.cell]
+        with self._lock:
+            for k in range(count):
+                loc = self.volume.mapper.locate(start + k)
+                bucket = self._dirty.get(loc.stripe)
+                if bucket is not None and loc.cell in bucket:
+                    if not copied:
+                        out = out.copy()
+                        copied = True
+                    out[k] = bucket[loc.cell]
         return out
 
     # -- destaging --------------------------------------------------------------
 
     @property
     def dirty_stripes(self) -> Tuple[int, ...]:
-        return tuple(self._dirty)
+        with self._lock:
+            return tuple(self._dirty)
 
     def dirty_elements(self) -> int:
-        return sum(len(b) for b in self._dirty.values())
+        with self._lock:
+            return sum(len(b) for b in self._dirty.values())
 
     def flush(self) -> int:
         """Destage every dirty stripe; returns stripes written."""
-        stripes = list(self._dirty)
-        self._destage_many(stripes)
-        return len(stripes)
+        with self._lock:
+            stripes = list(self._dirty)
+            self._destage_many(stripes)
+            return len(stripes)
 
     def _destage(self, stripe: int) -> None:
-        bucket = self._dirty.pop(stripe)
-        self.volume._write_stripe_batch(stripe, self._bucket_items(bucket))
-        self.destage_count += 1
+        with self._lock:
+            bucket = self._dirty.pop(stripe)
+            self.volume._write_stripe_batch(
+                stripe, self._bucket_items(bucket)
+            )
+            self.destage_count += 1
 
     def _bucket_items(self, bucket) -> List[Tuple[Cell, np.ndarray]]:
         return sorted(
@@ -112,13 +146,16 @@ class StripeCache:
         full: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]] = []
         rest: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]] = []
         per = self.volume.layout.num_data_cells
-        for stripe in stripes:
-            bucket = self._dirty.pop(stripe)
-            items = self._bucket_items(bucket)
-            (full if len(items) == per else rest).append((stripe, items))
-        if len(full) > 1:
-            self.volume._full_stripe_write_batched(full)
-        else:
-            rest = full + rest
-        self.volume._write_rest(rest)
-        self.destage_count += len(stripes)
+        with self._lock:
+            for stripe in stripes:
+                bucket = self._dirty.pop(stripe)
+                items = self._bucket_items(bucket)
+                (full if len(items) == per else rest).append(
+                    (stripe, items)
+                )
+            if len(full) > 1:
+                self.volume._full_stripe_write_batched(full)
+            else:
+                rest = full + rest
+            self.volume._write_rest(rest)
+            self.destage_count += len(stripes)

@@ -34,8 +34,9 @@ and only add contention, so on a single-core host the pipeline simply
 runs the serial loop (ratio 1.0 instead of the historical 0.48x).
 
 The worker count comes from the ``REPRO_WORKERS`` environment variable
-(``0`` or a negative value means "one per CPU"); constructors can
-override it explicitly.  Pools are created lazily on first parallel use,
+(``0`` means "one per CPU"; unparsable or negative values warn once and
+run serial); constructors can override it explicitly.  Pools are
+created lazily on first parallel use,
 so the thousands of short-lived volumes the test-suite builds never pay
 for thread spawn.
 
@@ -63,6 +64,7 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
@@ -75,25 +77,65 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: Environment knob routing eligible bulk work through a process pool.
 PROCESS_POOL_ENV = "REPRO_PROCESS_POOL"
 
+#: Values :func:`process_pool_enabled` recognises (lower-cased).
+_FLAG_ON = frozenset(("1", "true", "yes", "on"))
+_FLAG_OFF = frozenset(("", "0", "false", "no", "off"))
+
+# (env name, raw value) pairs already warned about — a misconfigured
+# shell exports the same bad value for every volume the process builds,
+# and a warning per volume would bury the signal it carries.
+_warned_env: set = set()
+_warned_lock = threading.Lock()
+
+
+def _warn_env_once(env: str, raw: str, fallback: str) -> None:
+    key = (env, raw)
+    with _warned_lock:
+        if key in _warned_env:
+            return
+        _warned_env.add(key)
+    warnings.warn(
+        f"ignoring {env}={raw!r}: {fallback}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
 
 def process_pool_enabled(flag: Optional[bool] = None) -> bool:
     """Resolve the process-pool opt-in.
 
     An explicit ``flag`` wins; otherwise ``REPRO_PROCESS_POOL`` is
-    consulted (unset/empty/``0`` -> off, anything else -> on).
+    consulted: ``1``/``true``/``yes``/``on`` enable it,
+    unset/empty/``0``/``false``/``no``/``off`` disable it, and anything
+    else warns once (per value, process-wide) and disables it — a typo
+    in a deployment script must degrade to the serial default, not
+    surface later as a confusing failure inside pool construction.
     """
     if flag is not None:
         return bool(flag)
     raw = os.environ.get(PROCESS_POOL_ENV, "").strip()
-    return raw not in ("", "0")
+    lowered = raw.lower()
+    if lowered in _FLAG_ON:
+        return True
+    if lowered in _FLAG_OFF:
+        return False
+    _warn_env_once(
+        PROCESS_POOL_ENV, raw,
+        "expected 0/1/true/false/yes/no/on/off, process pool stays off",
+    )
+    return False
 
 
 def worker_count(workers: Optional[int] = None) -> int:
     """Resolve the effective worker count.
 
-    An explicit ``workers`` wins; otherwise ``REPRO_WORKERS`` is
-    consulted (unset/empty/unparsable -> 1, i.e. serial; ``0`` or
-    negative -> one worker per CPU).
+    An explicit ``workers`` argument wins (``<= 0`` meaning one worker
+    per CPU, the historical constructor contract).  Otherwise
+    ``REPRO_WORKERS`` is consulted: unset/empty means serial, ``0``
+    means one worker per CPU, and a positive integer is taken as-is.
+    Unparsable or negative environment values warn once (per value,
+    process-wide) and fall back to serial — they used to be accepted
+    silently or surface only as an error deep inside pool construction.
     """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV, "").strip()
@@ -102,6 +144,17 @@ def worker_count(workers: Optional[int] = None) -> int:
         try:
             workers = int(raw)
         except ValueError:
+            _warn_env_once(
+                WORKERS_ENV, raw,
+                "expected an integer, running serial",
+            )
+            return 1
+        if workers < 0:
+            _warn_env_once(
+                WORKERS_ENV, raw,
+                "negative worker counts are invalid, running serial "
+                "(use 0 for one worker per CPU)",
+            )
             return 1
     if workers <= 0:
         workers = os.cpu_count() or 1

@@ -37,6 +37,7 @@ import os
 import threading
 import weakref
 import zlib
+from contextlib import contextmanager
 from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -197,6 +198,17 @@ class RAID6Volume:
         #: ``workers`` argument enables threads — docs/performance.md).
         self.pipeline = StripePipeline(workers, process_pool=use_procs)
         self._policy_lock = threading.RLock()
+        # Striped per-stripe write locks: two writers that touch the
+        # same stripe (a cache destage racing a foreground RMW — the
+        # serving coalescer's steady state under load) must serialise
+        # their read-XOR-write parity updates or the stripe's parity
+        # silently diverges from its data.  Stripe ``s`` maps to lock
+        # ``s % len``; RLocks so the journaled chokepoint may nest into
+        # the unjournaled one on the same thread.  Multi-stripe paths
+        # acquire their whole lock set in sorted order (no cycles).
+        self._stripe_locks: Tuple[threading.RLock, ...] = tuple(
+            threading.RLock() for _ in range(min(64, num_stripes))
+        )
         # Degraded-read planners, one per failure state (tuple of stale
         # disks).  A dict — not a single slot — because a rebuild splits
         # the volume into covered/uncovered regions whose states
@@ -953,6 +965,41 @@ class RAID6Volume:
             self._planner_cache[state] = planner
         return planner
 
+    # -- write serialisation ---------------------------------------------------
+
+    def _stripe_lock(self, stripe: int) -> "threading.RLock":
+        """The write lock covering ``stripe`` (striped — see ``__init__``)."""
+        return self._stripe_locks[stripe % len(self._stripe_locks)]
+
+    @contextmanager
+    def _locked_stripes(self, stripes: Iterable[int]):
+        """Hold the write locks of every stripe in ``stripes``.
+
+        Distinct lock indices are acquired in sorted order, so
+        concurrent multi-stripe writers cannot deadlock against each
+        other or against per-stripe writers (which hold at most one
+        lock and never wait for a second).  Every multi-stripe write
+        path (:meth:`_write_rest`, the tensor stores, the vectorised
+        RMW) acquires its burst's locks here, on the coordinating
+        thread, *before* fanning work out to the stripe pipeline: pool
+        tasks themselves never touch these locks, so a lock holder
+        waiting on the shared executor can never be starved by queued
+        tasks blocked on the locks it holds.
+        """
+        locks = [
+            self._stripe_locks[i]
+            for i in sorted(
+                {s % len(self._stripe_locks) for s in stripes}
+            )
+        ]
+        for lock in locks:
+            lock.acquire()
+        try:
+            yield
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+
     # -- writes ----------------------------------------------------------------
 
     def write(self, start: int, data: np.ndarray) -> None:
@@ -1037,27 +1084,37 @@ class RAID6Volume:
         """
         if not entries:
             return
-        intents = self._open_group_intents(entries)
-        # the vectorised path bypasses the per-stripe journal chokepoint,
-        # so it requires the burst to be covered by a group intent (or no
-        # journal at all)
-        write = (
-            self._write_stripe_unjournaled if intents is not None
-            else self._write_stripe_batch
-        )
-        journal_ok = self.journal is None or intents is not None
-        if not (
-            len(entries) > 1
-            and journal_ok
-            and self._rmw_entries_batched(entries)
-        ):
-            if len(entries) > 1 and self._parallel_ok():
-                self.pipeline.map(lambda entry: write(*entry), entries)
-            else:
-                for stripe, items in entries:
-                    write(stripe, items)
-        if intents is not None:
-            self.journal.commit_group(intents)
+        # Acquire the whole burst's stripe locks up front (sorted, so
+        # concurrent bursts cannot deadlock) and hand the pool workers
+        # the lock-free leaf writers: a pool task that blocked on a
+        # stripe lock could starve the shared executor while the lock
+        # holder waits for that very pool — locks belong to
+        # coordinating threads only.
+        with self._locked_stripes(s for s, _ in entries):
+            intents = self._open_group_intents(entries)
+            # the vectorised path bypasses the per-stripe journal
+            # chokepoint, so it requires the burst to be covered by a
+            # group intent (or no journal at all)
+            write = (
+                self._write_stripe_unjournaled_locked
+                if intents is not None
+                else self._write_stripe_batch_locked
+            )
+            journal_ok = self.journal is None or intents is not None
+            if not (
+                len(entries) > 1
+                and journal_ok
+                and self._rmw_entries_batched(entries)
+            ):
+                if len(entries) > 1 and self._parallel_ok():
+                    self.pipeline.map(
+                        lambda entry: write(*entry), entries
+                    )
+                else:
+                    for stripe, items in entries:
+                        write(stripe, items)
+            if intents is not None:
+                self.journal.commit_group(intents)
 
     def _open_group_intents(
         self, entries: List[Tuple[int, List[Tuple[Cell, np.ndarray]]]]
@@ -1143,11 +1200,12 @@ class RAID6Volume:
             batch, per, self.element_size
         )
         encode_batch(self.codec, buf)
-        intents = self._open_full_stripe_intents(
-            list(range(full0, full1)), buf
-        )
-        self._store_stripes_tensor(range(full0, full1), buf)
-        self._commit_intents(intents)
+        with self._locked_stripes(range(full0, full1)):
+            intents = self._open_full_stripe_intents(
+                list(range(full0, full1)), buf
+            )
+            self._store_stripes_tensor(range(full0, full1), buf)
+            self._commit_intents(intents)
 
     def _stale_cols(self, stripe: int) -> Tuple[int, ...]:
         """Layout columns of ``stripe`` that must not be trusted/written."""
@@ -1167,19 +1225,20 @@ class RAID6Volume:
             for cell, value in items:
                 buf[i, cell.row, cell.col] = value
         encode_batch(self.codec, buf)
-        intents = self._open_full_stripe_intents(
-            [s for s, _ in entries], buf
-        )
-        if self._batch_write_ok():
-            self._store_stripes_tensor([s for s, _ in entries], buf)
-            self._commit_intents(intents)
-            return
-        for i, (stripe, _) in enumerate(entries):
-            self._store_stripe(
-                stripe, buf[i], skip_cols=self._stale_cols(stripe)
+        with self._locked_stripes(s for s, _ in entries):
+            intents = self._open_full_stripe_intents(
+                [s for s, _ in entries], buf
             )
-            if intents:
-                self.journal.commit(intents[i])
+            if self._batch_write_ok():
+                self._store_stripes_tensor([s for s, _ in entries], buf)
+                self._commit_intents(intents)
+                return
+            for i, (stripe, _) in enumerate(entries):
+                self._store_stripe(
+                    stripe, buf[i], skip_cols=self._stale_cols(stripe)
+                )
+                if intents:
+                    self.journal.commit(intents[i])
 
     def _open_full_stripe_intents(
         self, stripes: List[int], buf: np.ndarray
@@ -1251,9 +1310,18 @@ class RAID6Volume:
         digest of the pre-write parity) so a crash anywhere between the
         two journal operations is recoverable to the fully-new image.
         """
+        with self._stripe_lock(stripe):
+            self._write_stripe_batch_locked(stripe, items)
+
+    def _write_stripe_batch_locked(
+        self, stripe: int, items: List[Tuple[Cell, np.ndarray]]
+    ) -> None:
+        """Lock-free body of :meth:`_write_stripe_batch` — the caller
+        (a coordinating thread, never a pool worker) holds the stripe's
+        write lock."""
         journal = self.journal
         if journal is None:
-            self._write_stripe_unjournaled(stripe, items)
+            self._write_stripe_unjournaled_locked(stripe, items)
             return
         old_digest = (
             None if len(items) == self.layout.num_data_cells
@@ -1262,7 +1330,7 @@ class RAID6Volume:
             )
         )
         intent = journal.open(stripe, items, old_parity_digest=old_digest)
-        self._write_stripe_unjournaled(stripe, items)
+        self._write_stripe_unjournaled_locked(stripe, items)
         journal.commit(intent)
 
     def _parity_footprint(self, cells: Iterable[Cell]) -> Tuple[Cell, ...]:
@@ -1323,6 +1391,12 @@ class RAID6Volume:
         return zlib.crc32(np.ascontiguousarray(block))
 
     def _write_stripe_unjournaled(
+        self, stripe: int, items: List[Tuple[Cell, np.ndarray]]
+    ) -> None:
+        with self._stripe_lock(stripe):
+            self._write_stripe_unjournaled_locked(stripe, items)
+
+    def _write_stripe_unjournaled_locked(
         self, stripe: int, items: List[Tuple[Cell, np.ndarray]]
     ) -> None:
         failed_cols = self._stale_cols(stripe)
@@ -1455,17 +1529,24 @@ class RAID6Volume:
             or any(len(items) >= per for _, items in entries)
         ):
             return False
-        if self.pipeline.process_pool and self._rmw_entries_process(entries):
-            return True
-        # threads beyond physical cores cannot overlap even GIL-released
-        # work; on a single-core host this collapses to one full-width
-        # vectorised pass — still far faster than the per-element loop
-        workers = min(self.pipeline.workers, os.cpu_count() or 1)
-        chunks = _split_chunks(entries, workers)
-        if len(chunks) > 1:
-            self.pipeline.map(self._rmw_chunk, chunks)
-        else:
-            self._rmw_chunk(entries)
+        # hold the burst's stripe locks for the whole pass: the chunk
+        # workers (threads or forked processes) do not lock per stripe,
+        # so a concurrent per-stripe writer must wait here instead of
+        # interleaving with the vectorised read-XOR-scatter
+        with self._locked_stripes(s for s, _ in entries):
+            if self.pipeline.process_pool \
+                    and self._rmw_entries_process(entries):
+                return True
+            # threads beyond physical cores cannot overlap even
+            # GIL-released work; on a single-core host this collapses to
+            # one full-width vectorised pass — still far faster than the
+            # per-element loop
+            workers = min(self.pipeline.workers, os.cpu_count() or 1)
+            chunks = _split_chunks(entries, workers)
+            if len(chunks) > 1:
+                self.pipeline.map(self._rmw_chunk, chunks)
+            else:
+                self._rmw_chunk(entries)
         return True
 
     def _rmw_chunk(

@@ -270,6 +270,141 @@ def cmd_durability(args) -> int:
     return 0
 
 
+def _serve_config(args):
+    from repro.serve.server import ServerConfig
+
+    return ServerConfig(
+        shards=args.shards,
+        backend=args.backend,
+        code=args.code,
+        p=args.p,
+        stripes_per_shard=args.stripes_per_shard,
+        element_size=args.element_size,
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+        rate=args.rate,
+        write_back=args.write_back,
+        host=args.host,
+        port=args.port,
+    )
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import make_backends, serve_forever
+
+    config = _serve_config(args)
+    backends = make_backends(config)  # fork before the loop exists
+    stats = asyncio.run(serve_forever(
+        config,
+        backends,
+        duration=args.duration,
+        announce=lambda host, port: print(
+            f"serving {config.shards}x{config.backend} shard(s) on "
+            f"{host}:{port}", flush=True,
+        ),
+    ))
+    print(f"served {stats['ops']} ops "
+          f"(busy {stats['busy']}, errors {stats['errors']}, "
+          f"avg batch {stats['avg_batch']:.1f})")
+    return 0
+
+
+def cmd_bench_serve(args) -> int:
+    import asyncio
+    import json
+
+    from repro.serve.loadgen import run_closed_loop, run_open_loop
+    from repro.serve.server import BlockServer, make_backends
+
+    config = _serve_config(args)
+    backends = make_backends(config)  # fork before the loop exists
+
+    async def run():
+        server = BlockServer(config, backends)
+        host, port = await server.start()
+        num_elements = server.router.num_elements
+        if args.open_rate is not None:
+            report = await run_open_loop(
+                host, port,
+                num_elements=num_elements,
+                element_size=config.element_size,
+                rate=args.open_rate,
+                duration=args.duration or 5.0,
+                clients=args.clients,
+                read_frac=args.read_frac,
+                seed=args.seed,
+                max_extent=args.max_extent,
+                verify=args.verify,
+            )
+        else:
+            report = await run_closed_loop(
+                host, port,
+                num_elements=num_elements,
+                element_size=config.element_size,
+                clients=args.clients,
+                ops_per_client=args.ops,
+                read_frac=args.read_frac,
+                seed=args.seed,
+                duration=args.duration,
+                max_extent=args.max_extent,
+                window=args.window,
+                verify=args.verify,
+            )
+        stats = server.stats()
+        await server.close()
+        return report, stats
+
+    report, stats = asyncio.run(run())
+    payload = {"load": report.to_dict(), "server": stats}
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{report.ops} ops in {report.duration_s:.2f}s = "
+            f"{report.ops_per_sec:.1f} ops/s  "
+            f"p50 {report.percentile_ms(50):.2f}ms  "
+            f"p99 {report.percentile_ms(99):.2f}ms"
+        )
+        print(
+            f"reads {report.reads}  writes {report.writes}  "
+            f"busy {report.busy}  errors {report.errors}  "
+            f"verify_failures {report.verify_failures}"
+        )
+        print(
+            f"server: {stats['shards']}x{stats['backend']} shard(s), "
+            f"avg batch {stats['avg_batch']:.1f}"
+        )
+    return 1 if (report.errors or report.verify_failures) else 0
+
+
+def _add_serve_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--backend", choices=("inline", "process"),
+                        default="process")
+    parser.add_argument("--code", default="dcode",
+                        choices=sorted(available_codes()))
+    parser.add_argument("--p", type=int, default=7)
+    parser.add_argument("--stripes-per-shard", type=int, default=16)
+    parser.add_argument("--element-size", type=int, default=64)
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="coalescer batch cap (1 = serial dispatch)")
+    parser.add_argument("--max-inflight", type=int, default=256,
+                        help="per-tenant admission bound")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="per-tenant token-bucket ops/s "
+                             "(default: unlimited)")
+    parser.add_argument("--write-back",
+                        action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="buffer writes in the stripe cache "
+                             "(--no-write-back = direct per-op writes)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 picks an ephemeral port")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -351,6 +486,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_dur.add_argument("--seed", type=int, default=2015)
     p_dur.add_argument("--json", action="store_true")
     p_dur.set_defaults(func=cmd_durability)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the async block service over sharded volumes",
+    )
+    _add_serve_options(p_srv)
+    p_srv.add_argument("--duration", type=float, default=None,
+                       help="seconds to serve (default: forever)")
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_bsrv = sub.add_parser(
+        "bench-serve",
+        help="drive the block service with a seeded load generator",
+    )
+    _add_serve_options(p_bsrv)
+    p_bsrv.add_argument("--clients", type=int, default=16)
+    p_bsrv.add_argument("--ops", type=int, default=180,
+                        help="ops per client (closed loop)")
+    p_bsrv.add_argument("--read-frac", type=float, default=0.5)
+    p_bsrv.add_argument("--window", type=int, default=32,
+                        help="per-client pipeline depth")
+    p_bsrv.add_argument("--seed", type=int, default=2015)
+    p_bsrv.add_argument("--duration", type=float, default=None,
+                        help="stop issuing after this many seconds")
+    p_bsrv.add_argument("--max-extent", type=int, default=8)
+    p_bsrv.add_argument("--open-rate", type=float, default=None,
+                        help="switch to the open loop at this offered "
+                             "ops/s (Poisson arrivals)")
+    p_bsrv.add_argument("--verify",
+                        action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="check read bytes against a shadow image")
+    p_bsrv.add_argument("--json", action="store_true")
+    p_bsrv.set_defaults(func=cmd_bench_serve)
 
     return parser
 

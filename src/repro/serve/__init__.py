@@ -1,0 +1,33 @@
+"""Asyncio block service over sharded :class:`RAID6Volume`s.
+
+The paper's evaluation measures read throughput and I/O balance, but a
+deployed array is judged at the *request path*: sustained ops/s and
+tail latency while thousands of clients hammer it.  This package adds
+that path:
+
+* :mod:`repro.serve.protocol` — the length-prefixed binary frame
+  (read / write / scrub / stat / fail-disk, tenant-tagged);
+* :mod:`repro.serve.router` — block-range → shard extent splitting;
+* :mod:`repro.serve.shard` — a volume + write-back cache per shard,
+  executed inline or in a forked worker process over shared state;
+* :mod:`repro.serve.coalescer` — per-shard queues that drain bursts
+  into the volume's batched read / encode / destage paths;
+* :mod:`repro.serve.qos` — token-bucket + in-flight admission control
+  that sheds load with a typed BUSY instead of collapsing;
+* :mod:`repro.serve.server` — the asyncio front end tying it together;
+* :mod:`repro.serve.loadgen` — seeded open/closed-loop load
+  generators with byte-level shadow verification.
+"""
+
+from repro.serve.protocol import (  # noqa: F401
+    OP_FAIL_DISK,
+    OP_READ,
+    OP_SCRUB,
+    OP_STAT,
+    OP_WRITE,
+    ST_BUSY,
+    ST_ERROR,
+    ST_OK,
+    Request,
+)
+from repro.serve.server import BlockServer, ServerConfig, make_backends  # noqa: F401

@@ -1,0 +1,110 @@
+"""Per-shard request coalescing.
+
+Each shard gets one asyncio queue and one single-thread executor.  The
+drain task pulls whatever has accumulated (up to ``max_batch`` ops) and
+hands the whole burst to the backend in a single ``execute`` call, so
+queueing pressure *translates into batch size*: at low load every op
+runs alone with minimal latency, under load bursts grow and ride the
+volume's batched RMW / bulk-read / destage paths — the classic group
+commit dynamic, applied to block serving.
+
+``max_batch=1`` degrades to uncoalesced per-op dispatch, which is
+exactly the serial baseline the serving benchmark measures against.
+
+The single-thread executor doubles as the shard's serialisation
+guarantee (backends are never entered concurrently) while keeping the
+event loop free to accept frames during volume work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Tuple
+
+from repro.serve.protocol import ST_ERROR
+from repro.serve.shard import ShardOp, ShardResult
+from repro.util.validation import require_positive
+
+
+class ShardQueue:
+    """Queue + drain task coalescing ops for one shard backend."""
+
+    def __init__(self, backend, max_batch: int = 64) -> None:
+        require_positive(max_batch, "max_batch")
+        self.backend = backend
+        self.max_batch = max_batch
+        self.batches = 0
+        self.batched_ops = 0
+        self._queue: "asyncio.Queue" = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-shard"
+        )
+        self._task: "asyncio.Task | None" = None
+
+    def start(self) -> None:
+        """Spawn the drain task on the running loop (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._drain()
+            )
+
+    def submit_nowait(self, op: ShardOp) -> "asyncio.Future":
+        """Enqueue one shard-local op; the future resolves with its
+        result.  Synchronous on purpose: the server's frame reader
+        enqueues ops in arrival order before yielding to the loop, so
+        two ops from one connection can never reorder on the way into
+        a shard (the queue itself is unbounded; admission control is
+        the bound)."""
+        future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((op, future))
+        return future
+
+    async def submit(self, op: ShardOp) -> ShardResult:
+        """Enqueue one shard-local op and await its result."""
+        return await self.submit_nowait(op)
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch: List[Tuple[ShardOp, "asyncio.Future"]] = [
+                await self._queue.get()
+            ]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            ops = [op for op, _ in batch]
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, self.backend.execute, ops
+                )
+                if len(results) != len(ops):  # pragma: no cover — bug guard
+                    raise RuntimeError(
+                        f"backend answered {len(results)} results "
+                        f"for {len(ops)} ops"
+                    )
+            except Exception as exc:  # noqa: BLE001 — per-op ERROR fanout
+                results = [
+                    (ST_ERROR, str(exc).encode()) for _ in ops
+                ]
+            self.batches += 1
+            self.batched_ops += len(ops)
+            for (_, future), result in zip(batch, results):
+                if not future.cancelled():
+                    future.set_result(result)
+
+    async def close(self) -> None:
+        """Stop draining and shut the backend down."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        await asyncio.get_running_loop().run_in_executor(
+            self._executor, self.backend.close
+        )
+        self._executor.shutdown(wait=True)

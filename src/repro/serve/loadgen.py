@@ -1,0 +1,565 @@
+"""Seeded open- and closed-loop load generators for the block service.
+
+Determinism contract (CI replays depend on it): every client draws its
+op stream from ``default_rng([seed, client, 0])`` and its think/backoff
+times from ``default_rng([seed, client, 1])`` — *separate* streams, so
+a BUSY retry or timing wobble never perturbs which ops are issued or
+what bytes they carry.  Clients own disjoint address regions, so the
+final volume image is a pure function of ``(seed, clients, ops)`` —
+identical across serial vs. 4-shard runs, which is what the
+byte-equivalence checks assert.
+
+Two generator shapes:
+
+* :func:`run_closed_loop` — N think-time clients, each issuing its next
+  op only after the previous completes (throughput follows service
+  rate; the shape used for the committed ops/s floors);
+* :func:`run_open_loop` — Poisson arrivals at a fixed offered rate,
+  independent of completions (the shape that exposes queueing collapse
+  and BUSY shedding).
+
+Both return a :class:`LoadReport` with ops/s and p50/p95/p99 latency,
+plus per-client write logs for replaying against a direct
+:class:`~repro.array.volume.RAID6Volume` (:func:`replay_writes`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    OP_READ,
+    OP_WRITE,
+    ST_BUSY,
+    ST_OK,
+    Request,
+)
+
+#: One logged write: (start, payload) in issue order.
+WriteLog = List[Tuple[int, bytes]]
+
+
+class BlockClient:
+    """Minimal asyncio client for the block protocol."""
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "BlockClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    def send_nowait(
+        self,
+        op: int,
+        start: int = 0,
+        count: int = 0,
+        payload: bytes = b"",
+        tenant: int = 0,
+    ) -> None:
+        """Buffer a request frame without flushing the transport.
+
+        Lets a pipelining caller queue several frames and pay one
+        :meth:`flush` for the burst."""
+        self._writer.write(
+            protocol.encode_request(
+                Request(op, tenant, start, count, payload)
+            )
+        )
+
+    async def flush(self) -> None:
+        await self._writer.drain()
+
+    async def send(
+        self,
+        op: int,
+        start: int = 0,
+        count: int = 0,
+        payload: bytes = b"",
+        tenant: int = 0,
+    ) -> None:
+        """Issue a request without waiting for its response.
+
+        The server answers in request order per connection, so a
+        pipelining caller pairs each :meth:`recv` with the oldest
+        outstanding :meth:`send`."""
+        self.send_nowait(op, start, count, payload, tenant)
+        await self.flush()
+
+    async def recv(self) -> Tuple[int, bytes]:
+        """Receive the response to the oldest outstanding request."""
+        body = await protocol.read_frame(self._reader)
+        if body is None:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode_response(body)
+
+    def has_buffered_response(self) -> bool:
+        """True when a whole response frame is already buffered, so
+        :meth:`recv` would return without blocking.
+
+        Peeks the stream reader's internal buffer — a harness-only
+        shortcut that lets a pipelining client drain a coalesced burst
+        of responses before paying one flush for the refills."""
+        buf = self._reader._buffer
+        if len(buf) < 4:
+            return False
+        return len(buf) >= 4 + int.from_bytes(buf[:4], "big")
+
+    async def request(
+        self,
+        op: int,
+        start: int = 0,
+        count: int = 0,
+        payload: bytes = b"",
+        tenant: int = 0,
+    ) -> Tuple[int, bytes]:
+        await self.send(op, start, count, payload, tenant)
+        return await self.recv()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load-generator run."""
+
+    ops: int = 0
+    reads: int = 0
+    writes: int = 0
+    busy: int = 0
+    errors: int = 0
+    verify_failures: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    duration_s: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+    write_logs: Dict[int, WriteLog] = field(default_factory=dict)
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.duration_s if self.duration_s > 0 else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.array(self.latencies_ms), q))
+
+    def to_dict(self) -> dict:
+        return {
+            "ops": self.ops,
+            "reads": self.reads,
+            "writes": self.writes,
+            "busy": self.busy,
+            "errors": self.errors,
+            "verify_failures": self.verify_failures,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "duration_s": round(self.duration_s, 4),
+            "ops_per_sec": round(self.ops_per_sec, 2),
+            "p50_ms": round(self.percentile_ms(50), 3),
+            "p95_ms": round(self.percentile_ms(95), 3),
+            "p99_ms": round(self.percentile_ms(99), 3),
+        }
+
+
+def _merge(total: LoadReport, part: LoadReport) -> None:
+    total.ops += part.ops
+    total.reads += part.reads
+    total.writes += part.writes
+    total.busy += part.busy
+    total.errors += part.errors
+    total.verify_failures += part.verify_failures
+    total.bytes_read += part.bytes_read
+    total.bytes_written += part.bytes_written
+    total.latencies_ms.extend(part.latencies_ms)
+    total.write_logs.update(part.write_logs)
+
+
+class _ClientPlan:
+    """The deterministic op stream of one client."""
+
+    def __init__(
+        self,
+        client_id: int,
+        seed: int,
+        clients: int,
+        num_elements: int,
+        element_size: int,
+        read_frac: float,
+        max_extent: int,
+    ) -> None:
+        region = num_elements // clients
+        if region < max_extent:
+            raise ValueError(
+                f"{clients} clients over {num_elements} elements leaves "
+                f"regions of {region} < max extent {max_extent}"
+            )
+        self.client_id = client_id
+        self.base = client_id * region
+        self.region = region
+        self.element_size = element_size
+        self.read_frac = read_frac
+        self.max_extent = max_extent
+        self.ops_rng = np.random.default_rng([seed, client_id, 0])
+        self.think_rng = np.random.default_rng([seed, client_id, 1])
+        self._buf: List[Tuple[int, int, int, bytes]] = []
+
+    def _refill(self, n: int = 256) -> None:
+        """Draw ``n`` ops in four vectorised rng calls.
+
+        Scalar per-op draws cost more than the protocol round-trip they
+        feed at high client counts, so the stream is generated in
+        chunks: counts, start fractions, read/write coin flips, and one
+        payload blob that write ops slice in order.  The stream stays a
+        pure function of ``(seed, client_id)``; overdraw past the last
+        issued op is simply discarded."""
+        rng = self.ops_rng
+        counts = rng.integers(1, self.max_extent + 1, size=n)
+        fracs = rng.random(n)
+        starts = self.base + (
+            fracs * (self.region - counts + 1)
+        ).astype(np.int64)
+        is_read = rng.random(n) < self.read_frac
+        esize = self.element_size
+        blob = rng.integers(
+            0, 256,
+            int(counts[~is_read].sum()) * esize,
+            dtype=np.uint8,
+        ).tobytes()
+        ops: List[Tuple[int, int, int, bytes]] = []
+        offset = 0
+        for k in range(n):
+            count, start = int(counts[k]), int(starts[k])
+            if is_read[k]:
+                ops.append((OP_READ, start, count, b""))
+            else:
+                size = count * esize
+                ops.append(
+                    (OP_WRITE, start, count, blob[offset:offset + size])
+                )
+                offset += size
+        ops.reverse()
+        self._buf = ops
+
+    def next_op(self) -> Tuple[int, int, int, bytes]:
+        """Pop the next (op, start, count, payload) — ops stream only."""
+        if not self._buf:
+            self._refill()
+        return self._buf.pop()
+
+    def backoff_s(self, attempt: int) -> float:
+        """BUSY backoff — drawn from the *think* stream only."""
+        cap = min(0.05, 0.001 * (2 ** min(attempt, 5)))
+        return float(self.think_rng.random()) * cap
+
+    def think_s(self, think_time: float) -> float:
+        if think_time <= 0:
+            return 0.0
+        return float(self.think_rng.exponential(think_time))
+
+
+async def _run_op(
+    client: BlockClient,
+    plan: _ClientPlan,
+    op_tuple: Tuple[int, int, int, bytes],
+    shadow: Dict[int, bytes],
+    report: LoadReport,
+    verify: bool,
+    tenant: int,
+) -> None:
+    """Issue one op, retrying BUSY; record latency and shadow state."""
+    op, start, count, payload = op_tuple
+    attempt = 0
+    t0 = time.perf_counter()
+    while True:
+        status, answer = await client.request(
+            op, start, count, payload, tenant=tenant
+        )
+        if status != ST_BUSY:
+            break
+        report.busy += 1
+        attempt += 1
+        await asyncio.sleep(plan.backoff_s(attempt))
+    report.latencies_ms.append((time.perf_counter() - t0) * 1e3)
+    _record(plan, op_tuple, status, answer, shadow, report, verify)
+
+
+def _record(
+    plan: _ClientPlan,
+    op_tuple: Tuple[int, int, int, bytes],
+    status: int,
+    answer: bytes,
+    shadow: Dict[int, bytes],
+    report: LoadReport,
+    verify: bool,
+) -> None:
+    """Book one completed op into the report and the shadow image."""
+    op, start, count, payload = op_tuple
+    esize = plan.element_size
+    report.ops += 1
+    if status != ST_OK:
+        report.errors += 1
+        return
+    if op == OP_READ:
+        report.reads += 1
+        report.bytes_read += len(answer)
+        if verify:
+            for k in range(count):
+                want = shadow.get(start + k)
+                got = answer[k * esize:(k + 1) * esize]
+                if want is not None and want != got:
+                    report.verify_failures += 1
+    else:
+        report.writes += 1
+        report.bytes_written += len(payload)
+        log = report.write_logs.setdefault(plan.client_id, [])
+        log.append((start, payload))
+        if verify:
+            for k in range(count):
+                shadow[start + k] = payload[k * esize:(k + 1) * esize]
+
+
+async def run_closed_loop(
+    host: str,
+    port: int,
+    *,
+    num_elements: int,
+    element_size: int,
+    clients: int = 4,
+    ops_per_client: int = 100,
+    read_frac: float = 0.5,
+    seed: int = 2015,
+    think_time: float = 0.0,
+    duration: Optional[float] = None,
+    max_extent: int = 8,
+    window: int = 1,
+    verify: bool = True,
+) -> LoadReport:
+    """N think-time clients, each keeping ``window`` ops in flight.
+
+    ``window`` is the per-client queue depth (1 = strict one-at-a-time
+    closed loop; real block initiators pipeline).  Requests on one
+    connection complete in order, so read-your-writes holds at any
+    window — except for an op re-issued after BUSY, which re-enters
+    behind ops already in flight (verification runs therefore disable
+    rate limiting).  ``duration`` (seconds) stops issuing early without
+    changing which ops *would* be issued — the op streams stay a pure
+    function of the seed.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    deadline = (
+        None if duration is None else time.perf_counter() + duration
+    )
+    total = LoadReport()
+    t0 = time.perf_counter()
+
+    async def one_client(cid: int) -> LoadReport:
+        plan = _ClientPlan(
+            cid, seed, clients, num_elements, element_size,
+            read_frac, max_extent,
+        )
+        client = await BlockClient.connect(host, port)
+        report = LoadReport()
+        shadow: Dict[int, bytes] = {}
+        inflight: List[Tuple[Tuple[int, int, int, bytes], float]] = []
+        retries: List[Tuple[Tuple[int, int, int, bytes], float]] = []
+        issued = 0
+        attempt = 0
+        try:
+            while True:
+                expired = (
+                    deadline is not None
+                    and time.perf_counter() >= deadline
+                )
+                sent = 0
+                while len(inflight) < window and (
+                    retries or (issued < ops_per_client and not expired)
+                ):
+                    if retries:
+                        op_tuple, t_first = retries.pop(0)
+                    else:
+                        op_tuple = plan.next_op()
+                        t_first = time.perf_counter()
+                        issued += 1
+                    op, start, count, payload = op_tuple
+                    client.send_nowait(
+                        op, start, count, payload, tenant=cid
+                    )
+                    sent += 1
+                    inflight.append((op_tuple, t_first))
+                if sent:
+                    await client.flush()
+                if not inflight:
+                    break
+                # Drain the whole buffered burst before refilling:
+                # coalesced servers answer several frames per write,
+                # and paying one refill flush per *burst* instead of
+                # per op keeps the syscall count proportional to
+                # batches, not ops.
+                blocking = True
+                while inflight and (
+                    blocking or client.has_buffered_response()
+                ):
+                    blocking = False
+                    status, answer = await client.recv()
+                    op_tuple, t_first = inflight.pop(0)
+                    if status == ST_BUSY:
+                        report.busy += 1
+                        attempt += 1
+                        retries.append((op_tuple, t_first))
+                        await asyncio.sleep(plan.backoff_s(attempt))
+                        break
+                    attempt = 0
+                    report.latencies_ms.append(
+                        (time.perf_counter() - t_first) * 1e3
+                    )
+                    _record(
+                        plan, op_tuple, status, answer, shadow, report,
+                        verify,
+                    )
+                    pause = plan.think_s(think_time)
+                    if pause > 0:
+                        await asyncio.sleep(pause)
+                        break
+        finally:
+            await client.close()
+        return report
+
+    parts = await asyncio.gather(
+        *[one_client(cid) for cid in range(clients)]
+    )
+    for part in parts:
+        _merge(total, part)
+    total.duration_s = time.perf_counter() - t0
+    return total
+
+
+async def run_open_loop(
+    host: str,
+    port: int,
+    *,
+    num_elements: int,
+    element_size: int,
+    rate: float,
+    duration: float,
+    clients: int = 4,
+    read_frac: float = 0.5,
+    seed: int = 2015,
+    max_extent: int = 8,
+    max_inflight: int = 512,
+    verify: bool = False,
+) -> LoadReport:
+    """Poisson arrivals at ``rate`` ops/s total for ``duration`` seconds.
+
+    Arrivals don't wait for completions (open loop), so offered load
+    beyond capacity shows up as queueing latency and BUSY shedding
+    rather than a slower generator.  ``max_inflight`` caps runaway task
+    growth when the server is saturated.
+    """
+    arrivals = np.random.default_rng([seed, 0xA11])
+    total = LoadReport()
+    plans = [
+        _ClientPlan(
+            cid, seed, clients, num_elements, element_size,
+            read_frac, max_extent,
+        )
+        for cid in range(clients)
+    ]
+    conns = await asyncio.gather(*[
+        BlockClient.connect(host, port) for _ in range(clients)
+    ])
+    shadows: List[Dict[int, bytes]] = [{} for _ in range(clients)]
+    locks = [asyncio.Lock() for _ in range(clients)]
+    gate = asyncio.Semaphore(max_inflight)
+    tasks: List["asyncio.Task"] = []
+    t0 = time.perf_counter()
+
+    async def fire(cid: int, op_tuple) -> None:
+        async with gate:
+            # one connection per client: serialise its frames
+            async with locks[cid]:
+                await _run_op(
+                    conns[cid], plans[cid], op_tuple, shadows[cid],
+                    total, verify, tenant=cid,
+                )
+
+    try:
+        now = 0.0
+        i = 0
+        while now < duration:
+            cid = i % clients
+            tasks.append(
+                asyncio.get_running_loop().create_task(
+                    fire(cid, plans[cid].next_op())
+                )
+            )
+            i += 1
+            gap = float(arrivals.exponential(1.0 / rate))
+            now += gap
+            await asyncio.sleep(gap)
+        if tasks:
+            await asyncio.gather(*tasks)
+    finally:
+        for conn in conns:
+            await conn.close()
+    total.duration_s = time.perf_counter() - t0
+    return total
+
+
+def replay_writes(volume, write_logs: Dict[int, WriteLog]) -> None:
+    """Replay the generators' write logs into a direct volume.
+
+    Clients own disjoint regions, so replaying per client in issue
+    order (any client order) reproduces the served image exactly.
+    """
+    esize = volume.element_size
+    for cid in sorted(write_logs):
+        for start, payload in write_logs[cid]:
+            data = np.frombuffer(payload, dtype=np.uint8)
+            volume.write(start, data.reshape(-1, esize).copy())
+
+
+async def fetch_image(
+    host: str,
+    port: int,
+    *,
+    num_elements: int,
+    chunk: int = 512,
+    tenant: int = 0,
+) -> bytes:
+    """Read the whole address space through the protocol."""
+    client = await BlockClient.connect(host, port)
+    out = []
+    try:
+        for start in range(0, num_elements, chunk):
+            count = min(chunk, num_elements - start)
+            while True:
+                status, payload = await client.request(
+                    OP_READ, start, count, tenant=tenant
+                )
+                if status != ST_BUSY:
+                    break
+                await asyncio.sleep(0.002)
+            if status != ST_OK:
+                raise RuntimeError(
+                    f"read [{start}, {start + count}) failed: "
+                    f"{payload.decode(errors='replace')}"
+                )
+            out.append(payload)
+    finally:
+        await client.close()
+    return b"".join(out)

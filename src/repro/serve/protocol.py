@@ -1,0 +1,130 @@
+"""Length-prefixed binary wire protocol for the block service.
+
+A frame is a 4-byte big-endian body length followed by the body.
+Request bodies open with a fixed header::
+
+    !BHQI  =  op (u8) | tenant (u16) | start (u64) | count (u32)
+
+followed by the payload (``count * element_size`` bytes for WRITE,
+empty otherwise).  Response bodies open with a status byte (OK / BUSY /
+ERROR) followed by the response payload — read data for READ, UTF-8
+JSON for SCRUB / STAT, a UTF-8 message for ERROR, empty for BUSY.
+
+The admin op FAIL_DISK reuses the header fields: ``start`` is the shard
+index, ``count`` the disk index inside that shard.  BUSY is a *typed*
+response, not an error: admission control answers it in O(1) without
+touching a volume, and well-behaved clients back off and retry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+#: Request opcodes.
+OP_READ = 1
+OP_WRITE = 2
+OP_SCRUB = 3
+OP_STAT = 4
+OP_FAIL_DISK = 5
+
+OP_NAMES = {
+    OP_READ: "read",
+    OP_WRITE: "write",
+    OP_SCRUB: "scrub",
+    OP_STAT: "stat",
+    OP_FAIL_DISK: "fail_disk",
+}
+
+#: Response status codes.
+ST_OK = 0
+ST_BUSY = 1
+ST_ERROR = 2
+
+_LEN = struct.Struct("!I")
+HEADER = struct.Struct("!BHQI")
+
+#: Upper bound on a frame body; a corrupt or hostile length prefix must
+#: not make the server allocate gigabytes.  64 MiB comfortably covers
+#: the largest legitimate write burst the benchmarks issue.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed frame (bad length, short header, unknown opcode)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded request frame."""
+
+    op: int
+    tenant: int
+    start: int
+    count: int
+    payload: bytes = b""
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        name = OP_NAMES.get(self.op, f"op{self.op}")
+        return (
+            f"<Request {name} tenant={self.tenant} "
+            f"[{self.start}, {self.start + self.count}) "
+            f"payload={len(self.payload)}B>"
+        )
+
+
+def encode_request(req: Request) -> bytes:
+    """Serialise ``req`` to a full frame (length prefix included)."""
+    body = HEADER.pack(req.op, req.tenant, req.start, req.count)
+    body += req.payload
+    return _LEN.pack(len(body)) + body
+
+
+def decode_request(body: bytes) -> Request:
+    """Parse a request frame body (without the length prefix)."""
+    if len(body) < HEADER.size:
+        raise ProtocolError(
+            f"request body too short: {len(body)} < {HEADER.size}"
+        )
+    op, tenant, start, count = HEADER.unpack_from(body)
+    if op not in OP_NAMES:
+        raise ProtocolError(f"unknown opcode {op}")
+    return Request(op, tenant, start, count, bytes(body[HEADER.size:]))
+
+
+def encode_response(status: int, payload: bytes = b"") -> bytes:
+    """Serialise a response to a full frame (length prefix included)."""
+    body = bytes([status]) + payload
+    return _LEN.pack(len(body)) + body
+
+
+def decode_response(body: bytes) -> tuple:
+    """Parse a response frame body → ``(status, payload)``."""
+    if not body:
+        raise ProtocolError("empty response body")
+    return body[0], bytes(body[1:])
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one frame body; ``None`` on clean EOF before a frame starts."""
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-prefix") from exc
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME}")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
+    """Send a pre-encoded frame and drain the transport."""
+    writer.write(frame)
+    await writer.drain()

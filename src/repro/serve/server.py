@@ -1,0 +1,378 @@
+"""The asyncio block-serving front end.
+
+One :class:`BlockServer` owns a :class:`~repro.serve.router.ShardRouter`
+over N shard backends, each behind a coalescing
+:class:`~repro.serve.coalescer.ShardQueue`.  A connection handler per
+client decodes frames, runs admission control, splits multi-shard
+ranges into extents, gathers the per-shard results, and answers one
+response frame per request — all without blocking the loop on volume
+work (shards execute on their own single-thread executors or worker
+processes).
+
+Process-backed shards must be forked **before** the event loop exists
+(:func:`make_backends`), because ``fork`` duplicates a running loop's
+internal wakeup pipes into the child.  ``python -m repro serve`` and
+the benchmarks follow that order: build backends, then
+``asyncio.run(...)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.codes.registry import make_code
+from repro.serve import protocol
+from repro.serve.coalescer import ShardQueue
+from repro.serve.protocol import (
+    OP_FAIL_DISK,
+    OP_READ,
+    OP_SCRUB,
+    OP_STAT,
+    OP_WRITE,
+    ST_BUSY,
+    ST_ERROR,
+    ST_OK,
+    ProtocolError,
+    Request,
+)
+from repro.serve.qos import AdmissionControl
+from repro.serve.router import ShardRouter
+from repro.serve.shard import BACKENDS, ShardSpec
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Geometry + policy of one block service."""
+
+    shards: int = 1
+    backend: str = "inline"          # "inline" | "process"
+    code: str = "dcode"
+    p: int = 7
+    stripes_per_shard: int = 64
+    element_size: int = 64
+    workers: Optional[int] = None
+    process_pool: Optional[bool] = None
+    cache_stripes: int = 16
+    evict_batch: int = 4
+    write_back: bool = True          # False = direct per-op baseline
+    max_batch: int = 64              # 1 = uncoalesced serial baseline
+    max_inflight: int = 256
+    rate: Optional[float] = None     # per-tenant ops/s; None = unlimited
+    burst: Optional[float] = None
+    host: str = "127.0.0.1"
+    port: int = 0                    # 0 = ephemeral
+
+    def __post_init__(self) -> None:
+        require_positive(self.shards, "shards")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {sorted(BACKENDS)}, "
+                f"got {self.backend!r}"
+            )
+
+    def shard_spec(self) -> ShardSpec:
+        return ShardSpec(
+            code=self.code,
+            p=self.p,
+            num_stripes=self.stripes_per_shard,
+            element_size=self.element_size,
+            workers=self.workers,
+            process_pool=self.process_pool,
+            cache_stripes=self.cache_stripes,
+            evict_batch=self.evict_batch,
+            write_back=self.write_back,
+        )
+
+    def router(self) -> ShardRouter:
+        per = make_code(self.code, self.p).num_data_cells
+        return ShardRouter(self.shards, self.stripes_per_shard * per)
+
+
+def make_backends(config: ServerConfig) -> List[object]:
+    """Build the shard backends (fork happens here, pre-loop)."""
+    cls = BACKENDS[config.backend]
+    return [cls(config.shard_spec()) for _ in range(config.shards)]
+
+
+class BlockServer:
+    """Serve the block protocol over TCP for one shard pool."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        backends: Optional[List[object]] = None,
+    ) -> None:
+        self.config = config
+        self.router = config.router()
+        self.backends = (
+            make_backends(config) if backends is None else backends
+        )
+        if len(self.backends) != config.shards:
+            raise ValueError(
+                f"{len(self.backends)} backends for "
+                f"{config.shards} shards"
+            )
+        self.admission = AdmissionControl(
+            max_inflight=config.max_inflight,
+            rate=config.rate,
+            burst=config.burst,
+        )
+        self.queues: List[ShardQueue] = []
+        self.ops = 0
+        self.busy = 0
+        self.errors = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Start queues + listener; returns the bound (host, port)."""
+        self.queues = [
+            ShardQueue(b, max_batch=self.config.max_batch)
+            for b in self.backends
+        ]
+        for queue in self.queues:
+            queue.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for queue in self.queues:
+            await queue.close()
+        self.queues = []
+
+    # -- request handling ------------------------------------------------------
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Pipelined per-connection loop.
+
+        Frames are *begun* (admitted, split, enqueued on shard queues)
+        the moment they arrive, without waiting for earlier requests to
+        finish — that is what lets queue depth at the clients turn into
+        coalescer batch size at the shards.  A responder task writes
+        results back strictly in request order, so the protocol needs
+        no request IDs.
+        """
+        pending: "asyncio.Queue" = asyncio.Queue()
+        responder = asyncio.get_running_loop().create_task(
+            self._respond_loop(pending, writer)
+        )
+        try:
+            while True:
+                body = await protocol.read_frame(reader)
+                if body is None:
+                    break
+                try:
+                    req = protocol.decode_request(body)
+                except ProtocolError as exc:
+                    await pending.put(
+                        ("imm", None, ST_ERROR, str(exc).encode())
+                    )
+                    break
+                await pending.put(self._begin(req))
+        except (ProtocolError, ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            await pending.put(None)
+            try:
+                await responder
+            except Exception:  # noqa: BLE001 — connection teardown
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _begin(self, req: Request):
+        """Admit + enqueue one request; returns the pending item.
+
+        Runs synchronously on the reader loop so ops enter the shard
+        queues in frame-arrival order.  ``imm`` items carry a finished
+        response (BUSY, validation error); the other kinds carry shard
+        futures the responder gathers.
+        """
+        if not self.admission.admit(req.tenant):
+            return ("imm", req, ST_BUSY, b"")
+        try:
+            if req.op in (OP_READ, OP_WRITE):
+                esize = self.config.element_size
+                if (
+                    req.op == OP_WRITE
+                    and len(req.payload) != req.count * esize
+                ):
+                    raise ValueError(
+                        f"payload of {len(req.payload)} bytes != "
+                        f"{req.count} x {esize}"
+                    )
+                futures = []
+                for shard, local, take, offset in self.router.split(
+                    req.start, req.count
+                ):
+                    chunk = (
+                        req.payload[
+                            offset * esize:(offset + take) * esize
+                        ]
+                        if req.op == OP_WRITE else b""
+                    )
+                    futures.append(
+                        self.queues[shard].submit_nowait(
+                            (req.op, local, take, chunk)
+                        )
+                    )
+                return ("gather", req, futures)
+            if req.op in (OP_SCRUB, OP_STAT):
+                return ("gather", req, [
+                    queue.submit_nowait((req.op, 0, 0, b""))
+                    for queue in self.queues
+                ])
+            if req.op == OP_FAIL_DISK:
+                shard = req.start
+                if not 0 <= shard < self.config.shards:
+                    raise ValueError(
+                        f"shard {shard} outside pool of "
+                        f"{self.config.shards}"
+                    )
+                return ("gather", req, [
+                    self.queues[shard].submit_nowait(
+                        (OP_FAIL_DISK, 0, req.count, b"")
+                    )
+                ])
+            raise ValueError(f"unhandled op {req.op}")
+        except Exception as exc:  # noqa: BLE001 — answer, don't drop conn
+            self.admission.release(req.tenant)
+            return ("imm", req, ST_ERROR, str(exc).encode())
+
+    async def _finish(self, item) -> Tuple[int, bytes]:
+        """Resolve one pending item to ``(status, payload)``."""
+        kind, req = item[0], item[1]
+        if kind == "imm":
+            return item[2], item[3]
+        try:
+            futures = item[2]
+            if len(futures) == 1:  # common case: one extent, one shard
+                results = [await futures[0]]
+            else:
+                results = await asyncio.gather(*futures)
+            for status, payload in results:
+                if status != ST_OK:
+                    return status, payload
+            if req.op == OP_READ:
+                # extents are enqueued in address order
+                return ST_OK, b"".join(p for _, p in results)
+            if req.op in (OP_SCRUB, OP_STAT):
+                merged = {
+                    str(shard): json.loads(payload.decode())
+                    for shard, (_, payload) in enumerate(results)
+                }
+                if req.op == OP_STAT:
+                    merged["server"] = self.stats()
+                return ST_OK, json.dumps(merged).encode()
+            return ST_OK, b""
+        except Exception as exc:  # noqa: BLE001 — answer, don't drop conn
+            return ST_ERROR, str(exc).encode()
+        finally:
+            self.admission.release(req.tenant)
+
+    async def _respond_loop(self, pending, writer) -> None:
+        """Write responses in request order; drain on a dead client.
+
+        Responses are coalesced: when one shard batch completes it
+        resolves up to ``max_batch`` futures at once, and writing each
+        as its own frame would cost a syscall apiece.  Finished frames
+        accumulate in ``buf`` and flush in a single write the moment
+        the responder would otherwise block (empty pending queue, or a
+        request whose shard futures are still outstanding)."""
+        alive = True
+        buf: List[bytes] = []
+
+        async def flush() -> None:
+            nonlocal alive
+            if not buf:
+                return
+            data = b"".join(buf)
+            buf.clear()
+            if not alive:
+                return
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                alive = False
+
+        while True:
+            if pending.empty():
+                await flush()
+            item = await pending.get()
+            if item is None:
+                await flush()
+                return
+            if item[0] != "imm" and not all(
+                f.done() for f in item[2]
+            ):
+                await flush()  # _finish is about to block
+            status, payload = await self._finish(item)
+            self.ops += 1
+            if status == ST_BUSY:
+                self.busy += 1
+            elif status == ST_ERROR:
+                self.errors += 1
+            if alive:
+                buf.append(protocol.encode_response(status, payload))
+                if len(buf) >= 256:
+                    await flush()
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        batches = sum(q.batches for q in self.queues)
+        batched = sum(q.batched_ops for q in self.queues)
+        return {
+            "ops": self.ops,
+            "busy": self.busy,
+            "errors": self.errors,
+            "shards": self.config.shards,
+            "backend": self.config.backend,
+            "max_batch": self.config.max_batch,
+            "batches": batches,
+            "avg_batch": (batched / batches) if batches else 0.0,
+        }
+
+
+async def serve_forever(
+    config: ServerConfig,
+    backends: Optional[List[object]] = None,
+    duration: Optional[float] = None,
+    ready: Optional["asyncio.Event"] = None,
+    announce=None,
+) -> dict:
+    """Run a server until cancelled (or for ``duration`` seconds)."""
+    server = BlockServer(config, backends)
+    host, port = await server.start()
+    if announce is not None:
+        announce(host, port)
+    if ready is not None:
+        ready.set()
+    try:
+        if duration is None:
+            await asyncio.Event().wait()  # pragma: no cover — forever
+        else:
+            await asyncio.sleep(duration)
+    finally:
+        await server.close()
+    return server.stats()

@@ -1,0 +1,249 @@
+"""Shard backends: one volume + write-back cache per shard.
+
+A shard is a :class:`RAID6Volume` plus a :class:`StripeCache`, executed
+either in-process (:class:`InlineShard`) or in a forked worker process
+(:class:`ProcessShard`) so serving is not bound by the parent's GIL.
+Either way, :func:`execute_ops` is the single entry point: it runs one
+*batch* of shard-local ops in arrival order, buffering writes through
+the cache and destaging the whole batch at the end — that coalescing is
+what routes serving traffic onto the volume's batched RMW / full-stripe
+/ destage paths instead of one parity round-trip per request.
+
+Backends promise **serialised** batches: the coalescer drives each
+shard from a single-thread executor, so ``execute`` is never entered
+concurrently.  Cross-shard concurrency needs no coordination at all —
+shards own disjoint volumes.
+
+The process backend speaks length-delimited pickles over a
+:class:`multiprocessing.Pipe`.  Worker faults come back as a typed
+``("__shard_error__", traceback)`` marker rather than a torn pipe, so
+the server can answer ERROR frames and keep serving other shards.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.array import RAID6Volume
+from repro.array.cache import StripeCache
+from repro.codes.registry import make_code
+from repro.exceptions import ReproError
+from repro.serve.protocol import (
+    OP_FAIL_DISK,
+    OP_READ,
+    OP_SCRUB,
+    OP_STAT,
+    OP_WRITE,
+    ST_ERROR,
+    ST_OK,
+)
+
+#: One shard-local op: (op, start, count, payload).
+ShardOp = Tuple[int, int, int, bytes]
+
+#: One result: (status, payload).
+ShardResult = Tuple[int, bytes]
+
+#: Typed marker the worker process sends when a batch raises.
+WORKER_ERROR = "__shard_error__"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything needed to build one shard's volume (picklable).
+
+    ``write_back=True`` (the serving architecture) buffers writes in
+    the stripe cache and destages on pressure — cross-batch coalescing
+    is where the ops/s win comes from, and reads stay correct through
+    the dirty overlay.  ``write_back=False`` is the naive baseline:
+    every op goes straight to the volume, one parity round-trip per
+    write.
+    """
+
+    code: str = "dcode"
+    p: int = 7
+    num_stripes: int = 64
+    element_size: int = 64
+    workers: Optional[int] = None
+    process_pool: Optional[bool] = None
+    cache_stripes: int = 16
+    evict_batch: int = 4
+    write_back: bool = True
+
+    def build(self) -> Tuple[RAID6Volume, Optional[StripeCache]]:
+        volume = RAID6Volume(
+            make_code(self.code, self.p),
+            num_stripes=self.num_stripes,
+            element_size=self.element_size,
+            workers=self.workers,
+            process_pool=self.process_pool,
+        )
+        cache = (
+            StripeCache(
+                volume,
+                max_dirty_stripes=self.cache_stripes,
+                evict_batch=self.evict_batch,
+            )
+            if self.write_back else None
+        )
+        return volume, cache
+
+
+def execute_ops(
+    volume: RAID6Volume,
+    cache: Optional[StripeCache],
+    ops: List[ShardOp],
+) -> List[ShardResult]:
+    """Run one coalesced batch of shard-local ops in arrival order.
+
+    With a cache, writes buffer write-back (destaged on LRU pressure
+    and at admin/close flush points, so coalescing spans batches) and
+    reads are read-through with dirty overlay — a read behind a write
+    sees it without forcing a destage.  Without a cache every op goes
+    straight to the volume (the uncoalesced baseline).  Per-op
+    failures answer that op with ERROR and keep the batch going.
+    """
+    results: List[ShardResult] = []
+    for op, start, count, payload in ops:
+        try:
+            if op == OP_READ:
+                data = (
+                    cache.read(start, count) if cache is not None
+                    else volume.read(start, count)
+                )
+                results.append((ST_OK, data.tobytes()))
+            elif op == OP_WRITE:
+                data = np.frombuffer(payload, dtype=np.uint8)
+                if data.size != count * volume.element_size:
+                    raise ReproError(
+                        f"write payload of {data.size} bytes != "
+                        f"{count} x {volume.element_size}"
+                    )
+                shaped = data.reshape(count, volume.element_size)
+                if cache is not None:
+                    cache.write(start, shaped)
+                else:
+                    volume.write(start, shaped.copy())
+                results.append((ST_OK, b""))
+            elif op == OP_SCRUB:
+                if cache is not None:
+                    cache.flush()
+                bad = volume.scrub()
+                results.append(
+                    (ST_OK, json.dumps(sorted(bad)).encode())
+                )
+            elif op == OP_STAT:
+                if cache is not None:
+                    cache.flush()
+                health = volume.health
+                stat = {
+                    "health": getattr(health, "name", str(health)),
+                    "failed_disks": sorted(volume.failed_disks),
+                    "num_elements": volume.num_elements,
+                    "element_size": volume.element_size,
+                    "num_stripes": volume.num_elements
+                    // volume.layout.num_data_cells,
+                }
+                results.append((ST_OK, json.dumps(stat).encode()))
+            elif op == OP_FAIL_DISK:
+                if cache is not None:
+                    cache.flush()
+                volume.fail_disk(count)
+                results.append((ST_OK, b""))
+            else:
+                results.append(
+                    (ST_ERROR, f"unknown shard op {op}".encode())
+                )
+        except (ReproError, ValueError) as exc:
+            results.append((ST_ERROR, str(exc).encode()))
+    return results
+
+
+class InlineShard:
+    """Shard backend living in the serving process."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self.volume, self.cache = spec.build()
+
+    def execute(self, ops: List[ShardOp]) -> List[ShardResult]:
+        return execute_ops(self.volume, self.cache, ops)
+
+    def close(self) -> None:
+        if self.cache is not None:
+            self.cache.flush()
+
+
+def _shard_worker(conn, spec: ShardSpec) -> None:  # pragma: no cover — child
+    """Worker-process loop: recv a batch, execute, send the results."""
+    volume, cache = spec.build()
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        if msg is None:
+            if cache is not None:
+                cache.flush()
+            conn.send(None)
+            break
+        try:
+            conn.send(execute_ops(volume, cache, msg))
+        except BaseException:  # noqa: BLE001 — marshalled to the parent
+            conn.send((WORKER_ERROR, traceback.format_exc()))
+    conn.close()
+
+
+class ProcessShard:
+    """Shard backend in a forked worker process.
+
+    Fork **before** the asyncio loop starts (see
+    :func:`repro.serve.server.make_backends`): forking a running loop
+    duplicates its internal pipes into the child.  The child builds its
+    own volume from the picklable spec, so no stripe state crosses the
+    process boundary — only op tuples and result bytes.
+    """
+
+    def __init__(self, spec: ShardSpec) -> None:
+        import multiprocessing
+
+        self.spec = spec
+        ctx = multiprocessing.get_context("fork")
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_shard_worker, args=(child, spec), daemon=True
+        )
+        self._proc.start()
+        child.close()
+
+    def execute(self, ops: List[ShardOp]) -> List[ShardResult]:
+        self._conn.send(ops)
+        reply = self._conn.recv()
+        if (
+            isinstance(reply, tuple)
+            and len(reply) == 2
+            and reply[0] == WORKER_ERROR
+        ):
+            raise RuntimeError(f"shard worker failed:\n{reply[1]}")
+        return reply
+
+    def close(self) -> None:
+        if self._proc.is_alive():
+            try:
+                self._conn.send(None)
+                self._conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        self._conn.close()
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():  # pragma: no cover — stuck worker
+            self._proc.terminate()
+            self._proc.join(timeout=10)
+
+
+BACKENDS = {"inline": InlineShard, "process": ProcessShard}

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.array.pipeline import StripePipeline, worker_count
+from repro.array.pipeline import (
+    StripePipeline,
+    process_pool_enabled,
+    worker_count,
+)
 from repro.array.volume import RAID6Volume
 from repro.codes.registry import make_code
 
@@ -30,6 +34,77 @@ class TestWorkerCount:
     def test_garbage_env_is_serial(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "lots")
         assert worker_count() == 1
+
+    def test_garbage_env_warns_once(self, monkeypatch):
+        from repro.array import pipeline as pl
+
+        monkeypatch.setattr(pl, "_warned_env", set())
+        monkeypatch.setenv("REPRO_WORKERS", "many threads")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            assert worker_count() == 1
+        # second resolution of the same bad value is silent
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert worker_count() == 1
+
+    def test_negative_env_is_serial_with_warning(self, monkeypatch):
+        from repro.array import pipeline as pl
+
+        monkeypatch.setattr(pl, "_warned_env", set())
+        monkeypatch.setenv("REPRO_WORKERS", "-3")
+        with pytest.warns(RuntimeWarning, match="negative"):
+            assert worker_count() == 1
+
+    def test_negative_explicit_argument_still_means_cpu_count(self):
+        # the constructor contract is unchanged: only the *environment*
+        # falls back to serial on negative values
+        assert worker_count(-1) >= 1
+
+    def test_bad_env_builds_a_serial_volume(self, monkeypatch):
+        # end to end: a bad value must not raise inside pool
+        # construction — the volume comes up serial
+        from repro.array import pipeline as pl
+
+        monkeypatch.setattr(pl, "_warned_env", set())
+        monkeypatch.setenv("REPRO_WORKERS", "-8")
+        with pytest.warns(RuntimeWarning):
+            volume = RAID6Volume(make_code("dcode", 5), num_stripes=4)
+        assert not volume.pipeline.parallel
+
+
+class TestProcessPoolFlag:
+    def test_unset_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROCESS_POOL", raising=False)
+        assert process_pool_enabled() is False
+
+    @pytest.mark.parametrize("raw", ["1", "true", "YES", "On"])
+    def test_truthy_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_PROCESS_POOL", raw)
+        assert process_pool_enabled() is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "No", "OFF", ""])
+    def test_falsy_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_PROCESS_POOL", raw)
+        assert process_pool_enabled() is False
+
+    def test_garbage_warns_once_and_stays_off(self, monkeypatch):
+        from repro.array import pipeline as pl
+
+        monkeypatch.setattr(pl, "_warned_env", set())
+        monkeypatch.setenv("REPRO_PROCESS_POOL", "sure")
+        with pytest.warns(RuntimeWarning, match="REPRO_PROCESS_POOL"):
+            assert process_pool_enabled() is False
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert process_pool_enabled() is False
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESS_POOL", "0")
+        assert process_pool_enabled(True) is True
 
 
 class TestStripePipeline:

@@ -1,0 +1,83 @@
+"""Admission control under a fake clock: deterministic QoS tests."""
+
+from repro.serve.qos import AdmissionControl, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refill_over_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        for _ in range(3):
+            bucket.try_take()
+        assert not bucket.try_take()
+        clock.advance(0.1)  # +1 token
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_capacity_is_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(60.0)
+        assert [bucket.try_take() for _ in range(3)] == [
+            True, True, False,
+        ]
+
+
+class TestAdmissionControl:
+    def test_inflight_bound_per_tenant(self):
+        ac = AdmissionControl(max_inflight=2)
+        assert ac.admit(1)
+        assert ac.admit(1)
+        assert not ac.admit(1)  # tenant 1 is full ...
+        assert ac.admit(2)      # ... but tenant 2 is unaffected
+        ac.release(1)
+        assert ac.admit(1)
+        assert ac.inflight(1) == 2
+        assert ac.inflight(2) == 1
+
+    def test_rate_limit_per_tenant(self):
+        clock = FakeClock()
+        ac = AdmissionControl(
+            max_inflight=100, rate=10.0, burst=2.0, clock=clock
+        )
+        assert ac.admit(1)
+        assert ac.admit(1)
+        ac.release(1)
+        ac.release(1)
+        assert not ac.admit(1)  # bucket empty despite free inflight
+        assert ac.admit(2)      # separate bucket per tenant
+        clock.advance(0.1)
+        assert ac.admit(1)
+
+    def test_counters(self):
+        ac = AdmissionControl(max_inflight=1)
+        ac.admit(7)
+        ac.admit(7)
+        assert ac.admitted == 1
+        assert ac.refused == 1
+
+    def test_release_clears_bookkeeping(self):
+        ac = AdmissionControl(max_inflight=1)
+        ac.admit(5)
+        ac.release(5)
+        assert ac.inflight(5) == 0
+        ac.release(5)  # over-release must not go negative
+        assert ac.inflight(5) == 0

@@ -1,0 +1,63 @@
+"""Shard routing: band ownership, splits, and address validation."""
+
+import pytest
+
+from repro.exceptions import AddressError
+from repro.serve.router import ShardRouter
+
+
+class TestShardOf:
+    def test_band_ownership(self):
+        router = ShardRouter(num_shards=4, elements_per_shard=10)
+        assert router.num_elements == 40
+        assert router.shard_of(0) == 0
+        assert router.shard_of(9) == 0
+        assert router.shard_of(10) == 1
+        assert router.shard_of(39) == 3
+
+    def test_out_of_range(self):
+        router = ShardRouter(num_shards=2, elements_per_shard=5)
+        with pytest.raises(AddressError):
+            router.shard_of(10)
+        with pytest.raises(AddressError):
+            router.shard_of(-1)
+
+
+class TestSplit:
+    def test_single_shard_range(self):
+        router = ShardRouter(num_shards=4, elements_per_shard=10)
+        assert router.split(12, 5) == [(1, 2, 5, 0)]
+
+    def test_boundary_crossing(self):
+        router = ShardRouter(num_shards=4, elements_per_shard=10)
+        assert router.split(8, 5) == [(0, 8, 2, 0), (1, 0, 3, 2)]
+
+    def test_spanning_many_shards(self):
+        router = ShardRouter(num_shards=4, elements_per_shard=10)
+        extents = router.split(5, 30)
+        assert extents == [
+            (0, 5, 5, 0), (1, 0, 10, 5), (2, 0, 10, 15), (3, 0, 5, 25),
+        ]
+
+    def test_covers_range_exactly(self):
+        router = ShardRouter(num_shards=3, elements_per_shard=7)
+        for start in range(0, 15):
+            for count in range(1, router.num_elements - start + 1):
+                extents = router.split(start, count)
+                assert sum(take for _, _, take, _ in extents) == count
+                # offsets are cumulative and in address order
+                pos = start
+                offset = 0
+                for shard, local, take, payload_offset in extents:
+                    assert payload_offset == offset
+                    assert shard * 7 + local == pos
+                    pos += take
+                    offset += take
+
+    @pytest.mark.parametrize("start,count", [
+        (0, 0), (0, -1), (-1, 2), (39, 2), (40, 1),
+    ])
+    def test_invalid_ranges(self, start, count):
+        router = ShardRouter(num_shards=4, elements_per_shard=10)
+        with pytest.raises(AddressError):
+            router.split(start, count)
