@@ -485,6 +485,11 @@ SERVING_READ_FRAC = 0.5
 SERVING_MAX_EXTENT = 8
 SERVING_REPS = 3
 SERVING_ELEMENT_SIZE = 64
+#: Durable acks checkpoint the shard state (intent ledger sync + atomic
+#: snapshot) after every writing batch before the WRITE is answered, so
+#: an acked write survives kill -9 of the worker.  That safety is paid
+#: in ops/s; the committed ceiling caps the toll vs buffered acks.
+SERVING_DURABLE_OVERHEAD_MAX_PCT = 60.0
 
 
 def _serving_configs():
@@ -506,13 +511,15 @@ def _serving_configs():
 
 
 def _serving_run(config, *, seed, verify=False,
-                 ops_per_client=SERVING_OPS_PER_CLIENT):
+                 ops_per_client=SERVING_OPS_PER_CLIENT,
+                 state_dir=None):
     import asyncio
 
     from repro.serve.loadgen import run_closed_loop
     from repro.serve.server import BlockServer, make_backends
 
-    backends = make_backends(config)  # fork before the loop exists
+    # fork before the loop exists
+    backends = make_backends(config, state_dir=state_dir)
 
     async def run():
         server = BlockServer(config, backends)
@@ -623,13 +630,24 @@ def bench_serving():
     then byte-checks served data against a direct-volume replay, with
     and without an injected disk failure.
     """
-    serial_cfg, sharded_cfg = _serving_configs()
+    import dataclasses
+    import tempfile
 
-    def median_run(config):
-        runs = [
-            _serving_run(config, seed=SERVING_SEED + k)
-            for k in range(SERVING_REPS)
-        ]
+    serial_cfg, sharded_cfg = _serving_configs()
+    durable_cfg = dataclasses.replace(sharded_cfg, ack="durable")
+
+    def median_run(config, durable=False):
+        runs = []
+        for k in range(SERVING_REPS):
+            if durable:
+                with tempfile.TemporaryDirectory(
+                    prefix="bench-durable-"
+                ) as tmp:
+                    runs.append(_serving_run(
+                        config, seed=SERVING_SEED + k, state_dir=tmp
+                    ))
+            else:
+                runs.append(_serving_run(config, seed=SERVING_SEED + k))
         runs.sort(key=lambda run: run[0].ops_per_sec)
         return runs[len(runs) // 2], [
             round(report.ops_per_sec, 1) for report, _ in runs
@@ -637,6 +655,7 @@ def bench_serving():
 
     (serial_rep, _), serial_runs = median_run(serial_cfg)
     (sharded_rep, sharded_stats), sharded_runs = median_run(sharded_cfg)
+    (durable_rep, _), durable_runs = median_run(durable_cfg, durable=True)
     equivalence = _serving_equivalence()
 
     def side(config, report):
@@ -657,6 +676,13 @@ def bench_serving():
     sharded = dict(side(sharded_cfg, sharded_rep),
                    runs_ops_per_sec=sharded_runs,
                    avg_batch=round(sharded_stats["avg_batch"], 1))
+    durable = dict(side(durable_cfg, durable_rep),
+                   ack="durable",
+                   runs_ops_per_sec=durable_runs)
+    durable_overhead_pct = round(
+        100.0 * (1.0 - durable_rep.ops_per_sec / sharded_rep.ops_per_sec),
+        1,
+    )
     return {
         "code": sharded_cfg.code,
         "p": sharded_cfg.p,
@@ -672,9 +698,11 @@ def bench_serving():
         },
         "serial": serial,
         "sharded": sharded,
+        "durable": durable,
         "speedup_sharded_vs_serial": round(
             sharded_rep.ops_per_sec / serial_rep.ops_per_sec, 2
         ),
+        "durable_overhead_pct": durable_overhead_pct,
         **equivalence,
     }
 
@@ -820,6 +848,8 @@ def serving_acceptance(serving):
         "bytes_identical": serving["bytes_identical"],
         "degraded_bytes_identical": serving["degraded_bytes_identical"],
         "verify_failures": serving["verify_failures"],
+        "durable_overhead_pct": serving["durable_overhead_pct"],
+        "durable_overhead_max_pct": SERVING_DURABLE_OVERHEAD_MAX_PCT,
     }
 
 
@@ -907,6 +937,13 @@ def check_acceptance(acceptance):
             failures.append(
                 f"serving verify_failures = "
                 f"{serving['verify_failures']}"
+            )
+        got = serving.get("durable_overhead_pct")
+        cap = serving.get("durable_overhead_max_pct")
+        if got is not None and cap is not None and got > cap:
+            failures.append(
+                f"serving durable-ack overhead {got}% above ceiling "
+                f"{cap}%"
             )
     ratios = acceptance.get("batched_vs_looped_min")
     floor = acceptance.get("batched_vs_looped_floor")
@@ -1053,7 +1090,8 @@ def main(argv=None):
             f"(p99 {serving['serial']['p99_ms']}ms -> "
             f"{serving['sharded']['p99_ms']}ms, bytes identical "
             f"{serving['bytes_identical']}/"
-            f"{serving['degraded_bytes_identical']})"
+            f"{serving['degraded_bytes_identical']}, durable-ack "
+            f"overhead {serving['durable_overhead_pct']}%)"
         )
         return finish(report, out)
 
@@ -1165,7 +1203,8 @@ def main(argv=None):
         f"(p99 {serving['serial']['p99_ms']}ms -> "
         f"{serving['sharded']['p99_ms']}ms, bytes identical "
         f"{serving['bytes_identical']}/"
-        f"{serving['degraded_bytes_identical']})"
+        f"{serving['degraded_bytes_identical']}, durable-ack "
+        f"overhead {serving['durable_overhead_pct']}%)"
     )
     return finish(report, pathlib.Path(args.out))
 

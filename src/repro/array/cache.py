@@ -117,6 +117,23 @@ class StripeCache:
         with self._lock:
             return sum(len(b) for b in self._dirty.values())
 
+    def dirty_snapshot(self) -> "Dict[int, List[Tuple[Cell, np.ndarray]]]":
+        """Point-in-time copy of the dirty map: stripe → sorted items.
+
+        Cell payloads are copied, so the snapshot stays valid while the
+        cache keeps mutating — the durable-ack shard state ledger
+        journals it as the redo image of everything acknowledged but not
+        yet destaged (:mod:`repro.serve.state`).
+        """
+        with self._lock:
+            return {
+                stripe: [
+                    (cell, value.copy())
+                    for cell, value in self._bucket_items(bucket)
+                ]
+                for stripe, bucket in self._dirty.items()
+            }
+
     def flush(self) -> int:
         """Destage every dirty stripe; returns stripes written."""
         with self._lock:

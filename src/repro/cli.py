@@ -286,6 +286,12 @@ def _serve_config(args):
         write_back=args.write_back,
         host=args.host,
         port=args.port,
+        ack=args.ack,
+        state_dir=args.state_dir,
+        recv_timeout_s=args.recv_timeout,
+        heartbeat_s=args.heartbeat,
+        max_restarts=args.max_restarts,
+        default_deadline_ms=args.deadline_ms,
     )
 
 
@@ -379,6 +385,43 @@ def cmd_bench_serve(args) -> int:
     return 1 if (report.errors or report.verify_failures) else 0
 
 
+def cmd_serve_chaos(args) -> int:
+    import json
+
+    from repro.serve.chaos import run_chaos_grid
+
+    codes = args.codes or ["dcode"]
+    primes = args.primes or [5]
+    results = run_chaos_grid(
+        codes, primes,
+        seed=args.seed,
+        shards=args.shards,
+        clients=args.clients,
+        ops_per_client=args.ops,
+        worker_kills=args.worker_kills,
+        parent_kills=args.parent_kills,
+        stalls=args.stalls,
+        evil_connections=args.evil,
+        recv_timeout_s=args.recv_timeout or 2.0,
+        deadline_ms=args.deadline_ms,
+    )
+    if args.json:
+        print(json.dumps(results, indent=2))
+    else:
+        for key, summary in results.items():
+            verdict = "PASS" if summary["passed"] else "FAIL"
+            print(
+                f"{key:>12}: {verdict}  ops={summary['ops']} "
+                f"retries={summary['retries']} "
+                f"restarts={summary['restarts']} "
+                f"kills={summary['worker_kills']}+"
+                f"{summary['parent_kills']} "
+                f"stalls={summary['stalls']} "
+                f"evil={summary['evil_frames']}"
+            )
+    return 0 if all(s["passed"] for s in results.values()) else 1
+
+
 def _add_serve_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--backend", choices=("inline", "process"),
@@ -403,6 +446,25 @@ def _add_serve_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0,
                         help="0 picks an ephemeral port")
+    parser.add_argument("--ack", choices=("buffered", "durable"),
+                        default="buffered",
+                        help="durable = acknowledge writes only after "
+                             "the shard checkpoint barrier")
+    parser.add_argument("--state-dir", default=None,
+                        help="directory for durable shard state files "
+                             "(default: fresh temp dir)")
+    parser.add_argument("--recv-timeout", type=float, default=None,
+                        help="per-batch shard reply timeout in seconds "
+                             "(default: wait forever)")
+    parser.add_argument("--heartbeat", type=float, default=0.0,
+                        help="supervisor idle-heartbeat period in "
+                             "seconds (0 = no background monitor)")
+    parser.add_argument("--max-restarts", type=int, default=8,
+                        help="shard restart budget before it is "
+                             "declared failed")
+    parser.add_argument("--deadline-ms", type=int, default=0,
+                        help="server-side default per-request deadline "
+                             "(0 = none)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -520,6 +582,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="check read bytes against a shadow image")
     p_bsrv.add_argument("--json", action="store_true")
     p_bsrv.set_defaults(func=cmd_bench_serve)
+
+    p_chaos = sub.add_parser(
+        "serve-chaos",
+        help="seeded serving chaos campaign: worker kills, stalls, "
+             "hostile frames, durability oracles",
+    )
+    p_chaos.add_argument("--codes", nargs="*",
+                         choices=sorted(available_codes()),
+                         help="codes to campaign over (default: dcode)")
+    p_chaos.add_argument("--primes", nargs="*", type=int,
+                         help="primes to campaign over (default: 5)")
+    p_chaos.add_argument("--seed", type=int, default=2015)
+    p_chaos.add_argument("--shards", type=int, default=2)
+    p_chaos.add_argument("--clients", type=int, default=4)
+    p_chaos.add_argument("--ops", type=int, default=40,
+                         help="ops per client")
+    p_chaos.add_argument("--worker-kills", type=int, default=1,
+                         help="seeded mid-batch worker self-kills")
+    p_chaos.add_argument("--parent-kills", type=int, default=1,
+                         help="parent-side SIGKILLs mid-run")
+    p_chaos.add_argument("--stalls", type=int, default=1,
+                         help="over-deadline worker stalls")
+    p_chaos.add_argument("--evil", type=int, default=4,
+                         help="hostile connections (torn/oversize/"
+                              "garbage frames)")
+    p_chaos.add_argument("--recv-timeout", type=float, default=2.0,
+                         help="per-batch shard reply timeout (s)")
+    p_chaos.add_argument("--deadline-ms", type=int, default=0,
+                         help="per-request deadline stamped by the "
+                              "load generator (0 = none)")
+    p_chaos.add_argument("--json", action="store_true")
+    p_chaos.set_defaults(func=cmd_serve_chaos)
 
     return parser
 

@@ -154,3 +154,40 @@ class JournalReplayError(ReproError):
 
 class AddressError(ReproError, ValueError):
     """A logical address or length falls outside the volume."""
+
+
+class ShardCrashedError(ReproError):
+    """A shard worker process died (EOF / broken pipe mid-batch).
+
+    Raised by :class:`~repro.serve.shard.ProcessShard` instead of leaking
+    raw :class:`EOFError` / :class:`BrokenPipeError` out of the serving
+    path.  The batch that was in flight may be partially applied; in
+    durable-ack mode none of it was acknowledged, so clients retry it
+    safely.  The :class:`~repro.serve.supervisor.SupervisedShard` catches
+    this, restarts the worker from its spec, and lets the coalescer
+    answer the affected ops with a typed RETRY status.
+    """
+
+    def __init__(self, shard: str, reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"shard worker {shard} crashed{detail}")
+        self.shard = shard
+
+
+class ShardTimeoutError(ReproError):
+    """A shard worker missed its per-batch deadline (hung or stalled).
+
+    Raised by :class:`~repro.serve.shard.ProcessShard.execute` when the
+    worker does not answer within the configured ``recv_timeout`` (or the
+    batch's propagated request deadline).  After a timeout the pipe may
+    hold a stale late reply, so the shard must be restarted before it is
+    used again — the supervisor does exactly that.
+    """
+
+    def __init__(self, shard: str, timeout_s: float):
+        super().__init__(
+            f"shard worker {shard} missed its {timeout_s:.3g}s batch "
+            f"deadline"
+        )
+        self.shard = shard
+        self.timeout_s = timeout_s

@@ -14,17 +14,39 @@ exactly the serial baseline the serving benchmark measures against.
 The single-thread executor doubles as the shard's serialisation
 guarantee (backends are never entered concurrently) while keeping the
 event loop free to accept frames during volume work.
+
+Fault semantics are *typed per batch*:
+
+* an op whose request deadline expired while it was still queued is
+  dropped before dispatch and answered DEADLINE — it never touched a
+  volume, so re-issuing it is trivially safe;
+* a batch that dies under a shard crash or batch timeout
+  (:class:`~repro.exceptions.ShardCrashedError` /
+  :class:`~repro.exceptions.ShardTimeoutError`, typically after the
+  supervisor already restarted the worker) answers every op RETRY —
+  nothing was acknowledged, clients back off and re-issue;
+* any other backend exception answers every op ERROR (a real fault,
+  not worth retrying).
+
+The tightest deadline in a batch becomes the batch's execution deadline,
+propagated into :meth:`ProcessShard.execute`'s guarded recv.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from repro.serve.protocol import ST_ERROR
+from repro.exceptions import ShardCrashedError, ShardTimeoutError
+from repro.serve.protocol import ST_DEADLINE, ST_ERROR, ST_RETRY
 from repro.serve.shard import ShardOp, ShardResult
 from repro.util.validation import require_positive
+
+#: One queued item: (op, future, absolute monotonic deadline or None).
+_Item = Tuple[ShardOp, "asyncio.Future", Optional[float]]
 
 
 class ShardQueue:
@@ -36,6 +58,8 @@ class ShardQueue:
         self.max_batch = max_batch
         self.batches = 0
         self.batched_ops = 0
+        self.retried_ops = 0
+        self.deadline_drops = 0
         self._queue: "asyncio.Queue" = asyncio.Queue()
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-shard"
@@ -49,51 +73,86 @@ class ShardQueue:
                 self._drain()
             )
 
-    def submit_nowait(self, op: ShardOp) -> "asyncio.Future":
+    def submit_nowait(
+        self, op: ShardOp, deadline: Optional[float] = None
+    ) -> "asyncio.Future":
         """Enqueue one shard-local op; the future resolves with its
         result.  Synchronous on purpose: the server's frame reader
         enqueues ops in arrival order before yielding to the loop, so
         two ops from one connection can never reorder on the way into
         a shard (the queue itself is unbounded; admission control is
-        the bound)."""
+        the bound).  ``deadline`` is an absolute ``time.monotonic()``
+        instant: an op still queued past it is answered DEADLINE
+        instead of dispatched."""
         future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((op, future))
+        self._queue.put_nowait((op, future, deadline))
         return future
 
-    async def submit(self, op: ShardOp) -> ShardResult:
+    async def submit(
+        self, op: ShardOp, deadline: Optional[float] = None
+    ) -> ShardResult:
         """Enqueue one shard-local op and await its result."""
-        return await self.submit_nowait(op)
+        return await self.submit_nowait(op, deadline)
 
     async def _drain(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            batch: List[Tuple[ShardOp, "asyncio.Future"]] = [
-                await self._queue.get()
-            ]
+            batch: List[_Item] = [await self._queue.get()]
             while len(batch) < self.max_batch:
                 try:
                     batch.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            ops = [op for op, _ in batch]
+            # expire ops whose deadline lapsed while they waited —
+            # dropped strictly before dispatch, so DEADLINE always
+            # means "never ran"
+            now = time.monotonic()
+            live: List[_Item] = []
+            for item in batch:
+                _, future, deadline = item
+                if deadline is not None and deadline <= now:
+                    self.deadline_drops += 1
+                    if not future.cancelled():
+                        future.set_result((ST_DEADLINE, b""))
+                    self._queue.task_done()
+                else:
+                    live.append(item)
+            if not live:
+                continue
+            ops = [op for op, _, _ in live]
+            deadlines = [d for _, _, d in live if d is not None]
+            batch_deadline = min(deadlines) if deadlines else None
             try:
                 results = await loop.run_in_executor(
-                    self._executor, self.backend.execute, ops
+                    self._executor,
+                    functools.partial(
+                        self.backend.execute, ops, deadline=batch_deadline
+                    ),
                 )
                 if len(results) != len(ops):  # pragma: no cover — bug guard
                     raise RuntimeError(
                         f"backend answered {len(results)} results "
                         f"for {len(ops)} ops"
                     )
+            except (ShardCrashedError, ShardTimeoutError) as exc:
+                # the supervisor (if any) already restarted the worker;
+                # nothing in this batch was acknowledged → typed RETRY
+                self.retried_ops += len(ops)
+                results = [(ST_RETRY, str(exc).encode()) for _ in ops]
             except Exception as exc:  # noqa: BLE001 — per-op ERROR fanout
                 results = [
                     (ST_ERROR, str(exc).encode()) for _ in ops
                 ]
             self.batches += 1
             self.batched_ops += len(ops)
-            for (_, future), result in zip(batch, results):
+            for (_, future, _), result in zip(live, results):
                 if not future.cancelled():
                     future.set_result(result)
+                self._queue.task_done()
+
+    async def drain(self) -> None:
+        """Wait until every op enqueued so far has been answered."""
+        await self._queue.join()
 
     async def close(self) -> None:
         """Stop draining and shut the backend down."""

@@ -36,8 +36,11 @@ from repro.serve import protocol
 from repro.serve.protocol import (
     OP_READ,
     OP_WRITE,
+    RETRYABLE,
     ST_BUSY,
+    ST_DEADLINE,
     ST_OK,
+    ST_RETRY,
     Request,
 )
 
@@ -64,6 +67,7 @@ class BlockClient:
         count: int = 0,
         payload: bytes = b"",
         tenant: int = 0,
+        deadline_ms: int = 0,
     ) -> None:
         """Buffer a request frame without flushing the transport.
 
@@ -71,7 +75,7 @@ class BlockClient:
         :meth:`flush` for the burst."""
         self._writer.write(
             protocol.encode_request(
-                Request(op, tenant, start, count, payload)
+                Request(op, tenant, start, count, payload, deadline_ms)
             )
         )
 
@@ -85,13 +89,14 @@ class BlockClient:
         count: int = 0,
         payload: bytes = b"",
         tenant: int = 0,
+        deadline_ms: int = 0,
     ) -> None:
         """Issue a request without waiting for its response.
 
         The server answers in request order per connection, so a
         pipelining caller pairs each :meth:`recv` with the oldest
         outstanding :meth:`send`."""
-        self.send_nowait(op, start, count, payload, tenant)
+        self.send_nowait(op, start, count, payload, tenant, deadline_ms)
         await self.flush()
 
     async def recv(self) -> Tuple[int, bytes]:
@@ -120,8 +125,9 @@ class BlockClient:
         count: int = 0,
         payload: bytes = b"",
         tenant: int = 0,
+        deadline_ms: int = 0,
     ) -> Tuple[int, bytes]:
-        await self.send(op, start, count, payload, tenant)
+        await self.send(op, start, count, payload, tenant, deadline_ms)
         return await self.recv()
 
     async def close(self) -> None:
@@ -140,6 +146,10 @@ class LoadReport:
     reads: int = 0
     writes: int = 0
     busy: int = 0
+    #: Ops re-issued after a typed RETRY (shard crashed / restarting).
+    retries: int = 0
+    #: Ops re-issued after the server dropped them on deadline.
+    deadline_misses: int = 0
     errors: int = 0
     verify_failures: int = 0
     bytes_read: int = 0
@@ -163,6 +173,8 @@ class LoadReport:
             "reads": self.reads,
             "writes": self.writes,
             "busy": self.busy,
+            "retries": self.retries,
+            "deadline_misses": self.deadline_misses,
             "errors": self.errors,
             "verify_failures": self.verify_failures,
             "bytes_read": self.bytes_read,
@@ -180,6 +192,8 @@ def _merge(total: LoadReport, part: LoadReport) -> None:
     total.reads += part.reads
     total.writes += part.writes
     total.busy += part.busy
+    total.retries += part.retries
+    total.deadline_misses += part.deadline_misses
     total.errors += part.errors
     total.verify_failures += part.verify_failures
     total.bytes_read += part.bytes_read
@@ -261,7 +275,9 @@ class _ClientPlan:
         return self._buf.pop()
 
     def backoff_s(self, attempt: int) -> float:
-        """BUSY backoff — drawn from the *think* stream only."""
+        """Jittered exponential backoff for any retryable status
+        (BUSY / RETRY / DEADLINE) — drawn from the *think* stream only,
+        so retry timing never perturbs the op stream."""
         cap = min(0.05, 0.001 * (2 ** min(attempt, 5)))
         return float(self.think_rng.random()) * cap
 
@@ -269,6 +285,16 @@ class _ClientPlan:
         if think_time <= 0:
             return 0.0
         return float(self.think_rng.exponential(think_time))
+
+
+def _count_retryable(report: LoadReport, status: int) -> None:
+    """Book one retryable response into its typed counter."""
+    if status == ST_BUSY:
+        report.busy += 1
+    elif status == ST_RETRY:
+        report.retries += 1
+    elif status == ST_DEADLINE:
+        report.deadline_misses += 1
 
 
 async def _run_op(
@@ -279,18 +305,21 @@ async def _run_op(
     report: LoadReport,
     verify: bool,
     tenant: int,
+    deadline_ms: int = 0,
 ) -> None:
-    """Issue one op, retrying BUSY; record latency and shadow state."""
+    """Issue one op, retrying any retryable status (BUSY / RETRY /
+    DEADLINE) with jittered backoff; record latency and shadow state."""
     op, start, count, payload = op_tuple
     attempt = 0
     t0 = time.perf_counter()
     while True:
         status, answer = await client.request(
-            op, start, count, payload, tenant=tenant
+            op, start, count, payload, tenant=tenant,
+            deadline_ms=deadline_ms,
         )
-        if status != ST_BUSY:
+        if status not in RETRYABLE:
             break
-        report.busy += 1
+        _count_retryable(report, status)
         attempt += 1
         await asyncio.sleep(plan.backoff_s(attempt))
     report.latencies_ms.append((time.perf_counter() - t0) * 1e3)
@@ -347,17 +376,20 @@ async def run_closed_loop(
     max_extent: int = 8,
     window: int = 1,
     verify: bool = True,
+    deadline_ms: int = 0,
 ) -> LoadReport:
     """N think-time clients, each keeping ``window`` ops in flight.
 
     ``window`` is the per-client queue depth (1 = strict one-at-a-time
     closed loop; real block initiators pipeline).  Requests on one
     connection complete in order, so read-your-writes holds at any
-    window — except for an op re-issued after BUSY, which re-enters
-    behind ops already in flight (verification runs therefore disable
-    rate limiting).  ``duration`` (seconds) stops issuing early without
-    changing which ops *would* be issued — the op streams stay a pure
-    function of the seed.
+    window — except for an op re-issued after a retryable status (BUSY,
+    RETRY, DEADLINE), which re-enters behind ops already in flight
+    (verification runs therefore disable rate limiting and chaos runs
+    verify via final-image equivalence instead).  ``duration`` (seconds)
+    stops issuing early without changing which ops *would* be issued —
+    the op streams stay a pure function of the seed.  ``deadline_ms``
+    stamps every request with a per-request deadline budget.
     """
     if window < 1:
         raise ValueError(f"window must be >= 1, got {window}")
@@ -397,7 +429,8 @@ async def run_closed_loop(
                         issued += 1
                     op, start, count, payload = op_tuple
                     client.send_nowait(
-                        op, start, count, payload, tenant=cid
+                        op, start, count, payload, tenant=cid,
+                        deadline_ms=deadline_ms,
                     )
                     sent += 1
                     inflight.append((op_tuple, t_first))
@@ -417,8 +450,8 @@ async def run_closed_loop(
                     blocking = False
                     status, answer = await client.recv()
                     op_tuple, t_first = inflight.pop(0)
-                    if status == ST_BUSY:
-                        report.busy += 1
+                    if status in RETRYABLE:
+                        _count_retryable(report, status)
                         attempt += 1
                         retries.append((op_tuple, t_first))
                         await asyncio.sleep(plan.backoff_s(attempt))
@@ -462,6 +495,7 @@ async def run_open_loop(
     max_extent: int = 8,
     max_inflight: int = 512,
     verify: bool = False,
+    deadline_ms: int = 0,
 ) -> LoadReport:
     """Poisson arrivals at ``rate`` ops/s total for ``duration`` seconds.
 
@@ -494,7 +528,7 @@ async def run_open_loop(
             async with locks[cid]:
                 await _run_op(
                     conns[cid], plans[cid], op_tuple, shadows[cid],
-                    total, verify, tenant=cid,
+                    total, verify, tenant=cid, deadline_ms=deadline_ms,
                 )
 
     try:
@@ -551,7 +585,7 @@ async def fetch_image(
                 status, payload = await client.request(
                     OP_READ, start, count, tenant=tenant
                 )
-                if status != ST_BUSY:
+                if status not in RETRYABLE:
                     break
                 await asyncio.sleep(0.002)
             if status != ST_OK:

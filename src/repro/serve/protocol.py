@@ -3,17 +3,27 @@
 A frame is a 4-byte big-endian body length followed by the body.
 Request bodies open with a fixed header::
 
-    !BHQI  =  op (u8) | tenant (u16) | start (u64) | count (u32)
+    !BHQIH  =  op (u8) | tenant (u16) | start (u64) | count (u32)
+               | deadline_ms (u16)
 
 followed by the payload (``count * element_size`` bytes for WRITE,
-empty otherwise).  Response bodies open with a status byte (OK / BUSY /
-ERROR) followed by the response payload — read data for READ, UTF-8
-JSON for SCRUB / STAT, a UTF-8 message for ERROR, empty for BUSY.
+empty otherwise).  ``deadline_ms`` is the client's per-request deadline
+budget (0 = none): the server converts it to an absolute deadline on
+arrival and drops the op with a typed DEADLINE response if it is still
+queued when the budget runs out — bounded waiting instead of silent
+queueing collapse.  Response bodies open with a status byte (OK / BUSY /
+ERROR / RETRY / DEADLINE) followed by the response payload — read data
+for READ, UTF-8 JSON for SCRUB / STAT, a UTF-8 message for ERROR and
+RETRY, empty for BUSY and DEADLINE.
 
 The admin op FAIL_DISK reuses the header fields: ``start`` is the shard
-index, ``count`` the disk index inside that shard.  BUSY is a *typed*
-response, not an error: admission control answers it in O(1) without
-touching a volume, and well-behaved clients back off and retry.
+index, ``count`` the disk index inside that shard.  BUSY, RETRY and
+DEADLINE are *typed* responses, not errors: admission control answers
+BUSY in O(1) without touching a volume; RETRY means a shard worker
+crashed or stalled mid-batch and is being restarted (the op did not
+acknowledge — re-issuing it is safe); DEADLINE means the op was dropped
+before dispatch.  Well-behaved clients back off (with jitter) and
+retry all three.
 """
 
 from __future__ import annotations
@@ -42,9 +52,30 @@ OP_NAMES = {
 ST_OK = 0
 ST_BUSY = 1
 ST_ERROR = 2
+#: Transient server-side failure (shard crashed / restarting): the op
+#: was *not* acknowledged and re-issuing it is safe and expected.
+ST_RETRY = 3
+#: The request's deadline expired while it was still queued; it was
+#: dropped before touching a volume.
+ST_DEADLINE = 4
+
+ST_NAMES = {
+    ST_OK: "ok",
+    ST_BUSY: "busy",
+    ST_ERROR: "error",
+    ST_RETRY: "retry",
+    ST_DEADLINE: "deadline",
+}
+
+#: Statuses a client may re-issue the same op for (the server guarantees
+#: the op either never ran or is idempotent to repeat).
+RETRYABLE = frozenset({ST_BUSY, ST_RETRY, ST_DEADLINE})
+
+#: Cap on the per-request deadline field (u16 milliseconds).
+MAX_DEADLINE_MS = 0xFFFF
 
 _LEN = struct.Struct("!I")
-HEADER = struct.Struct("!BHQI")
+HEADER = struct.Struct("!BHQIH")
 
 #: Upper bound on a frame body; a corrupt or hostile length prefix must
 #: not make the server allocate gigabytes.  64 MiB comfortably covers
@@ -65,19 +96,23 @@ class Request:
     start: int
     count: int
     payload: bytes = b""
+    #: Per-request deadline budget in milliseconds (0 = no deadline).
+    deadline_ms: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover — debugging aid
         name = OP_NAMES.get(self.op, f"op{self.op}")
         return (
             f"<Request {name} tenant={self.tenant} "
             f"[{self.start}, {self.start + self.count}) "
-            f"payload={len(self.payload)}B>"
+            f"payload={len(self.payload)}B deadline={self.deadline_ms}ms>"
         )
 
 
 def encode_request(req: Request) -> bytes:
     """Serialise ``req`` to a full frame (length prefix included)."""
-    body = HEADER.pack(req.op, req.tenant, req.start, req.count)
+    body = HEADER.pack(
+        req.op, req.tenant, req.start, req.count, req.deadline_ms
+    )
     body += req.payload
     return _LEN.pack(len(body)) + body
 
@@ -88,10 +123,12 @@ def decode_request(body: bytes) -> Request:
         raise ProtocolError(
             f"request body too short: {len(body)} < {HEADER.size}"
         )
-    op, tenant, start, count = HEADER.unpack_from(body)
+    op, tenant, start, count, deadline_ms = HEADER.unpack_from(body)
     if op not in OP_NAMES:
         raise ProtocolError(f"unknown opcode {op}")
-    return Request(op, tenant, start, count, bytes(body[HEADER.size:]))
+    return Request(
+        op, tenant, start, count, bytes(body[HEADER.size:]), deadline_ms
+    )
 
 
 def encode_response(status: int, payload: bytes = b"") -> bytes:

@@ -14,12 +14,24 @@ Process-backed shards must be forked **before** the event loop exists
 internal wakeup pipes into the child.  ``python -m repro serve`` and
 the benchmarks follow that order: build backends, then
 ``asyncio.run(...)``.
+
+Fault tolerance is layered on without changing the data path:
+process-backed shards are wrapped in a
+:class:`~repro.serve.supervisor.SupervisedShard` (health checks,
+restart-from-spec, typed RETRY on crash), ``ack="durable"`` gives every
+shard a crash-safe state file so acknowledged writes survive ``kill
+-9``, per-request deadlines bound queueing, and ``close()`` drains the
+shard queues before tearing them down so a graceful shutdown never
+drops accepted work.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
+import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -27,20 +39,24 @@ from repro.codes.registry import make_code
 from repro.serve import protocol
 from repro.serve.coalescer import ShardQueue
 from repro.serve.protocol import (
+    MAX_DEADLINE_MS,
     OP_FAIL_DISK,
     OP_READ,
     OP_SCRUB,
     OP_STAT,
     OP_WRITE,
     ST_BUSY,
+    ST_DEADLINE,
     ST_ERROR,
     ST_OK,
+    ST_RETRY,
     ProtocolError,
     Request,
 )
 from repro.serve.qos import AdmissionControl
 from repro.serve.router import ShardRouter
-from repro.serve.shard import BACKENDS, ShardSpec
+from repro.serve.shard import BACKENDS, InlineShard, ShardSpec
+from repro.serve.supervisor import SupervisedShard
 from repro.util.validation import require_positive
 
 
@@ -65,6 +81,26 @@ class ServerConfig:
     burst: Optional[float] = None
     host: str = "127.0.0.1"
     port: int = 0                    # 0 = ephemeral
+    #: "buffered" acks a WRITE once it reaches the shard cache;
+    #: "durable" acks only after the shard's checkpoint barrier
+    #: (ack-intent ledger + atomic snapshot), so acked writes survive
+    #: ``kill -9`` of a worker.
+    ack: str = "buffered"
+    #: Directory for per-shard crash-safe state files (durable mode);
+    #: None = a fresh temporary directory per :func:`make_backends`.
+    state_dir: Optional[str] = None
+    #: Wrap process backends in a supervisor (health checks + restart).
+    #: None = yes exactly when the backend is process-based.
+    supervise: Optional[bool] = None
+    #: Per-batch worker reply timeout (None = wait forever).
+    recv_timeout_s: Optional[float] = None
+    #: Supervisor idle-heartbeat period (0 = no background monitor).
+    heartbeat_s: float = 0.0
+    #: Restart budget before a shard is declared failed.
+    max_restarts: int = 8
+    #: Server-side default deadline applied to requests that carry none
+    #: (0 = none).
+    default_deadline_ms: int = 0
 
     def __post_init__(self) -> None:
         require_positive(self.shards, "shards")
@@ -73,8 +109,31 @@ class ServerConfig:
                 f"backend must be one of {sorted(BACKENDS)}, "
                 f"got {self.backend!r}"
             )
+        if self.ack not in ("buffered", "durable"):
+            raise ValueError(
+                f"ack must be 'buffered' or 'durable', got {self.ack!r}"
+            )
+        if not 0 <= self.default_deadline_ms <= MAX_DEADLINE_MS:
+            raise ValueError(
+                f"default_deadline_ms must be in [0, {MAX_DEADLINE_MS}]"
+            )
+        if self.recv_timeout_s is not None and self.recv_timeout_s <= 0:
+            raise ValueError("recv_timeout_s must be positive or None")
+        require_positive(self.max_restarts, "max_restarts")
 
-    def shard_spec(self) -> ShardSpec:
+    @property
+    def durable(self) -> bool:
+        return self.ack == "durable"
+
+    @property
+    def supervised(self) -> bool:
+        if self.supervise is not None:
+            return self.supervise
+        return self.backend == "process"
+
+    def shard_spec(self, shard: int = 0, state_dir: Optional[str] = None) \
+            -> ShardSpec:
+        state_dir = state_dir if state_dir is not None else self.state_dir
         return ShardSpec(
             code=self.code,
             p=self.p,
@@ -85,6 +144,11 @@ class ServerConfig:
             cache_stripes=self.cache_stripes,
             evict_batch=self.evict_batch,
             write_back=self.write_back,
+            durable=self.durable,
+            state_path=(
+                os.path.join(state_dir, f"shard-{shard}.npz")
+                if self.durable and state_dir is not None else None
+            ),
         )
 
     def router(self) -> ShardRouter:
@@ -92,10 +156,39 @@ class ServerConfig:
         return ShardRouter(self.shards, self.stripes_per_shard * per)
 
 
-def make_backends(config: ServerConfig) -> List[object]:
-    """Build the shard backends (fork happens here, pre-loop)."""
+def make_backends(
+    config: ServerConfig, state_dir: Optional[str] = None
+) -> List[object]:
+    """Build the shard backends (fork happens here, pre-loop).
+
+    Process backends come back supervised unless ``config.supervise``
+    says otherwise.  Durable mode needs a state directory; when the
+    config names none, a fresh temporary directory is created so every
+    pool gets private snapshots.
+    """
+    state_dir = state_dir or config.state_dir
+    if config.durable and state_dir is None:
+        state_dir = tempfile.mkdtemp(prefix="repro-shard-state-")
+    specs = [
+        config.shard_spec(i, state_dir=state_dir)
+        for i in range(config.shards)
+    ]
+    if config.backend == "inline":
+        return [InlineShard(spec) for spec in specs]
+    if config.supervised:
+        return [
+            SupervisedShard(
+                spec,
+                recv_timeout=config.recv_timeout_s,
+                heartbeat_s=config.heartbeat_s,
+                max_restarts=config.max_restarts,
+            )
+            for spec in specs
+        ]
     cls = BACKENDS[config.backend]
-    return [cls(config.shard_spec()) for _ in range(config.shards)]
+    return [
+        cls(spec, recv_timeout=config.recv_timeout_s) for spec in specs
+    ]
 
 
 class BlockServer:
@@ -125,6 +218,8 @@ class BlockServer:
         self.ops = 0
         self.busy = 0
         self.errors = 0
+        self.retried = 0
+        self.deadline_misses = 0
         self._server: Optional[asyncio.AbstractServer] = None
 
     # -- lifecycle -------------------------------------------------------------
@@ -143,11 +238,24 @@ class BlockServer:
         host, port = self._server.sockets[0].getsockname()[:2]
         return host, port
 
-    async def close(self) -> None:
+    async def close(self, drain: bool = True) -> None:
+        """Stop the listener and shut the shard pool down.
+
+        With ``drain=True`` (the default — a *graceful* shutdown) every
+        op already accepted onto a shard queue is executed and answered
+        before the queues stop, and each backend's ``close`` then
+        flushes its cache (and, in durable mode, takes a final
+        checkpoint) — accepted work is never silently dropped.
+        ``drain=False`` is the hard-stop path: queued ops are abandoned
+        where they sit.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if drain:
+            for queue in self.queues:
+                await queue.drain()
         for queue in self.queues:
             await queue.close()
         self.queues = []
@@ -191,6 +299,10 @@ class BlockServer:
             await pending.put(None)
             try:
                 await responder
+            except asyncio.CancelledError:
+                # loop teardown cancelled the responder mid-drain; the
+                # connection is going away regardless
+                pass
             except Exception:  # noqa: BLE001 — connection teardown
                 pass
             writer.close()
@@ -220,6 +332,12 @@ class BlockServer:
                         f"payload of {len(req.payload)} bytes != "
                         f"{req.count} x {esize}"
                     )
+                # the wire deadline is a relative budget; fix it to an
+                # absolute instant at admission so queueing time counts
+                ms = req.deadline_ms or self.config.default_deadline_ms
+                deadline = (
+                    time.monotonic() + ms / 1000.0 if ms else None
+                )
                 futures = []
                 for shard, local, take, offset in self.router.split(
                     req.start, req.count
@@ -232,7 +350,7 @@ class BlockServer:
                     )
                     futures.append(
                         self.queues[shard].submit_nowait(
-                            (req.op, local, take, chunk)
+                            (req.op, local, take, chunk), deadline
                         )
                     )
                 return ("gather", req, futures)
@@ -332,6 +450,10 @@ class BlockServer:
                 self.busy += 1
             elif status == ST_ERROR:
                 self.errors += 1
+            elif status == ST_RETRY:
+                self.retried += 1
+            elif status == ST_DEADLINE:
+                self.deadline_misses += 1
             if alive:
                 buf.append(protocol.encode_response(status, payload))
                 if len(buf) >= 256:
@@ -342,12 +464,19 @@ class BlockServer:
     def stats(self) -> dict:
         batches = sum(q.batches for q in self.queues)
         batched = sum(q.batched_ops for q in self.queues)
+        restarts = sum(
+            getattr(b, "restarts", 0) for b in self.backends
+        )
         return {
             "ops": self.ops,
             "busy": self.busy,
             "errors": self.errors,
+            "retried": self.retried,
+            "deadline_misses": self.deadline_misses,
+            "restarts": restarts,
             "shards": self.config.shards,
             "backend": self.config.backend,
+            "ack": self.config.ack,
             "max_batch": self.config.max_batch,
             "batches": batches,
             "avg_batch": (batched / batches) if batches else 0.0,

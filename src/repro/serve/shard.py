@@ -15,16 +15,43 @@ concurrently.  Cross-shard concurrency needs no coordination at all —
 shards own disjoint volumes.
 
 The process backend speaks length-delimited pickles over a
-:class:`multiprocessing.Pipe`.  Worker faults come back as a typed
-``("__shard_error__", traceback)`` marker rather than a torn pipe, so
-the server can answer ERROR frames and keep serving other shards.
+:class:`multiprocessing.Pipe`.  Worker faults come back **typed**:
+
+* an in-batch Python error arrives as a ``("__shard_error__", tb)``
+  marker and raises :class:`RuntimeError` with the worker traceback;
+* a dead worker (EOF / broken pipe) raises
+  :class:`~repro.exceptions.ShardCrashedError`;
+* a worker that misses the per-batch deadline (``recv_timeout`` or the
+  propagated request deadline) raises
+  :class:`~repro.exceptions.ShardTimeoutError` — after which the pipe
+  may hold a stale late reply, so the shard must be restarted
+  (:meth:`ProcessShard.restart`) before reuse.  The
+  :class:`~repro.serve.supervisor.SupervisedShard` automates both.
+
+An **empty batch is a heartbeat**: the worker answers ``[]`` without
+touching the volume, which is how the supervisor pings a quiet worker
+through the very pipe traffic travels on.
+
+With ``durable=True`` the worker acknowledges a writing batch only
+after the :class:`~repro.serve.state.ShardStateStore` checkpoint
+(ack-intent ledger sync + atomic snapshot), so acknowledged writes
+survive ``kill -9``; a restarted worker reloads the snapshot and
+replays the ledger through mount-time journal recovery.
+
+The ``chaos_*`` spec fields are the seeded fault hooks the serving
+chaos harness (:mod:`repro.serve.chaos`) drives: a worker can SIGKILL
+itself or stall mid-batch at an exact op count, which makes "worker
+dies between op 17 and 18" a deterministic, replayable event.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import signal
+import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -32,7 +59,12 @@ import numpy as np
 from repro.array import RAID6Volume
 from repro.array.cache import StripeCache
 from repro.codes.registry import make_code
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    ReproError,
+    ShardCrashedError,
+    ShardTimeoutError,
+)
+from repro.journal.intent import WriteIntentLog
 from repro.serve.protocol import (
     OP_FAIL_DISK,
     OP_READ,
@@ -63,6 +95,13 @@ class ShardSpec:
     the dirty overlay.  ``write_back=False`` is the naive baseline:
     every op goes straight to the volume, one parity round-trip per
     write.
+
+    ``durable=True`` attaches a write-intent journal and, combined with
+    a ``state_path``, makes the worker checkpoint through a
+    :class:`~repro.serve.state.ShardStateStore` before acknowledging
+    writes.  The ``chaos_*`` fields are one-shot seeded fault hooks
+    (cleared by :meth:`ProcessShard.restart`, so a restarted worker
+    does not re-die at the same op count).
     """
 
     code: str = "dcode"
@@ -74,30 +113,77 @@ class ShardSpec:
     cache_stripes: int = 16
     evict_batch: int = 4
     write_back: bool = True
+    #: Durable-ack mode: journaled volume + checkpoint-before-ack.
+    durable: bool = False
+    #: Snapshot file for this shard's crash-safe state (durable mode).
+    state_path: Optional[str] = None
+    #: Chaos: SIGKILL the worker just before executing this (1-based)
+    #: lifetime op — a deterministic mid-batch worker death.
+    chaos_kill_after_ops: Optional[int] = None
+    #: Chaos: stall ``chaos_stall_s`` seconds before executing this
+    #: lifetime op (a pipe stall / slow shard, depending on whether the
+    #: stall exceeds the parent's batch deadline).
+    chaos_stall_after_ops: Optional[int] = None
+    chaos_stall_s: float = 0.0
 
-    def build(self) -> Tuple[RAID6Volume, Optional[StripeCache]]:
-        volume = RAID6Volume(
+    def build_volume(self) -> RAID6Volume:
+        return RAID6Volume(
             make_code(self.code, self.p),
             num_stripes=self.num_stripes,
             element_size=self.element_size,
             workers=self.workers,
             process_pool=self.process_pool,
+            journal=WriteIntentLog() if self.durable else None,
         )
-        cache = (
-            StripeCache(
-                volume,
-                max_dirty_stripes=self.cache_stripes,
-                evict_batch=self.evict_batch,
-            )
-            if self.write_back else None
+
+    def build_cache(self, volume: RAID6Volume) -> Optional[StripeCache]:
+        if not self.write_back:
+            return None
+        return StripeCache(
+            volume,
+            max_dirty_stripes=self.cache_stripes,
+            evict_batch=self.evict_batch,
         )
-        return volume, cache
+
+    def build(self) -> Tuple[RAID6Volume, Optional[StripeCache]]:
+        volume = self.build_volume()
+        return volume, self.build_cache(volume)
+
+    def sans_chaos(self) -> "ShardSpec":
+        """The spec with its one-shot chaos hooks cleared (for restart)."""
+        if (
+            self.chaos_kill_after_ops is None
+            and self.chaos_stall_after_ops is None
+        ):
+            return self
+        return replace(
+            self, chaos_kill_after_ops=None, chaos_stall_after_ops=None
+        )
+
+
+class _ChaosHook:
+    """Seeded per-op fault hook a worker runs before each op."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.kill_at = spec.chaos_kill_after_ops
+        self.stall_at = spec.chaos_stall_after_ops
+        self.stall_s = spec.chaos_stall_s
+        self.ops = 0
+
+    def __call__(self) -> None:
+        self.ops += 1
+        if self.stall_at is not None and self.ops == self.stall_at:
+            time.sleep(self.stall_s)
+        if self.kill_at is not None and self.ops == self.kill_at:
+            # a real kill -9: no flush, no farewell frame, no cleanup
+            os.kill(os.getpid(), signal.SIGKILL)
 
 
 def execute_ops(
     volume: RAID6Volume,
     cache: Optional[StripeCache],
     ops: List[ShardOp],
+    op_hook=None,
 ) -> List[ShardResult]:
     """Run one coalesced batch of shard-local ops in arrival order.
 
@@ -107,9 +193,13 @@ def execute_ops(
     sees it without forcing a destage.  Without a cache every op goes
     straight to the volume (the uncoalesced baseline).  Per-op
     failures answer that op with ERROR and keep the batch going.
+    ``op_hook`` (chaos) runs before each op and may kill or stall the
+    process — which is the point.
     """
     results: List[ShardResult] = []
     for op, start, count, payload in ops:
+        if op_hook is not None:
+            op_hook()
         try:
             if op == OP_READ:
                 data = (
@@ -151,6 +241,14 @@ def execute_ops(
                 }
                 results.append((ST_OK, json.dumps(stat).encode()))
             elif op == OP_FAIL_DISK:
+                # validate before touching anything: an out-of-range
+                # index must answer a typed per-op ERROR, never escape
+                # the batch as an unhandled exception
+                if not 0 <= count < len(volume.disks):
+                    raise ReproError(
+                        f"disk {count} outside array of "
+                        f"{len(volume.disks)} disks"
+                    )
                 if cache is not None:
                     cache.flush()
                 volume.fail_disk(count)
@@ -159,29 +257,61 @@ def execute_ops(
                 results.append(
                     (ST_ERROR, f"unknown shard op {op}".encode())
                 )
-        except (ReproError, ValueError) as exc:
+        except (ReproError, ValueError, IndexError) as exc:
             results.append((ST_ERROR, str(exc).encode()))
     return results
+
+
+def _batch_writes(ops: List[ShardOp]) -> bool:
+    """Whether a batch contains any state-changing op (needs an ack
+    barrier in durable mode)."""
+    return any(op in (OP_WRITE, OP_FAIL_DISK) for op, _, _, _ in ops)
 
 
 class InlineShard:
     """Shard backend living in the serving process."""
 
     def __init__(self, spec: ShardSpec) -> None:
-        self.spec = spec
-        self.volume, self.cache = spec.build()
+        from repro.serve.state import build_shard_state
 
-    def execute(self, ops: List[ShardOp]) -> List[ShardResult]:
-        return execute_ops(self.volume, self.cache, ops)
+        self.spec = spec
+        self.volume, self.cache, self.state, self.recovery = (
+            build_shard_state(spec)
+        )
+
+    def execute(
+        self, ops: List[ShardOp], deadline: Optional[float] = None
+    ) -> List[ShardResult]:
+        results = execute_ops(self.volume, self.cache, ops)
+        if self.state is not None and _batch_writes(ops):
+            self.state.checkpoint()
+        return results
 
     def close(self) -> None:
         if self.cache is not None:
             self.cache.flush()
+        if self.state is not None:
+            self.state.checkpoint()
 
 
 def _shard_worker(conn, spec: ShardSpec) -> None:  # pragma: no cover — child
-    """Worker-process loop: recv a batch, execute, send the results."""
-    volume, cache = spec.build()
+    """Worker-process loop: recv a batch, execute, send the results.
+
+    Durable mode checkpoints (ledger sync + atomic snapshot) after every
+    writing batch *before* answering — the ack barrier.  An empty batch
+    answers ``[]`` immediately (heartbeat).  The chaos hook may SIGKILL
+    or stall the process mid-batch; that is the fault the parent-side
+    deadline + supervisor machinery exists to absorb.
+    """
+    from repro.serve.state import build_shard_state
+
+    volume, cache, state, _ = build_shard_state(spec)
+    hook = (
+        _ChaosHook(spec)
+        if spec.chaos_kill_after_ops is not None
+        or spec.chaos_stall_after_ops is not None
+        else None
+    )
     while True:
         try:
             msg = conn.recv()
@@ -190,10 +320,18 @@ def _shard_worker(conn, spec: ShardSpec) -> None:  # pragma: no cover — child
         if msg is None:
             if cache is not None:
                 cache.flush()
+            if state is not None:
+                state.checkpoint()
             conn.send(None)
             break
+        if msg == []:  # heartbeat: prove liveness without volume work
+            conn.send([])
+            continue
         try:
-            conn.send(execute_ops(volume, cache, msg))
+            results = execute_ops(volume, cache, msg, op_hook=hook)
+            if state is not None and _batch_writes(msg):
+                state.checkpoint()
+            conn.send(results)
         except BaseException:  # noqa: BLE001 — marshalled to the parent
             conn.send((WORKER_ERROR, traceback.format_exc()))
     conn.close()
@@ -207,12 +345,30 @@ class ProcessShard:
     duplicates its internal pipes into the child.  The child builds its
     own volume from the picklable spec, so no stripe state crosses the
     process boundary — only op tuples and result bytes.
+
+    ``recv_timeout`` bounds how long one batch may take before
+    :meth:`execute` gives up with a typed
+    :class:`~repro.exceptions.ShardTimeoutError` — a hung worker can no
+    longer wedge the coalescer thread forever.  After a timeout (or a
+    crash) call :meth:`restart`: it hard-kills the incarnation, clears
+    any one-shot chaos hooks from the spec, and forks a fresh worker —
+    which, in durable mode, reloads the last checkpoint and replays the
+    ack-intent ledger.
     """
 
-    def __init__(self, spec: ShardSpec) -> None:
+    def __init__(
+        self,
+        spec: ShardSpec,
+        recv_timeout: Optional[float] = None,
+    ) -> None:
+        self.spec = spec
+        self.recv_timeout = recv_timeout
+        self.restarts = 0
+        self._spawn(spec)
+
+    def _spawn(self, spec: ShardSpec) -> None:
         import multiprocessing
 
-        self.spec = spec
         ctx = multiprocessing.get_context("fork")
         self._conn, child = ctx.Pipe()
         self._proc = ctx.Process(
@@ -221,9 +377,51 @@ class ProcessShard:
         self._proc.start()
         child.close()
 
-    def execute(self, ops: List[ShardOp]) -> List[ShardResult]:
-        self._conn.send(ops)
-        reply = self._conn.recv()
+    def _name(self) -> str:
+        return f"pid={self._proc.pid}"
+
+    def _recv(self, timeout: Optional[float]):
+        """One guarded reply read: poll within the deadline, then recv."""
+        if timeout is not None:
+            deadline = time.monotonic() + timeout
+            remaining = timeout
+            while True:
+                try:
+                    if self._conn.poll(max(remaining, 0.0)):
+                        break
+                except (BrokenPipeError, OSError) as exc:
+                    raise ShardCrashedError(self._name(), str(exc)) from exc
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ShardTimeoutError(self._name(), timeout)
+        try:
+            return self._conn.recv()
+        except EOFError as exc:
+            raise ShardCrashedError(
+                self._name(), "worker closed the pipe mid-batch"
+            ) from exc
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardCrashedError(self._name(), str(exc)) from exc
+
+    def _timeout_for(self, deadline: Optional[float]) -> Optional[float]:
+        """Effective batch timeout: recv_timeout ∧ remaining deadline."""
+        timeout = self.recv_timeout
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            timeout = (
+                remaining if timeout is None else min(timeout, remaining)
+            )
+            timeout = max(timeout, 0.001)
+        return timeout
+
+    def execute(
+        self, ops: List[ShardOp], deadline: Optional[float] = None
+    ) -> List[ShardResult]:
+        try:
+            self._conn.send(ops)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardCrashedError(self._name(), str(exc)) from exc
+        reply = self._recv(self._timeout_for(deadline))
         if (
             isinstance(reply, tuple)
             and len(reply) == 2
@@ -232,14 +430,60 @@ class ProcessShard:
             raise RuntimeError(f"shard worker failed:\n{reply[1]}")
         return reply
 
+    def ping(self, timeout: Optional[float] = None) -> None:
+        """Heartbeat: an empty batch must echo back within ``timeout``.
+
+        Raises the same typed errors as :meth:`execute`; a reply other
+        than ``[]`` means the pipe is desynchronised (stale late reply
+        after a timeout), which also counts as a crash.
+        """
+        try:
+            self._conn.send([])
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardCrashedError(self._name(), str(exc)) from exc
+        reply = self._recv(timeout if timeout is not None
+                           else self.recv_timeout)
+        if reply != []:
+            raise ShardCrashedError(
+                self._name(), f"heartbeat answered {type(reply).__name__}"
+            )
+
+    def alive(self) -> bool:
+        return self._proc.is_alive()
+
+    def kill(self) -> None:
+        """Chaos hook: SIGKILL the worker from the parent side."""
+        self._proc.kill()
+
+    def restart(self) -> None:
+        """Hard-kill the incarnation and fork a fresh worker.
+
+        One-shot chaos hooks are cleared so the replacement does not
+        re-die at the same op count; in durable mode the replacement
+        reloads the last checkpoint and replays the ack-intent ledger
+        via mount-time recovery.
+        """
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover — already torn
+            pass
+        if self._proc.is_alive():
+            self._proc.kill()
+        self._proc.join(timeout=10)
+        self.restarts += 1
+        self._spawn(self.spec.sans_chaos())
+
     def close(self) -> None:
         if self._proc.is_alive():
             try:
                 self._conn.send(None)
-                self._conn.recv()
-            except (BrokenPipeError, EOFError, OSError):
+                self._recv(self.recv_timeout)
+            except (ShardCrashedError, ShardTimeoutError, OSError):
                 pass
-        self._conn.close()
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover — already torn
+            pass
         self._proc.join(timeout=10)
         if self._proc.is_alive():  # pragma: no cover — stuck worker
             self._proc.terminate()

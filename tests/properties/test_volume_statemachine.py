@@ -71,12 +71,24 @@ class VolumeMachine(RuleBasedStateMachine):
         self.volume.scrub_and_repair()
         self.latent = 0
 
+    def _reconcile(self):
+        """Adopt policy-driven escalations into the model.
+
+        Healing reads and scrub repairs count errors per disk, and the
+        escalation ladder proactively fails a disk that keeps sourcing
+        latent faults — the model must track those failures exactly like
+        explicit ``fail_disk`` calls, or later rules fire against a
+        volume that is quietly DEGRADED.
+        """
+        self.failed |= set(self.volume.failed_disks)
+
     # -- invariants ---------------------------------------------------------
 
     @invariant()
     def reads_match_shadow(self):
         if not hasattr(self, "volume"):
             return
+        self._reconcile()
         got = self.volume.read(0, self.volume.num_elements)
         assert np.array_equal(got, self.shadow)
 
@@ -84,6 +96,7 @@ class VolumeMachine(RuleBasedStateMachine):
     def parity_clean_when_healthy(self):
         if not hasattr(self, "volume"):
             return
+        self._reconcile()
         if not self.failed and self.latent == 0:
             assert self.volume.scrub() == []
 

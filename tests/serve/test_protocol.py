@@ -45,7 +45,7 @@ class TestRequestRoundTrip:
             protocol.decode_request(b"\x01\x02")
 
     def test_unknown_opcode_rejected(self):
-        body = HEADER.pack(99, 0, 0, 0)
+        body = HEADER.pack(99, 0, 0, 0, 0)
         with pytest.raises(ProtocolError, match="unknown opcode"):
             protocol.decode_request(body)
 

@@ -1,0 +1,236 @@
+"""Shard supervision: typed crash/timeout errors, restart, durability."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ReproError,
+    ShardCrashedError,
+    ShardTimeoutError,
+)
+from repro.serve.protocol import OP_READ, OP_WRITE, ST_ERROR, ST_OK
+from repro.serve.shard import ProcessShard, ShardSpec
+from repro.serve.supervisor import SupervisedShard
+
+SPEC = ShardSpec(code="dcode", p=5, num_stripes=8, element_size=32)
+
+
+def write_op(start, payload):
+    return (OP_WRITE, start, len(payload) // 32, payload)
+
+
+class TestProcessShardTypedErrors:
+    def test_killed_worker_raises_shard_crashed(self):
+        shard = ProcessShard(SPEC)
+        try:
+            shard.kill()
+            with pytest.raises(ShardCrashedError):
+                # either the send or the guarded recv notices the corpse
+                for _ in range(3):
+                    shard.execute([(OP_READ, 0, 1, b"")])
+        finally:
+            shard.close()
+
+    def test_mid_batch_death_raises_shard_crashed(self):
+        spec = ShardSpec(
+            code="dcode", p=5, num_stripes=8, element_size=32,
+            chaos_kill_after_ops=2,
+        )
+        shard = ProcessShard(spec)
+        try:
+            with pytest.raises(ShardCrashedError):
+                shard.execute([(OP_READ, 0, 1, b"")] * 4)
+        finally:
+            shard.close()
+
+    def test_stalled_worker_raises_shard_timeout(self):
+        spec = ShardSpec(
+            code="dcode", p=5, num_stripes=8, element_size=32,
+            chaos_stall_after_ops=1, chaos_stall_s=30.0,
+        )
+        shard = ProcessShard(spec, recv_timeout=0.2)
+        try:
+            with pytest.raises(ShardTimeoutError):
+                shard.execute([(OP_READ, 0, 1, b"")])
+        finally:
+            shard.kill()
+            shard.close()
+
+    def test_restart_clears_chaos_and_serves(self):
+        spec = ShardSpec(
+            code="dcode", p=5, num_stripes=8, element_size=32,
+            chaos_kill_after_ops=1,
+        )
+        shard = ProcessShard(spec)
+        try:
+            with pytest.raises(ShardCrashedError):
+                shard.execute([(OP_READ, 0, 1, b"")])
+            shard.restart()
+            assert shard.restarts == 1
+            results = shard.execute([(OP_READ, 0, 1, b"")])
+            assert results[0][0] == ST_OK
+        finally:
+            shard.close()
+
+    def test_ping_round_trips(self):
+        shard = ProcessShard(SPEC)
+        try:
+            shard.ping(timeout=5.0)
+        finally:
+            shard.close()
+
+    def test_ping_dead_worker_raises(self):
+        shard = ProcessShard(SPEC)
+        try:
+            shard.kill()
+            with pytest.raises(ShardCrashedError):
+                for _ in range(3):
+                    shard.ping(timeout=5.0)
+        finally:
+            shard.close()
+
+
+class TestSupervisedShard:
+    def test_crash_restarts_then_reraises(self):
+        spec = ShardSpec(
+            code="dcode", p=5, num_stripes=8, element_size=32,
+            chaos_kill_after_ops=1,
+        )
+        sup = SupervisedShard(spec, max_restarts=4)
+        try:
+            with pytest.raises(ShardCrashedError):
+                sup.execute([(OP_READ, 0, 1, b"")])
+            assert sup.restarts == 1
+            assert sup.crashes == 1
+            # the replacement worker serves the retried batch
+            results = sup.execute([(OP_READ, 0, 1, b"")])
+            assert results[0][0] == ST_OK
+        finally:
+            sup.close()
+
+    def test_timeout_restarts_then_reraises(self):
+        spec = ShardSpec(
+            code="dcode", p=5, num_stripes=8, element_size=32,
+            chaos_stall_after_ops=1, chaos_stall_s=30.0,
+        )
+        sup = SupervisedShard(spec, recv_timeout=0.2, max_restarts=4)
+        try:
+            with pytest.raises(ShardTimeoutError):
+                sup.execute([(OP_READ, 0, 1, b"")])
+            assert sup.timeouts == 1
+            assert sup.restarts == 1
+            results = sup.execute([(OP_READ, 0, 1, b"")])
+            assert results[0][0] == ST_OK
+        finally:
+            sup.close()
+
+    def test_restart_budget_exhaustion_fails_plain(self):
+        sup = SupervisedShard(SPEC, max_restarts=2)
+        try:
+            for _ in range(2):
+                sup.kill()
+                with pytest.raises(
+                    (ShardCrashedError, ShardTimeoutError)
+                ):
+                    sup.execute([(OP_READ, 0, 1, b"")])
+            assert sup.failed
+            with pytest.raises(ReproError, match="restart budget"):
+                sup.execute([(OP_READ, 0, 1, b"")])
+        finally:
+            sup.close()
+
+    def test_check_detects_and_replaces_dead_worker(self):
+        sup = SupervisedShard(SPEC, max_restarts=4)
+        try:
+            assert sup.check() is True
+            sup.kill()
+            # the kill may need a moment to reap; check() must
+            # eventually notice and restart
+            for _ in range(50):
+                if sup.check() is False:
+                    break
+            assert sup.restarts >= 1
+            assert sup.check() is True
+        finally:
+            sup.close()
+
+
+class TestDurableRestart:
+    def test_acked_writes_survive_kill(self, tmp_path):
+        spec = ShardSpec(
+            code="dcode", p=5, num_stripes=8, element_size=32,
+            durable=True, state_path=str(tmp_path / "shard.npz"),
+            cache_stripes=4,
+        )
+        sup = SupervisedShard(spec, max_restarts=4)
+        rng = np.random.default_rng(7)
+        payload = rng.integers(0, 256, 5 * 32, dtype=np.uint8).tobytes()
+        try:
+            results = sup.execute([write_op(3, payload)])
+            assert results[0][0] == ST_OK   # ack implies durable
+            sup.kill()
+            with pytest.raises(ShardCrashedError):
+                sup.execute([(OP_READ, 3, 5, b"")])
+            # retried read on the restarted worker sees the acked bytes
+            status, answer = sup.execute([(OP_READ, 3, 5, b"")])[0]
+            assert (status, answer) == (ST_OK, payload)
+        finally:
+            sup.close()
+
+    def test_unacked_batch_lost_acked_batch_kept(self, tmp_path):
+        # kill mid-batch: nothing from the dying batch was acked, so
+        # the restarted shard must show exactly the earlier acked state
+        state = str(tmp_path / "shard.npz")
+        spec = ShardSpec(
+            code="dcode", p=5, num_stripes=8, element_size=32,
+            durable=True, state_path=state, cache_stripes=4,
+        )
+        rng = np.random.default_rng(11)
+        acked = rng.integers(0, 256, 2 * 32, dtype=np.uint8).tobytes()
+        doomed = rng.integers(0, 256, 2 * 32, dtype=np.uint8).tobytes()
+
+        shard = ProcessShard(spec)
+        try:
+            assert shard.execute([write_op(0, acked)])[0][0] == ST_OK
+        finally:
+            shard.close()
+
+        killer = ProcessShard(
+            ShardSpec(
+                code="dcode", p=5, num_stripes=8, element_size=32,
+                durable=True, state_path=state, cache_stripes=4,
+                chaos_kill_after_ops=1,
+            )
+        )
+        try:
+            with pytest.raises(ShardCrashedError):
+                killer.execute([write_op(0, doomed)])
+            killer.restart()
+            status, answer = killer.execute([(OP_READ, 0, 2, b"")])[0]
+            assert (status, answer) == (ST_OK, acked)
+        finally:
+            killer.close()
+
+
+class TestFailDiskValidation:
+    def test_out_of_range_disk_is_typed_error(self):
+        from repro.serve.protocol import OP_FAIL_DISK
+        from repro.serve.shard import InlineShard
+
+        shard = InlineShard(SPEC)
+        num_disks = len(shard.volume.disks)
+        status, msg = shard.execute(
+            [(OP_FAIL_DISK, 0, num_disks + 3, b"")]
+        )[0]
+        assert status == ST_ERROR
+        assert b"outside array" in msg
+        # the batch keeps going after the per-op failure
+        results = shard.execute([
+            (OP_FAIL_DISK, 0, 999, b""),
+            (OP_READ, 0, 1, b""),
+        ])
+        assert results[0][0] == ST_ERROR
+        assert results[1][0] == ST_OK
+        shard.close()
