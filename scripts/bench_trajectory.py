@@ -16,10 +16,13 @@ the scalar walk by >= 3x; journal overhead must stay under 15% on RMW
 bursts and 25% on full-stripe writes; batched encode must at least
 match a compiled loop over the same tensor for every (code, p);
 steady-state verified reads must stay within 10% of unverified batched
-reads; the sharded/coalesced block service must at least double serial
+reads; the sharded/coalesced block service must reach 2.5x serial
 serving ops/s with no worse p99 and byte-identical served data, healthy
-and degraded); the script exits non-zero when a floor is violated, so
-CI can gate on it.
+and degraded, and durable acks must cost at most 35% of buffered-ack
+ops/s); the script exits non-zero when a floor is violated, so CI can
+gate on it.  On/off overhead pairs are medians per side, clamped at 0
+(see ``OVERHEAD_METHOD``) — independent minima can cross and report a
+nonsense negative overhead.
 ``--only {codec,volume,parallel,degraded,journal,scrub,serving}``
 re-runs one section and merges it into the existing report.
 
@@ -75,6 +78,41 @@ def best_seconds(fn, inner=50, reps=9):
             fn()
         best = min(best, (time.perf_counter() - t0) / inner)
     return best
+
+
+def median_seconds(fn, inner=50, reps=9):
+    """Median per-call time over ``reps`` batches of ``inner`` calls.
+
+    Used for the on/off overhead pairs: taking the *minimum* on each
+    side independently lets two lucky minima cross and report a
+    negative overhead (the journal full-stripe pair once printed
+    "-2.2%"); the median of batch means cannot be dragged below the
+    typical run by one lucky batch, while still damping scheduler
+    noise.
+    """
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        times.append((time.perf_counter() - t0) / inner)
+    times.sort()
+    return times[len(times) // 2]
+
+
+#: How every on/off overhead percentage in the report is produced —
+#: recorded in ``meta.method`` so a reader of the JSON knows a "0.0%"
+#: means "within noise of free", not "exactly free".
+OVERHEAD_METHOD = (
+    "median over k timing batches per side (k=5 journal, k=7 verified "
+    "reads, k=3 serving reps), clamped at >= 0; residual timing noise "
+    "~ +/-2%, so readings below that are indistinguishable from zero"
+)
+
+
+def overhead_pct(t_on, t_off):
+    """On-vs-off cost in percent, clamped at zero (see OVERHEAD_METHOD)."""
+    return round(max(0.0, (t_on - t_off) / t_off * 100), 1)
 
 
 def mb_per_s(data_bytes, seconds):
@@ -422,12 +460,14 @@ def bench_journal(rng):
                             element_size=ELEMENT_SIZE,
                             journal=WriteIntentLog())
 
-    t_off = best_seconds(lambda: plain.write(0, data), inner=3, reps=5)
-    t_on = best_seconds(lambda: journaled.write(0, data), inner=3, reps=5)
+    t_off = median_seconds(lambda: plain.write(0, data), inner=3, reps=5)
+    t_on = median_seconds(
+        lambda: journaled.write(0, data), inner=3, reps=5
+    )
     full_stripe = {
         "off_mb_s": round(mb_per_s(data.nbytes, t_off), 1),
         "on_mb_s": round(mb_per_s(data.nbytes, t_on), 1),
-        "overhead_pct": round((t_on - t_off) / t_off * 100, 1),
+        "overhead_pct": overhead_pct(t_on, t_off),
     }
 
     # alternate payloads so every call carries a real parity delta (the
@@ -452,19 +492,18 @@ def bench_journal(rng):
         toggles[id(vol)] ^= 1
         vol._write_rest(rmw_entries[toggles[id(vol)]])
 
-    t_rmw_off = best_seconds(lambda: rmw(plain), inner=3, reps=5)
-    t_rmw_on = best_seconds(lambda: rmw(journaled), inner=3, reps=5)
+    t_rmw_off = median_seconds(lambda: rmw(plain), inner=3, reps=5)
+    t_rmw_on = median_seconds(lambda: rmw(journaled), inner=3, reps=5)
     rmw_numbers = {
         "off_mb_s": round(mb_per_s(rmw_a.nbytes, t_rmw_off), 1),
         "on_mb_s": round(mb_per_s(rmw_a.nbytes, t_rmw_on), 1),
-        "overhead_pct": round(
-            (t_rmw_on - t_rmw_off) / t_rmw_off * 100, 1
-        ),
+        "overhead_pct": overhead_pct(t_rmw_on, t_rmw_off),
     }
     return {
         "code": VOLUME_CODE,
         "p": VOLUME_P,
         "batch": batch,
+        "method": OVERHEAD_METHOD,
         "full_stripe": full_stripe,
         "rmw": rmw_numbers,
     }
@@ -485,11 +524,13 @@ SERVING_READ_FRAC = 0.5
 SERVING_MAX_EXTENT = 8
 SERVING_REPS = 3
 SERVING_ELEMENT_SIZE = 64
-#: Durable acks checkpoint the shard state (intent ledger sync + atomic
-#: snapshot) after every writing batch before the WRITE is answered, so
-#: an acked write survives kill -9 of the worker.  That safety is paid
-#: in ops/s; the committed ceiling caps the toll vs buffered acks.
-SERVING_DURABLE_OVERHEAD_MAX_PCT = 60.0
+#: Durable acks checkpoint the shard state after every writing batch
+#: before the WRITE is answered, so an acked write survives kill -9 of
+#: the worker.  Incremental checkpoints (base snapshot + dirty-stripe
+#: delta log) replaced the full-array snapshot per batch, which is why
+#: the committed ceiling on the toll vs buffered acks tightened from
+#: the snapshot era's 60% down to 35%.
+SERVING_DURABLE_OVERHEAD_MAX_PCT = 35.0
 
 
 def _serving_configs():
@@ -680,7 +721,11 @@ def bench_serving():
                    ack="durable",
                    runs_ops_per_sec=durable_runs)
     durable_overhead_pct = round(
-        100.0 * (1.0 - durable_rep.ops_per_sec / sharded_rep.ops_per_sec),
+        max(
+            0.0,
+            100.0
+            * (1.0 - durable_rep.ops_per_sec / sharded_rep.ops_per_sec),
+        ),
         1,
     )
     return {
@@ -742,12 +787,14 @@ def bench_scrub(rng):
     # warm-up read saturates the verified bitmap; what remains is the
     # steady-state gate every production read pays
     verified.read(0, window)
-    t_off = best_seconds(lambda: plain.read(0, window), inner=3, reps=7)
-    t_on = best_seconds(lambda: verified.read(0, window), inner=3, reps=7)
+    t_off = median_seconds(lambda: plain.read(0, window), inner=3, reps=7)
+    t_on = median_seconds(
+        lambda: verified.read(0, window), inner=3, reps=7
+    )
     read_numbers = {
         "off_mb_s": round(mb_per_s(window_bytes, t_off), 1),
         "on_mb_s": round(mb_per_s(window_bytes, t_on), 1),
-        "overhead_pct": round((t_on - t_off) / t_off * 100, 1),
+        "overhead_pct": overhead_pct(t_on, t_off),
     }
 
     scrub_bytes = num_stripes * layout.rows * layout.cols * ELEMENT_SIZE
@@ -763,6 +810,7 @@ def bench_scrub(rng):
         "p": VOLUME_P,
         "batch": BATCH,
         "num_stripes": num_stripes,
+        "method": OVERHEAD_METHOD,
         "scrub_gb_s": round(scrub_bytes / t_scrub / 1e9, 2),
         "verified_read": read_numbers,
     }
@@ -791,12 +839,14 @@ BATCHED_VS_LOOPED_FLOOR = 1.0
 #: "Silent corruption & durability").
 VERIFIED_READ_MAX_PCT = 10.0
 #: Serving floors: 4 process-backed shards with request coalescing must
-#: at least double the ops/s of uncoalesced single-shard serial
-#: dispatch on the frozen mixed workload, and must not worsen p99.
-#: End-to-end serving runs are noisier than in-process timing loops
-#: (two processes of event loop + four shard workers sharing the CPU),
-#: so the serving gate uses its own wider margin on the ratio.
-SERVING_FLOOR = 2.0
+#: reach 2.5x the ops/s of uncoalesced single-shard serial dispatch on
+#: the frozen mixed workload (the shared-memory data plane plus
+#: scatter-gather flushing raised this from the pickle-everything era's
+#: 2.0x), and must not worsen p99.  End-to-end serving runs are noisier
+#: than in-process timing loops (two processes of event loop + four
+#: shard workers sharing the CPU), so the serving gate uses its own
+#: wider margin on the ratio.
+SERVING_FLOOR = 2.5
 SERVING_NOISE_MARGIN = 0.15
 SERVING_P99_MAX_RATIO = 1.0
 
@@ -1143,7 +1193,10 @@ def main(argv=None):
             "batch": BATCH,
             "primes": list(PRIMES),
             "c_kernel": xor_kernel() is not None,
-            "method": "min over 9 batches of 50 calls (5x7 for batched)",
+            "method": (
+                "min over 9 batches of 50 calls (5x7 for batched); "
+                "overheads: " + OVERHEAD_METHOD
+            ),
         },
         "results": results,
         "volume": volume,

@@ -46,6 +46,7 @@ def save_volume(
     volume: RAID6Volume,
     path: Union[str, Path],
     checksums: Optional[ChecksumStore] = None,
+    extra_meta: Optional[dict] = None,
 ) -> Path:
     """Write the volume to ``path`` (``.npz``); returns the path.
 
@@ -53,7 +54,11 @@ def save_volume(
     intents, redo payloads, sequence counter — so recovery survives the
     save/load cycle.  ``checksums`` optionally embeds an
     :class:`~repro.array.integrity.ChecksumStore` snapshot; on load it
-    comes back as ``volume.restored_checksums``.
+    comes back as ``volume.restored_checksums``.  ``extra_meta`` is an
+    opaque JSON-serialisable dict stored alongside the standard fields
+    and restored as ``volume.extra_meta`` — the serving layer uses it to
+    stamp base snapshots with their delta-log epoch
+    (:mod:`repro.serve.checkpoint`).
     """
     path = Path(path)
     meta = {
@@ -108,6 +113,8 @@ def save_volume(
             [disk, offset, crc]
             for (disk, offset), crc in sorted(checksums._sums.items())
         ]
+    if extra_meta:
+        meta["extra"] = extra_meta
     np.savez_compressed(path, meta=json.dumps(meta), **arrays)
     return path
 
@@ -186,6 +193,7 @@ def load_volume(path: Union[str, Path]) -> RAID6Volume:
             for disk, offset, crc in meta["checksums"]:
                 store._sums[(int(disk), int(offset))] = int(crc)
             volume.restored_checksums = store
+        volume.extra_meta = meta.get("extra", {})
     return volume
 
 

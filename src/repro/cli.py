@@ -17,6 +17,7 @@ Every command prints the same tables the benchmark suite writes to
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -292,6 +293,7 @@ def _serve_config(args):
         heartbeat_s=args.heartbeat,
         max_restarts=args.max_restarts,
         default_deadline_ms=args.deadline_ms,
+        profile_dir=getattr(args, "profile", None),
     )
 
 
@@ -317,6 +319,33 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _print_profiles(profile_dir: str, top: int = 10) -> None:
+    """Print a top-N table per ``.pstats`` dump in ``profile_dir``.
+
+    One dump per component: ``server-loop`` (the asyncio loop plus the
+    responders), ``queue-N`` (each shard's coalescer executor thread),
+    ``shard-N`` (each worker process's batch execution)."""
+    import glob
+    import io
+    import pstats
+
+    for path in sorted(glob.glob(os.path.join(profile_dir, "*.pstats"))):
+        out = io.StringIO()
+        stats = pstats.Stats(path, stream=out)
+        stats.sort_stats("cumulative").print_stats(top)
+        print(f"\n== {os.path.basename(path)} "
+              f"(top {top} by cumulative time) ==")
+        lines = [
+            line for line in out.getvalue().splitlines()
+            if line.strip()
+        ]
+        # skip the pstats banner; keep the column header + rows
+        start = next(
+            (i for i, line in enumerate(lines) if "ncalls" in line), 0
+        )
+        print("\n".join(lines[start:]))
+
+
 def cmd_bench_serve(args) -> int:
     import asyncio
     import json
@@ -324,6 +353,8 @@ def cmd_bench_serve(args) -> int:
     from repro.serve.loadgen import run_closed_loop, run_open_loop
     from repro.serve.server import BlockServer, make_backends
 
+    if args.profile:
+        os.makedirs(args.profile, exist_ok=True)
     config = _serve_config(args)
     backends = make_backends(config)  # fork before the loop exists
 
@@ -362,7 +393,21 @@ def cmd_bench_serve(args) -> int:
         await server.close()
         return report, stats
 
-    report, stats = asyncio.run(run())
+    if args.profile:
+        # the parent profile covers the event loop end to end: frame
+        # decode, admission, routing, responder flushes; the coalescer
+        # threads and shard workers dump their own files at close
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        report, stats = asyncio.run(run())
+        profiler.disable()
+        profiler.dump_stats(
+            os.path.join(args.profile, "server-loop.pstats")
+        )
+    else:
+        report, stats = asyncio.run(run())
     payload = {"load": report.to_dict(), "server": stats}
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -380,8 +425,12 @@ def cmd_bench_serve(args) -> int:
         )
         print(
             f"server: {stats['shards']}x{stats['backend']} shard(s), "
-            f"avg batch {stats['avg_batch']:.1f}"
+            f"avg batch {stats['avg_batch']:.1f}, "
+            f"zero-copy flushes {stats['zero_copy_flushes']}"
+            f"/{stats['flushes']}"
         )
+    if args.profile:
+        _print_profiles(args.profile)
     return 1 if (report.errors or report.verify_failures) else 0
 
 
@@ -581,6 +630,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default=True,
                         help="check read bytes against a shadow image")
     p_bsrv.add_argument("--json", action="store_true")
+    p_bsrv.add_argument("--profile", default=None, metavar="DIR",
+                        help="cProfile every component into DIR "
+                             "(server loop, per-shard coalescer, "
+                             "worker processes) and print top-N "
+                             "tables after the run")
     p_bsrv.set_defaults(func=cmd_bench_serve)
 
     p_chaos = sub.add_parser(

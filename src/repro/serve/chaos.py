@@ -41,6 +41,7 @@ from its one-line summary.
 from __future__ import annotations
 
 import asyncio
+import glob
 import os
 import struct
 import tempfile
@@ -50,9 +51,10 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.array import RAID6Volume
-from repro.array.persistence import load_volume
 from repro.codes.registry import make_code
 from repro.journal.recovery import recover_on_mount
+from repro.serve.checkpoint import load_shard_state
+from repro.serve.shmring import SHM_PREFIX
 from repro.serve.loadgen import fetch_image, replay_writes, run_closed_loop
 from repro.serve.protocol import MAX_FRAME, OP_READ, ST_OK, Request, encode_request
 from repro.serve.server import BlockServer, ServerConfig
@@ -81,6 +83,9 @@ class ServeChaosResult:
     image_identical: bool = False
     #: every shard state file reloads to its slice of the served image
     state_reload_identical: bool = False
+    #: payload-ring segments still present in /dev/shm after close —
+    #: must be zero even though workers were SIGKILLed mid-batch
+    leaked_shm: int = 0
     shard_restarts: List[int] = field(default_factory=list)
 
     @property
@@ -92,6 +97,7 @@ class ServeChaosResult:
             self.image_identical
             and self.state_reload_identical
             and self.errors == 0
+            and self.leaked_shm == 0
             and self.restarts >= self.worker_kills + self.stalls
         )
 
@@ -114,6 +120,7 @@ class ServeChaosResult:
             "shard_restarts": self.shard_restarts,
             "image_identical": self.image_identical,
             "state_reload_identical": self.state_reload_identical,
+            "leaked_shm": self.leaked_shm,
             "passed": self.passed,
         }
 
@@ -333,17 +340,27 @@ def run_serve_chaos(
     result.image_identical = shadow.read(0, n).tobytes() == image
 
     # -- oracle 2: every shard state file reloads to its image slice
+    # (base snapshot + delta-log replay + ack-ledger recovery — the
+    # exact path a restarted worker takes)
     per = n // shards
     esize = element_size
     slices_ok = True
     for i in range(shards):
         state_path = os.path.join(config.state_dir, f"shard-{i}.npz")
-        reloaded = load_volume(state_path)
+        reloaded, _ = load_shard_state(state_path)
         recover_on_mount(reloaded)
         got = reloaded.read(0, per).tobytes()
         want = image[i * per * esize:(i + 1) * per * esize]
         slices_ok = slices_ok and (got == want)
     result.state_reload_identical = slices_ok
+
+    # -- oracle 3: the payload rings are gone.  Only this process ever
+    # creates ring segments (workers inherit the mapping), so any
+    # /dev/shm entry with our pid after close() is a leak — including
+    # rings whose worker died by SIGKILL mid-batch.
+    result.leaked_shm = len(
+        glob.glob(f"/dev/shm/{SHM_PREFIX}_{os.getpid()}_*")
+    )
     return result
 
 

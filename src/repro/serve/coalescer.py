@@ -35,6 +35,7 @@ propagated into :meth:`ProcessShard.execute`'s guarded recv.
 from __future__ import annotations
 
 import asyncio
+import cProfile
 import functools
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -52,7 +53,12 @@ _Item = Tuple[ShardOp, "asyncio.Future", Optional[float]]
 class ShardQueue:
     """Queue + drain task coalescing ops for one shard backend."""
 
-    def __init__(self, backend, max_batch: int = 64) -> None:
+    def __init__(
+        self,
+        backend,
+        max_batch: int = 64,
+        profile_path: Optional[str] = None,
+    ) -> None:
         require_positive(max_batch, "max_batch")
         self.backend = backend
         self.max_batch = max_batch
@@ -65,6 +71,10 @@ class ShardQueue:
             max_workers=1, thread_name_prefix="repro-shard"
         )
         self._task: "asyncio.Task | None" = None
+        self._profile_path = profile_path
+        self._profile = (
+            cProfile.Profile() if profile_path is not None else None
+        )
 
     def start(self) -> None:
         """Spawn the drain task on the running loop (idempotent)."""
@@ -93,6 +103,16 @@ class ShardQueue:
     ) -> ShardResult:
         """Enqueue one shard-local op and await its result."""
         return await self.submit_nowait(op, deadline)
+
+    def _execute(self, ops, deadline):
+        """Run one batch on the executor thread (profiled if asked)."""
+        if self._profile is None:
+            return self.backend.execute(ops, deadline=deadline)
+        self._profile.enable()
+        try:
+            return self.backend.execute(ops, deadline=deadline)
+        finally:
+            self._profile.disable()
 
     async def _drain(self) -> None:
         loop = asyncio.get_running_loop()
@@ -126,7 +146,7 @@ class ShardQueue:
                 results = await loop.run_in_executor(
                     self._executor,
                     functools.partial(
-                        self.backend.execute, ops, deadline=batch_deadline
+                        self._execute, ops, batch_deadline
                     ),
                 )
                 if len(results) != len(ops):  # pragma: no cover — bug guard
@@ -148,6 +168,12 @@ class ShardQueue:
             for (_, future, _), result in zip(live, results):
                 if not future.cancelled():
                     future.set_result(result)
+                else:
+                    # nobody will consume this payload; a ring slice
+                    # must go back to the ring, not wait for retire
+                    payload = result[1]
+                    if hasattr(payload, "release"):
+                        payload.release()
                 self._queue.task_done()
 
     async def drain(self) -> None:
@@ -167,3 +193,6 @@ class ShardQueue:
             self._executor, self.backend.close
         )
         self._executor.shutdown(wait=True)
+        if self._profile is not None:
+            self._profile.dump_stats(self._profile_path)
+            self._profile = None

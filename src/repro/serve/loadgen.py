@@ -72,12 +72,16 @@ class BlockClient:
         """Buffer a request frame without flushing the transport.
 
         Lets a pipelining caller queue several frames and pay one
-        :meth:`flush` for the burst."""
-        self._writer.write(
-            protocol.encode_request(
-                Request(op, tenant, start, count, payload, deadline_ms)
-            )
+        :meth:`flush` for the burst.  The header and the payload are
+        written as separate buffers (:func:`protocol.encode_request_parts`),
+        so WRITE payloads reach the transport without an intermediate
+        frame concatenation."""
+        head, body = protocol.encode_request_parts(
+            Request(op, tenant, start, count, payload, deadline_ms)
         )
+        self._writer.write(head)
+        if body:
+            self._writer.write(body)
 
     async def flush(self) -> None:
         await self._writer.drain()

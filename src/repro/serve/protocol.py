@@ -117,6 +117,19 @@ def encode_request(req: Request) -> bytes:
     return _LEN.pack(len(body)) + body
 
 
+def encode_request_parts(req: Request) -> tuple:
+    """``(prefix + header, payload)`` for scatter-gather sending.
+
+    A pipelining client writes the two buffers separately, so a large
+    WRITE payload goes to the transport as-is instead of being copied
+    into a concatenated frame first.
+    """
+    head = HEADER.pack(
+        req.op, req.tenant, req.start, req.count, req.deadline_ms
+    )
+    return _LEN.pack(len(head) + len(req.payload)) + head, req.payload
+
+
 def decode_request(body: bytes) -> Request:
     """Parse a request frame body (without the length prefix)."""
     if len(body) < HEADER.size:
@@ -135,6 +148,19 @@ def encode_response(status: int, payload: bytes = b"") -> bytes:
     """Serialise a response to a full frame (length prefix included)."""
     body = bytes([status]) + payload
     return _LEN.pack(len(body)) + body
+
+
+def encode_response_prefix(status: int, payload_len: int) -> bytes:
+    """Length prefix + status byte for a response whose payload follows
+    as separate buffer(s).
+
+    This is the scatter-gather half of :func:`encode_response`: the
+    server sends ``prefix + payload buffers`` through one
+    ``socket.sendmsg`` so large READ payloads (shared-memory ring
+    slices, zero-copy volume views) never get concatenated into an
+    intermediate bytes object.
+    """
+    return _LEN.pack(1 + payload_len) + bytes([status])
 
 
 def decode_response(body: bytes) -> tuple:

@@ -56,8 +56,36 @@ from repro.serve.protocol import (
 from repro.serve.qos import AdmissionControl
 from repro.serve.router import ShardRouter
 from repro.serve.shard import BACKENDS, InlineShard, ShardSpec
+from repro.serve.shmring import ShmSlice
 from repro.serve.supervisor import SupervisedShard
 from repro.util.validation import require_positive
+
+#: Buffers handed to one ``socket.sendmsg`` call.  Linux guarantees
+#: IOV_MAX >= 1024; half that leaves headroom and keeps the partial-send
+#: bookkeeping cheap.
+_SENDMSG_IOV = 512
+
+
+def _payload_buffer(payload) -> Tuple[object, Optional[ShmSlice]]:
+    """Normalise one shard READ payload to ``(wire buffer, hold)``.
+
+    Ring slices expose their shared-memory view and stay pinned (the
+    hold) until the responder has flushed the bytes; ndarray payloads
+    (inline shards hand volume reads through raw) expose their memory
+    via the buffer protocol.  Nothing is copied here.
+    """
+    if isinstance(payload, ShmSlice):
+        return payload.view, payload
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return payload, None
+    try:
+        return memoryview(payload).cast("B"), None
+    except (TypeError, ValueError):  # non-contiguous ndarray
+        return payload.tobytes(), None
+
+
+def _nbytes(buf) -> int:
+    return buf.nbytes if isinstance(buf, memoryview) else len(buf)
 
 
 @dataclass(frozen=True)
@@ -101,6 +129,16 @@ class ServerConfig:
     #: Server-side default deadline applied to requests that carry none
     #: (0 = none).
     default_deadline_ms: int = 0
+    #: Payload-ring geometry for process-backed shards: slot count and
+    #: slot size in bytes (0 = sized automatically from the element
+    #: size).  The ring carries WRITE payloads and READ results between
+    #: parent and worker out-of-band; the Pipe only moves descriptors.
+    ring_slots: int = 128
+    ring_slot_bytes: int = 0
+    #: Directory for cProfile dumps (``--profile``): the server loop,
+    #: each coalescer thread, and each shard worker write one
+    #: ``.pstats`` file apiece.  None = no profiling.
+    profile_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         require_positive(self.shards, "shards")
@@ -120,6 +158,9 @@ class ServerConfig:
         if self.recv_timeout_s is not None and self.recv_timeout_s <= 0:
             raise ValueError("recv_timeout_s must be positive or None")
         require_positive(self.max_restarts, "max_restarts")
+        require_positive(self.ring_slots, "ring_slots")
+        if self.ring_slot_bytes < 0:
+            raise ValueError("ring_slot_bytes must be >= 0")
 
     @property
     def durable(self) -> bool:
@@ -148,6 +189,12 @@ class ServerConfig:
             state_path=(
                 os.path.join(state_dir, f"shard-{shard}.npz")
                 if self.durable and state_dir is not None else None
+            ),
+            ring_slots=self.ring_slots,
+            ring_slot_bytes=self.ring_slot_bytes,
+            profile_path=(
+                os.path.join(self.profile_dir, f"shard-{shard}.pstats")
+                if self.profile_dir is not None else None
             ),
         )
 
@@ -220,6 +267,8 @@ class BlockServer:
         self.errors = 0
         self.retried = 0
         self.deadline_misses = 0
+        self.flushes = 0
+        self.zero_copy_flushes = 0
         self._server: Optional[asyncio.AbstractServer] = None
 
     # -- lifecycle -------------------------------------------------------------
@@ -227,8 +276,17 @@ class BlockServer:
     async def start(self) -> Tuple[str, int]:
         """Start queues + listener; returns the bound (host, port)."""
         self.queues = [
-            ShardQueue(b, max_batch=self.config.max_batch)
-            for b in self.backends
+            ShardQueue(
+                b,
+                max_batch=self.config.max_batch,
+                profile_path=(
+                    os.path.join(
+                        self.config.profile_dir, f"queue-{i}.pstats"
+                    )
+                    if self.config.profile_dir is not None else None
+                ),
+            )
+            for i, b in enumerate(self.backends)
         ]
         for queue in self.queues:
             queue.start()
@@ -376,11 +434,18 @@ class BlockServer:
             self.admission.release(req.tenant)
             return ("imm", req, ST_ERROR, str(exc).encode())
 
-    async def _finish(self, item) -> Tuple[int, bytes]:
-        """Resolve one pending item to ``(status, payload)``."""
+    async def _finish(self, item):
+        """Resolve one pending item to ``(status, parts, holds)``.
+
+        ``parts`` is the response payload as a list of wire buffers in
+        address order — ring slices and volume views pass through
+        uncopied.  ``holds`` are the ring slices pinned until the
+        responder has flushed them (released then, back to their
+        shard's ring).
+        """
         kind, req = item[0], item[1]
         if kind == "imm":
-            return item[2], item[3]
+            return item[2], [item[3]], []
         try:
             futures = item[2]
             if len(futures) == 1:  # common case: one extent, one shard
@@ -389,23 +454,79 @@ class BlockServer:
                 results = await asyncio.gather(*futures)
             for status, payload in results:
                 if status != ST_OK:
-                    return status, payload
+                    # short-circuit: free every slice the partial
+                    # success pinned before answering the failure
+                    data = (
+                        payload.tobytes()
+                        if hasattr(payload, "tobytes") else payload
+                    )
+                    for _, p in results:
+                        if hasattr(p, "release"):
+                            p.release()
+                    return status, [data], []
             if req.op == OP_READ:
                 # extents are enqueued in address order
-                return ST_OK, b"".join(p for _, p in results)
+                parts, holds = [], []
+                for _, payload in results:
+                    buf, hold = _payload_buffer(payload)
+                    parts.append(buf)
+                    if hold is not None:
+                        holds.append(hold)
+                return ST_OK, parts, holds
             if req.op in (OP_SCRUB, OP_STAT):
                 merged = {
-                    str(shard): json.loads(payload.decode())
+                    str(shard): json.loads(bytes(payload).decode())
                     for shard, (_, payload) in enumerate(results)
                 }
                 if req.op == OP_STAT:
                     merged["server"] = self.stats()
-                return ST_OK, json.dumps(merged).encode()
-            return ST_OK, b""
+                return ST_OK, [json.dumps(merged).encode()], []
+            return ST_OK, [], []
         except Exception as exc:  # noqa: BLE001 — answer, don't drop conn
-            return ST_ERROR, str(exc).encode()
+            return ST_ERROR, [str(exc).encode()], []
         finally:
             self.admission.release(req.tenant)
+
+    async def _send_buffers(self, writer, bufs: List[memoryview]) -> None:
+        """Flush framed response buffers to one client, scatter-gather.
+
+        Fast path: the transport's write buffer is empty (the steady
+        state of a draining responder), so the buffer list goes
+        straight to ``os.writev`` on the connection's fd — one syscall
+        per ~500 frames and zero intermediate copies, ring slices and
+        volume views included.  Slow path (kernel pushback, TLS, or
+        bytes already queued on the transport): the leftovers are
+        joined once and handed to the stream writer.  That single join
+        is what lets ``flush`` release ring slots the moment it
+        returns — the transport may hold its copy as long as it likes.
+        """
+        transport = writer.transport
+        sock = (
+            transport.get_extra_info("socket")
+            if transport.get_extra_info("sslcontext") is None else None
+        )
+        if sock is not None:
+            fd = sock.fileno()
+            while bufs and transport.get_write_buffer_size() == 0:
+                try:
+                    sent = os.writev(fd, bufs[:_SENDMSG_IOV])
+                except (BlockingIOError, InterruptedError):
+                    break
+                if sent <= 0:  # pragma: no cover — defensive
+                    break
+                while sent and bufs:
+                    head = bufs[0]
+                    if sent >= head.nbytes:
+                        sent -= head.nbytes
+                        bufs.pop(0)
+                    else:  # partial send: resume inside this buffer
+                        bufs[0] = head[sent:]
+                        sent = 0
+            if not bufs:
+                self.zero_copy_flushes += 1
+                return
+        writer.write(b"".join(bufs))
+        await writer.drain()
 
     async def _respond_loop(self, pending, writer) -> None:
         """Write responses in request order; drain on a dead client.
@@ -413,25 +534,39 @@ class BlockServer:
         Responses are coalesced: when one shard batch completes it
         resolves up to ``max_batch`` futures at once, and writing each
         as its own frame would cost a syscall apiece.  Finished frames
-        accumulate in ``buf`` and flush in a single write the moment
-        the responder would otherwise block (empty pending queue, or a
-        request whose shard futures are still outstanding)."""
+        accumulate as a buffer list — a
+        :func:`protocol.encode_response_prefix` header per response,
+        payload buffers appended as-is — and flush scatter-gather via
+        :meth:`_send_buffers` the moment the responder would otherwise
+        block (empty pending queue, or a request whose shard futures
+        are still outstanding).  Ring slices stay pinned in ``holds``
+        until their bytes are out, then return to their shard's ring —
+        on a dead client they are released immediately."""
         alive = True
-        buf: List[bytes] = []
+        parts: List[object] = []
+        holds: List[ShmSlice] = []
+        frames = 0
 
         async def flush() -> None:
-            nonlocal alive
-            if not buf:
-                return
-            data = b"".join(buf)
-            buf.clear()
-            if not alive:
-                return
-            try:
-                writer.write(data)
-                await writer.drain()
-            except (ConnectionResetError, BrokenPipeError, OSError):
-                alive = False
+            nonlocal alive, frames
+            frames = 0
+            if parts:
+                bufs = [
+                    memoryview(b).cast("B")
+                    for b in parts if _nbytes(b)
+                ]
+                parts.clear()
+                if alive:
+                    self.flushes += 1
+                    try:
+                        await self._send_buffers(writer, bufs)
+                    except (
+                        ConnectionResetError, BrokenPipeError, OSError,
+                    ):
+                        alive = False
+            for hold in holds:
+                hold.release()
+            holds.clear()
 
         while True:
             if pending.empty():
@@ -444,7 +579,7 @@ class BlockServer:
                 f.done() for f in item[2]
             ):
                 await flush()  # _finish is about to block
-            status, payload = await self._finish(item)
+            status, payload_parts, item_holds = await self._finish(item)
             self.ops += 1
             if status == ST_BUSY:
                 self.busy += 1
@@ -455,9 +590,18 @@ class BlockServer:
             elif status == ST_DEADLINE:
                 self.deadline_misses += 1
             if alive:
-                buf.append(protocol.encode_response(status, payload))
-                if len(buf) >= 256:
+                total = sum(_nbytes(b) for b in payload_parts)
+                parts.append(
+                    protocol.encode_response_prefix(status, total)
+                )
+                parts.extend(payload_parts)
+                holds.extend(item_holds)
+                frames += 1
+                if frames >= 256:
                     await flush()
+            else:
+                for hold in item_holds:
+                    hold.release()
 
     # -- introspection ---------------------------------------------------------
 
@@ -480,6 +624,8 @@ class BlockServer:
             "max_batch": self.config.max_batch,
             "batches": batches,
             "avg_batch": (batched / batches) if batches else 0.0,
+            "flushes": self.flushes,
+            "zero_copy_flushes": self.zero_copy_flushes,
         }
 
 

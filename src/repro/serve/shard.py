@@ -14,8 +14,17 @@ shard from a single-thread executor, so ``execute`` is never entered
 concurrently.  Cross-shard concurrency needs no coordination at all —
 shards own disjoint volumes.
 
-The process backend speaks length-delimited pickles over a
-:class:`multiprocessing.Pipe`.  Worker faults come back **typed**:
+The process backend speaks small control frames over a
+:class:`multiprocessing.Pipe` while bulk data rides a per-incarnation
+shared-memory :class:`~repro.serve.shmring.PayloadRing`: WRITE payloads
+are copied once into a parent-allocated slot and referenced by a
+``(slot, length)`` descriptor, READ results are copied once by the
+worker into a slot the parent reserved and come back the same way — no
+pickling of bulk bytes in either direction.  The parent owns every
+slot and the segment itself (created pre-fork, inherited, unlinked on
+retire), so a ``kill -9`` of the worker can never leak ``/dev/shm``
+state; ring exhaustion answers the op a typed BUSY instead of
+blocking.  Worker faults come back **typed**:
 
 * an in-batch Python error arrives as a ``("__shard_error__", tb)``
   marker and raises :class:`RuntimeError` with the worker traceback;
@@ -71,18 +80,32 @@ from repro.serve.protocol import (
     OP_SCRUB,
     OP_STAT,
     OP_WRITE,
+    ST_BUSY,
     ST_ERROR,
     ST_OK,
 )
+from repro.serve.shmring import PayloadRing
 
 #: One shard-local op: (op, start, count, payload).
 ShardOp = Tuple[int, int, int, bytes]
 
-#: One result: (status, payload).
-ShardResult = Tuple[int, bytes]
+#: One result: (status, payload).  The payload is ``bytes`` for control
+#: results, and may be a buffer-protocol object (``np.ndarray`` from an
+#: inline shard, :class:`~repro.serve.shmring.ShmSlice` from a process
+#: shard) for READ data — the server hands either to ``sendmsg``
+#: without an intermediate join.
+ShardResult = Tuple[int, object]
 
 #: Typed marker the worker process sends when a batch raises.
 WORKER_ERROR = "__shard_error__"
+
+#: Pipe descriptor tags for ring-resident payloads (parent → worker →
+#: parent).  ``("W", slot, length)`` marks a WRITE payload already in
+#: the ring; ``("R", slot)`` reserves a slot for a READ result;
+#: ``("S", slot, length)`` marks a result the worker placed there.
+SHM_WRITE = "W"
+SHM_READ = "R"
+SHM_RESULT = "S"
 
 
 @dataclass(frozen=True)
@@ -117,6 +140,14 @@ class ShardSpec:
     durable: bool = False
     #: Snapshot file for this shard's crash-safe state (durable mode).
     state_path: Optional[str] = None
+    #: Shared-memory payload ring slots per worker incarnation
+    #: (0 disables the ring: all payloads travel inline on the pipe).
+    ring_slots: int = 128
+    #: Bytes per ring slot; 0 = auto (64 elements, floor 4 KiB).
+    ring_slot_bytes: int = 0
+    #: Dump a cProfile of the worker's batch execution here on
+    #: graceful shutdown (``bench-serve --profile``).
+    profile_path: Optional[str] = None
     #: Chaos: SIGKILL the worker just before executing this (1-based)
     #: lifetime op — a deterministic mid-batch worker death.
     chaos_kill_after_ops: Optional[int] = None
@@ -184,6 +215,7 @@ def execute_ops(
     cache: Optional[StripeCache],
     ops: List[ShardOp],
     op_hook=None,
+    raw: bool = False,
 ) -> List[ShardResult]:
     """Run one coalesced batch of shard-local ops in arrival order.
 
@@ -195,6 +227,12 @@ def execute_ops(
     failures answer that op with ERROR and keep the batch going.
     ``op_hook`` (chaos) runs before each op and may kill or stall the
     process — which is the point.
+
+    ``raw=True`` returns READ payloads as the volume's ``np.ndarray``
+    (possibly a zero-copy view of the live backing store) instead of
+    ``bytes`` — the zero-copy data plane's entry point; callers own the
+    copy/aliasing decision.  WRITE payloads may be any buffer (bytes or
+    a shared-memory view); they are never retained past the call.
     """
     results: List[ShardResult] = []
     for op, start, count, payload in ops:
@@ -206,7 +244,7 @@ def execute_ops(
                     cache.read(start, count) if cache is not None
                     else volume.read(start, count)
                 )
-                results.append((ST_OK, data.tobytes()))
+                results.append((ST_OK, data if raw else data.tobytes()))
             elif op == OP_WRITE:
                 data = np.frombuffer(payload, dtype=np.uint8)
                 if data.size != count * volume.element_size:
@@ -269,7 +307,16 @@ def _batch_writes(ops: List[ShardOp]) -> bool:
 
 
 class InlineShard:
-    """Shard backend living in the serving process."""
+    """Shard backend living in the serving process.
+
+    READ results come back as ``np.ndarray`` buffers, not ``bytes`` —
+    the responder hands them to ``sendmsg`` directly.  A result that
+    aliases the live backing store (the volume's zero-copy full-stripe
+    view) is snapshotted here: a *later* batch could rewrite the range
+    before the response flushes, and the write-path copy is exactly the
+    intermediate copy the zero-copy plane exists to avoid on the owned
+    fast-path arrays.
+    """
 
     def __init__(self, spec: ShardSpec) -> None:
         from repro.serve.state import build_shard_state
@@ -282,26 +329,84 @@ class InlineShard:
     def execute(
         self, ops: List[ShardOp], deadline: Optional[float] = None
     ) -> List[ShardResult]:
-        results = execute_ops(self.volume, self.cache, ops)
+        results = execute_ops(self.volume, self.cache, ops, raw=True)
         if self.state is not None and _batch_writes(ops):
             self.state.checkpoint()
-        return results
+        return [
+            (status, payload.copy())
+            if isinstance(payload, np.ndarray)
+            and not payload.flags.writeable
+            else (status, payload)
+            for status, payload in results
+        ]
 
     def close(self) -> None:
         if self.cache is not None:
             self.cache.flush()
         if self.state is not None:
             self.state.checkpoint()
+            self.state.close()
 
 
-def _shard_worker(conn, spec: ShardSpec) -> None:  # pragma: no cover — child
+def _materialise(batch, ring: Optional[PayloadRing]):
+    """Resolve a descriptor batch into executable ops (worker side).
+
+    Ring-resident WRITE payloads become live shared-memory views (the
+    cache/volume write path copies per element, so the view is never
+    retained), and READ reservations are noted for :func:`_marshal`.
+    """
+    ops: List[ShardOp] = []
+    read_slots: dict = {}
+    for i, (op, start, count, meta) in enumerate(batch):
+        payload = meta
+        if isinstance(meta, tuple) and ring is not None:
+            if meta[0] == SHM_WRITE:
+                payload = ring.slot_view(meta[1], meta[2])
+            elif meta[0] == SHM_READ:
+                read_slots[i] = meta[1]
+                payload = b""
+        ops.append((op, start, count, payload))
+    return ops, read_slots
+
+
+def _marshal(results, read_slots, ring: Optional[PayloadRing]):
+    """Turn raw batch results into pipe descriptors (worker side).
+
+    READ data lands in its reserved ring slot (one copy, volume → shm);
+    anything without a slot — oversized results, control JSON, error
+    messages — travels inline as before.
+    """
+    out: List[ShardResult] = []
+    for i, (status, payload) in enumerate(results):
+        if isinstance(payload, np.ndarray):
+            slot = read_slots.get(i)
+            if (
+                slot is not None
+                and status == ST_OK
+                and payload.nbytes <= ring.slot_bytes
+            ):
+                n = ring.write_into(slot, np.ascontiguousarray(payload))
+                out.append((status, (SHM_RESULT, slot, n)))
+            else:
+                out.append((status, payload.tobytes()))
+        else:
+            out.append((status, payload))
+    return out
+
+
+def _shard_worker(  # pragma: no cover — child process
+    conn, spec: ShardSpec, ring: Optional[PayloadRing] = None
+) -> None:
     """Worker-process loop: recv a batch, execute, send the results.
 
-    Durable mode checkpoints (ledger sync + atomic snapshot) after every
-    writing batch *before* answering — the ack barrier.  An empty batch
-    answers ``[]`` immediately (heartbeat).  The chaos hook may SIGKILL
-    or stall the process mid-batch; that is the fault the parent-side
-    deadline + supervisor machinery exists to absorb.
+    Durable mode checkpoints (ledger sync + incremental persist) after
+    every writing batch *before* answering — the ack barrier.  An empty
+    batch answers ``[]`` immediately (heartbeat).  The chaos hook may
+    SIGKILL or stall the process mid-batch; that is the fault the
+    parent-side deadline + supervisor machinery exists to absorb.  The
+    worker only ever reads/writes ring slots the parent leased to this
+    batch — allocation and reclamation stay parent-side, so a worker
+    death cannot leak shared memory.
     """
     from repro.serve.state import build_shard_state
 
@@ -312,6 +417,11 @@ def _shard_worker(conn, spec: ShardSpec) -> None:  # pragma: no cover — child
         or spec.chaos_stall_after_ops is not None
         else None
     )
+    prof = None
+    if spec.profile_path:
+        import cProfile
+
+        prof = cProfile.Profile()
     while True:
         try:
             msg = conn.recv()
@@ -322,17 +432,29 @@ def _shard_worker(conn, spec: ShardSpec) -> None:  # pragma: no cover — child
                 cache.flush()
             if state is not None:
                 state.checkpoint()
+                state.close()
+            if prof is not None:
+                prof.dump_stats(spec.profile_path)
             conn.send(None)
             break
         if msg == []:  # heartbeat: prove liveness without volume work
             conn.send([])
             continue
         try:
-            results = execute_ops(volume, cache, msg, op_hook=hook)
-            if state is not None and _batch_writes(msg):
+            if prof is not None:
+                prof.enable()
+            ops, read_slots = _materialise(msg, ring)
+            results = execute_ops(volume, cache, ops, op_hook=hook,
+                                  raw=True)
+            if state is not None and _batch_writes(ops):
                 state.checkpoint()
-            conn.send(results)
+            reply = _marshal(results, read_slots, ring)
+            if prof is not None:
+                prof.disable()
+            conn.send(reply)
         except BaseException:  # noqa: BLE001 — marshalled to the parent
+            if prof is not None:
+                prof.disable()
             conn.send((WORKER_ERROR, traceback.format_exc()))
     conn.close()
 
@@ -364,18 +486,35 @@ class ProcessShard:
         self.spec = spec
         self.recv_timeout = recv_timeout
         self.restarts = 0
+        self._ring: Optional[PayloadRing] = None
         self._spawn(spec)
 
     def _spawn(self, spec: ShardSpec) -> None:
         import multiprocessing
 
         ctx = multiprocessing.get_context("fork")
+        self._ring = self._make_ring(spec)
         self._conn, child = ctx.Pipe()
         self._proc = ctx.Process(
-            target=_shard_worker, args=(child, spec), daemon=True
+            target=_shard_worker, args=(child, spec, self._ring),
+            daemon=True,
         )
         self._proc.start()
         child.close()
+
+    @staticmethod
+    def _make_ring(spec: ShardSpec) -> Optional[PayloadRing]:
+        if spec.ring_slots <= 0:
+            return None
+        slot_bytes = spec.ring_slot_bytes or max(
+            4096, 64 * spec.element_size
+        )
+        return PayloadRing(spec.ring_slots, slot_bytes)
+
+    @property
+    def ring(self) -> Optional[PayloadRing]:
+        """The live incarnation's payload ring (tests, introspection)."""
+        return self._ring
 
     def _name(self) -> str:
         return f"pid={self._proc.pid}"
@@ -414,21 +553,106 @@ class ProcessShard:
             timeout = max(timeout, 0.001)
         return timeout
 
+    def _prepare(self, ops: List[ShardOp]):
+        """Stage a batch onto the ring; split dispatch from local answers.
+
+        Returns ``(downs, idx, local, write_slots, read_slots)``:
+        ``downs`` are the pipe descriptors, ``idx`` maps them back to
+        op positions, ``local`` holds ops answered without dispatch —
+        ring exhaustion becomes a typed BUSY (retryable, O(1)) rather
+        than a blocked coalescer thread.  Payloads that cannot fit any
+        slot fall back to inline pipe bytes, so oversized ops still
+        execute.
+        """
+        ring = self._ring
+        local: dict = {}
+        downs: List[tuple] = []
+        idx: List[int] = []
+        write_slots: List[int] = []
+        read_slots: dict = {}
+        if ring is None:
+            return list(ops), list(range(len(ops))), local, \
+                write_slots, read_slots
+        esize = self.spec.element_size
+        for i, (op, start, count, payload) in enumerate(ops):
+            meta = payload
+            if op == OP_WRITE:
+                slot = ring.alloc(len(payload))
+                if slot is not None:
+                    ring.write_into(slot, payload)
+                    write_slots.append(slot)
+                    meta = (SHM_WRITE, slot, len(payload))
+                elif len(payload) <= ring.slot_bytes:
+                    local[i] = (ST_BUSY, b"payload ring full")
+                    continue
+            elif op == OP_READ:
+                expected = count * esize
+                slot = ring.alloc(expected)
+                if slot is not None:
+                    read_slots[i] = slot
+                    meta = (SHM_READ, slot)
+                elif expected <= ring.slot_bytes:
+                    local[i] = (ST_BUSY, b"payload ring full")
+                    continue
+            downs.append((op, start, count, meta))
+            idx.append(i)
+        return downs, idx, local, write_slots, read_slots
+
+    def _release(self, write_slots, read_slots) -> None:
+        if self._ring is None:
+            return
+        for slot in write_slots:
+            self._ring.free(slot)
+        for slot in read_slots.values():
+            self._ring.free(slot)
+
     def execute(
         self, ops: List[ShardOp], deadline: Optional[float] = None
     ) -> List[ShardResult]:
+        downs, idx, local, write_slots, read_slots = self._prepare(ops)
+        if not downs:
+            # every op answered locally (ring exhausted) — an empty
+            # pipe batch would read as a heartbeat, so don't send one
+            return [local[i] for i in range(len(ops))]
         try:
-            self._conn.send(ops)
-        except (BrokenPipeError, OSError) as exc:
-            raise ShardCrashedError(self._name(), str(exc)) from exc
-        reply = self._recv(self._timeout_for(deadline))
+            try:
+                self._conn.send(downs)
+            except (BrokenPipeError, OSError) as exc:
+                raise ShardCrashedError(self._name(), str(exc)) from exc
+            reply = self._recv(self._timeout_for(deadline))
+        except BaseException:
+            # crash/timeout: the incarnation is done for (restart will
+            # retire the whole ring) — drop this batch's leases so the
+            # retired segment can unmap once pending responses flush
+            self._release(write_slots, read_slots)
+            raise
         if (
             isinstance(reply, tuple)
             and len(reply) == 2
             and reply[0] == WORKER_ERROR
         ):
+            self._release(write_slots, read_slots)
             raise RuntimeError(f"shard worker failed:\n{reply[1]}")
-        return reply
+        results: List[ShardResult] = [None] * len(ops)  # type: ignore
+        for i, answered in local.items():
+            results[i] = answered
+        for j, (status, payload) in zip(idx, reply):
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 3
+                and payload[0] == SHM_RESULT
+            ):
+                _, slot, length = payload
+                results[j] = (
+                    status, self._ring.lease_slice(slot, length)
+                )
+                read_slots.pop(j, None)  # ownership moved to the slice
+            else:
+                results[j] = (status, payload)
+        # write payloads were consumed during execute; reserved read
+        # slots the worker didn't use (errors, oversize) come back too
+        self._release(write_slots, read_slots)
+        return results
 
     def ping(self, timeout: Optional[float] = None) -> None:
         """Heartbeat: an empty batch must echo back within ``timeout``.
@@ -460,8 +684,11 @@ class ProcessShard:
 
         One-shot chaos hooks are cleared so the replacement does not
         re-die at the same op count; in durable mode the replacement
-        reloads the last checkpoint and replays the ack-intent ledger
-        via mount-time recovery.
+        replays base + delta records and the ack-intent ledger via
+        mount-time recovery.  The dead incarnation's payload ring is
+        retired — unlinked immediately (no ``/dev/shm`` leak even
+        after ``kill -9``), unmapped once in-flight responses release
+        their slices — and the replacement gets a fresh one.
         """
         try:
             self._conn.close()
@@ -470,6 +697,8 @@ class ProcessShard:
         if self._proc.is_alive():
             self._proc.kill()
         self._proc.join(timeout=10)
+        if self._ring is not None:
+            self._ring.retire()
         self.restarts += 1
         self._spawn(self.spec.sans_chaos())
 
@@ -488,6 +717,8 @@ class ProcessShard:
         if self._proc.is_alive():  # pragma: no cover — stuck worker
             self._proc.terminate()
             self._proc.join(timeout=10)
+        if self._ring is not None:
+            self._ring.retire()
 
 
 BACKENDS = {"inline": InlineShard, "process": ProcessShard}

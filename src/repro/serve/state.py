@@ -1,4 +1,4 @@
-"""Crash-safe shard state: persist-on-destage + an ack-intent ledger.
+"""Crash-safe shard state: incremental persist + an ack-intent ledger.
 
 A process-backed shard keeps its volume, its write-back cache, and its
 journal in worker memory — a ``kill -9`` vaporizes all three.  The
@@ -15,22 +15,24 @@ routes every acknowledgement through a :class:`ShardStateStore`:
   and a stripe that destaged simply commits its intent.  This is the
   same NVRAM redo log the volume's write hole protection uses — just
   driven by the cache instead of a stripe write.
-* **persist-on-destage** — after the ledger is synced the whole shard
-  state (disk image, open intents, sequence counter) snapshots to the
-  spec's ``state_path`` via :func:`repro.array.persistence.save_volume`,
-  written to a temp file and atomically renamed so a crash mid-persist
-  leaves the previous snapshot intact.
-* **mount-time recovery on restart** — a restarted worker loads the
-  snapshot and runs :func:`repro.journal.recovery.recover_on_mount`,
-  which replays the open ack intents in sequence order: every
-  acknowledged-but-undestaged write rolls forward onto the volume,
-  exactly the way a torn foreground write would.  The shard comes back
-  with an empty cache and a byte-identical acknowledged image.
+* **incremental persist** — after the ledger is synced, the shard
+  appends one delta record to its sidecar log: the raw images of the
+  stripes dirtied since the last checkpoint plus the full ledger
+  (:mod:`repro.serve.checkpoint`).  The base ``.npz`` snapshot is only
+  rewritten at compaction, so the per-batch durability cost scales
+  with what the batch touched, not with the volume size — this is
+  what keeps the durable-ack overhead inside the committed bench
+  ceiling.
+* **mount-time recovery on restart** — a restarted worker replays base
+  + deltas (:func:`~repro.serve.checkpoint.load_shard_state`) and runs
+  :func:`repro.journal.recovery.recover_on_mount`, which rolls the open
+  ack intents forward in sequence order.  The shard comes back with an
+  empty cache and a byte-identical acknowledged image.
 
 The persist happens once per acknowledged batch (not per op), so
 cross-batch write coalescing in the cache is preserved — durability
-costs one ledger sync plus one snapshot per batch, which the serving
-bench reports against buffered acks under a committed ceiling.
+costs one ledger sync plus one delta append per batch, which the
+serving bench reports against buffered acks under a committed ceiling.
 """
 
 from __future__ import annotations
@@ -41,9 +43,12 @@ from typing import Dict, Optional, Tuple
 
 from repro.array import RAID6Volume
 from repro.array.cache import StripeCache
-from repro.array.persistence import load_volume, save_volume
 from repro.journal.intent import WriteIntent, WriteIntentLog
 from repro.journal.recovery import RecoveryReport, recover_on_mount
+from repro.serve.checkpoint import (
+    IncrementalCheckpointer,
+    load_shard_state,
+)
 
 
 class ShardStateStore:
@@ -54,6 +59,9 @@ class ShardStateStore:
         path: os.PathLike,
         volume: RAID6Volume,
         cache: Optional[StripeCache],
+        *,
+        compact_every: int = 256,
+        compact_ratio: float = 4.0,
     ) -> None:
         if volume.journal is None:
             raise ValueError(
@@ -65,7 +73,28 @@ class ShardStateStore:
         self.cache = cache
         #: stripe -> the open intent covering its acknowledged dirty cells
         self._acks: Dict[int, WriteIntent] = {}
+        self._engine = IncrementalCheckpointer(
+            volume,
+            self.path,
+            compact_every=compact_every,
+            compact_ratio=compact_ratio,
+        )
         self.persists = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def deltas(self) -> int:
+        """Delta records appended since boot."""
+        return self._engine.deltas
+
+    @property
+    def compactions(self) -> int:
+        return self._engine.compactions
+
+    @property
+    def epoch(self) -> int:
+        return self._engine.epoch
 
     # -- the per-batch acknowledgement barrier ---------------------------------
 
@@ -74,7 +103,7 @@ class ShardStateStore:
 
         Stripes that destaged since the last sync commit their intent
         (the data reached the volume image, which the next persist
-        snapshots); stripes still dirty get a fresh intent with their
+        covers); stripes still dirty get a fresh intent with their
         *current* dirty cells, and only then is the stale one committed
         — the ledger never has a window where an acknowledged cell is
         covered by neither the volume image nor an open intent.
@@ -92,16 +121,17 @@ class ShardStateStore:
                 journal.commit(stale)
 
     def persist(self) -> None:
-        """Atomically snapshot volume + journal to the state path."""
-        # the temp name must keep the .npz suffix — np.savez appends
-        # one to anything else, and the rename source must exist
-        tmp = self.path.with_name("." + self.path.stem + ".tmp.npz")
-        save_volume(self.volume, tmp)
-        os.replace(tmp, self.path)
+        """Append one delta record (or compact) to the state files."""
+        self._engine.checkpoint()
         self.persists += 1
 
+    def compact(self) -> None:
+        """Force a compaction: fresh base snapshot, truncated log."""
+        self._engine.tracker.drain()
+        self._engine.compact()
+
     def checkpoint(self) -> None:
-        """The durable-ack barrier: ledger sync, then atomic persist.
+        """The durable-ack barrier: ledger sync, then incremental persist.
 
         Called by the worker after executing a batch that wrote (and on
         graceful shutdown) **before** the batch's results are sent — so
@@ -109,6 +139,9 @@ class ShardStateStore:
         """
         self.sync()
         self.persist()
+
+    def close(self) -> None:
+        self._engine.close()
 
 
 def build_shard_state(
@@ -119,7 +152,7 @@ def build_shard_state(
 
     Without a ``state_path`` this is exactly ``spec.build()``.  With
     one, a fresh boot creates a journaled volume and seeds the first
-    snapshot; a restart loads the last snapshot and replays its open
+    base snapshot; a restart replays base + delta records and the open
     ack intents through the standard mount-time recovery, so the shard
     resumes with every acknowledged write in place.
     """
@@ -129,17 +162,25 @@ def build_shard_state(
 
     path = Path(spec.state_path)
     report = None
-    if path.exists():
-        volume = load_volume(path)
+    seeded = path.exists()
+    if seeded:
+        volume, _ = load_shard_state(path)
         if volume.journal is None:  # pragma: no cover — v1 snapshot
             volume.journal = WriteIntentLog()
-        report = recover_on_mount(volume)
     else:
         volume, _ = spec.build()
         if volume.journal is None:
             volume.journal = WriteIntentLog()
     cache = spec.build_cache(volume)
     store = ShardStateStore(path, volume, cache)
-    if not path.exists():
-        store.persist()  # seed the snapshot so a pre-write crash reloads
+    if seeded:
+        # recovery must run with the dirty-stripe tracker attached (the
+        # store wires it in): the rolled-forward stripes then land in
+        # the next delta record, whose journal section no longer holds
+        # the replayed intents — detached, a crash after that record
+        # would lose the recovered writes
+        report = recover_on_mount(volume)
+    else:
+        # seed the base snapshot so a pre-write crash reloads cleanly
+        store._engine.write_base()
     return volume, cache, store, report

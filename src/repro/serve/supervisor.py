@@ -10,8 +10,14 @@ errors, but somebody has to *act* on them — that is the
   restart from the (chaos-cleared) spec, then re-raises the typed error
   so the coalescer can answer the affected ops with RETRY — by the time
   the client's backoff expires, the replacement worker is already
-  serving.  In durable mode the replacement reloads the last checkpoint
-  and replays the ack-intent ledger, so no acknowledged write is lost.
+  serving.  In durable mode the replacement reloads base snapshot +
+  delta log and replays the ack-intent ledger, so no acknowledged write
+  is lost.  The restart also cycles the shard's shared-memory payload
+  ring: the parent retires the old segment (unlinked at once, unmapped
+  when the last in-flight response slice is released) and the
+  replacement worker inherits a fresh one — a SIGKILLed worker can
+  never leak a ``/dev/shm`` segment, because only the parent ever owns
+  one.
 * **health-checks in the background**: a daemon monitor thread
   periodically verifies the worker process is alive and, when the shard
   is idle, round-trips a heartbeat (an empty batch) through the pipe —

@@ -45,6 +45,20 @@ def random_ops(rng, spec, n):
     return ops
 
 
+def as_bytes(results):
+    """Normalise buffer-typed READ payloads (ndarray / ShmSlice) for
+    comparison, releasing any ring slices on the way."""
+    out = []
+    for status, payload in results:
+        if hasattr(payload, "tobytes"):
+            data = payload.tobytes()
+            if hasattr(payload, "release"):
+                payload.release()
+            payload = data
+        out.append((status, payload))
+    return out
+
+
 def apply_direct(volume, ops):
     """Reference semantics: each op straight against a volume."""
     results = []
@@ -124,7 +138,7 @@ class TestProcessShard:
                 num_stripes=SPEC.num_stripes,
                 element_size=SPEC.element_size,
             )
-            assert shard.execute(ops) == apply_direct(reference, ops)
+            assert as_bytes(shard.execute(ops)) == apply_direct(reference, ops)
         finally:
             shard.close()
         assert not shard._proc.is_alive()
@@ -146,7 +160,7 @@ class TestProcessShard:
         process = ProcessShard(SPEC)
         try:
             ops = random_ops(rng, SPEC, 40)
-            assert inline.execute(ops) == process.execute(ops)
+            assert as_bytes(inline.execute(ops)) == as_bytes(process.execute(ops))
         finally:
             process.close()
             inline.close()

@@ -84,6 +84,33 @@ class TestCrashSafePersist:
         store.checkpoint()
         leftovers = [
             p.name for p in tmp_path.iterdir()
-            if p.name != "shard.npz"
+            if p.name not in ("shard.npz", "shard.dlog")
         ]
         assert leftovers == []
+
+    def test_checkpoint_appends_deltas_not_full_snapshots(self, tmp_path):
+        spec = durable_spec(tmp_path)
+        _, cache, store, _ = build_shard_state(spec)
+        base_mtime = (tmp_path / "shard.npz").stat().st_mtime_ns
+        rng = np.random.default_rng(11)
+        for k in range(4):
+            cache.write(k, wbytes(rng, 1))
+            store.checkpoint()
+        assert store.deltas == 4
+        assert store.compactions == 0
+        # the base snapshot is not rewritten per batch any more
+        assert (tmp_path / "shard.npz").stat().st_mtime_ns == base_mtime
+
+    def test_compaction_rewrites_base_and_truncates_log(self, tmp_path):
+        spec = durable_spec(tmp_path)
+        volume, cache, store, _ = build_shard_state(spec)
+        rng = np.random.default_rng(13)
+        data = wbytes(rng, 8)
+        cache.write(0, data)
+        store.checkpoint()
+        assert (tmp_path / "shard.dlog").stat().st_size > 0
+        store.compact()
+        assert store.compactions == 1
+        assert (tmp_path / "shard.dlog").stat().st_size == 0
+        volume2, _, _, _ = build_shard_state(spec)
+        np.testing.assert_array_equal(volume2.read(0, 8), data)

@@ -21,6 +21,16 @@ def write_op(start, payload):
     return (OP_WRITE, start, len(payload) // 32, payload)
 
 
+def payload_bytes(payload):
+    """Normalise a READ payload (bytes / ShmSlice) and free its slot."""
+    if hasattr(payload, "tobytes"):
+        data = payload.tobytes()
+        if hasattr(payload, "release"):
+            payload.release()
+        return data
+    return payload
+
+
 class TestProcessShardTypedErrors:
     def test_killed_worker_raises_shard_crashed(self):
         shard = ProcessShard(SPEC)
@@ -175,7 +185,7 @@ class TestDurableRestart:
                 sup.execute([(OP_READ, 3, 5, b"")])
             # retried read on the restarted worker sees the acked bytes
             status, answer = sup.execute([(OP_READ, 3, 5, b"")])[0]
-            assert (status, answer) == (ST_OK, payload)
+            assert (status, payload_bytes(answer)) == (ST_OK, payload)
         finally:
             sup.close()
 
@@ -209,7 +219,7 @@ class TestDurableRestart:
                 killer.execute([write_op(0, doomed)])
             killer.restart()
             status, answer = killer.execute([(OP_READ, 0, 2, b"")])[0]
-            assert (status, answer) == (ST_OK, acked)
+            assert (status, payload_bytes(answer)) == (ST_OK, acked)
         finally:
             killer.close()
 
